@@ -1,0 +1,9 @@
+"""Benchmark harness reproducing the paper's evaluation (E1-E8).
+
+Two entry points:
+
+* ``pytest benchmarks/ --benchmark-only`` — timed kernels per experiment
+  via pytest-benchmark;
+* ``python -m benchmarks.harness [E1 ... E8 | all]`` — regenerates every
+  table/figure's rows (the numbers recorded in EXPERIMENTS.md).
+"""

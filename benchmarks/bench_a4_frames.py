@@ -1,0 +1,45 @@
+"""A4 ablation bench: frame-restricted vs whole-candidate fine search,
+and the both-strand surcharge."""
+
+import pytest
+
+from benchmarks import workload_setup as setup
+from repro.search.engine import PartitionedSearchEngine
+
+
+@pytest.fixture(scope="module")
+def case():
+    return setup.base_queries()[0]
+
+
+def test_full_fine_phase(benchmark, case):
+    engine = setup.base_engine(100)
+    report = benchmark.pedantic(
+        engine.search, args=(case.query,), rounds=5, iterations=1
+    )
+    assert report.best().ordinal == case.source_ordinal
+
+
+def test_frames_fine_phase(benchmark, case):
+    engine = setup.frames_engine(100)
+    report = benchmark.pedantic(
+        engine.search, args=(case.query,), rounds=5, iterations=1
+    )
+    assert report.best().ordinal == case.source_ordinal
+    assert report.best().score == setup.base_engine(100).search(
+        case.query
+    ).best().score
+
+
+def test_both_strands_surcharge(benchmark, case):
+    engine = PartitionedSearchEngine(
+        setup.base_index(),
+        setup.base_source(),
+        coarse_cutoff=100,
+        both_strands=True,
+    )
+    report = benchmark.pedantic(
+        engine.search, args=(case.query,), rounds=3, iterations=1
+    )
+    assert report.best().ordinal == case.source_ordinal
+    assert report.best().strand == "+"

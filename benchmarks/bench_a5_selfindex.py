@@ -1,0 +1,59 @@
+"""A5 ablation bench: self-indexing (skip-pointer) posting lists.
+
+Times candidate-restricted decoding against the full decode it
+replaces, on a long list shaped like a frequent interval's.
+"""
+
+import numpy as np
+import pytest
+
+from repro.index.blocked import BlockedPostings
+from repro.index.postings import PostingsContext
+
+CONTEXT = PostingsContext(num_sequences=100_000, total_length=50_000_000)
+
+
+@pytest.fixture(scope="module")
+def long_list():
+    rng = np.random.default_rng(17)
+    docs = np.unique(rng.integers(0, 100_000, size=12_000)).astype(np.int64)
+    counts = rng.integers(1, 6, size=docs.shape[0]).astype(np.int64)
+    return docs, counts
+
+
+@pytest.fixture(scope="module")
+def encoded(long_list):
+    docs, counts = long_list
+    codec = BlockedPostings(block_size=64)
+    return codec, codec.encode(docs, counts, CONTEXT), docs
+
+
+def test_encode_long_list(benchmark, long_list):
+    docs, counts = long_list
+    codec = BlockedPostings(block_size=64)
+    data = benchmark.pedantic(
+        codec.encode, args=(docs, counts, CONTEXT), rounds=3, iterations=1
+    )
+    benchmark.extra_info["bits_per_pointer"] = round(
+        8 * len(data) / docs.shape[0], 2
+    )
+
+
+def test_full_decode(benchmark, encoded):
+    codec, data, docs = encoded
+    out_docs, _ = benchmark.pedantic(
+        codec.decode_all, args=(data, docs.shape[0], CONTEXT),
+        rounds=3, iterations=1,
+    )
+    assert out_docs.shape[0] == docs.shape[0]
+
+
+def test_candidate_decode_small_set(benchmark, encoded):
+    codec, data, docs = encoded
+    wanted = [int(docs[5]), int(docs[6000]), int(docs[-3])]
+    found = benchmark.pedantic(
+        codec.decode_candidates,
+        args=(data, docs.shape[0], CONTEXT, wanted),
+        rounds=5, iterations=1,
+    )
+    assert set(found) == set(wanted)

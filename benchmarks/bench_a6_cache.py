@@ -1,0 +1,47 @@
+"""A6 ablation bench: the opt-in postings decode cache.
+
+A long-running service sees the same hot intervals across queries;
+caching decoded section-A lists trades memory for coarse-phase CPU.
+Timing experiments elsewhere keep the cache off (it would hide the
+real decode cost); this bench prices what turning it on buys.
+"""
+
+import pytest
+
+from benchmarks import workload_setup as setup
+from repro.index.builder import IndexParameters, build_index
+from repro.index.store import MemorySequenceSource
+from repro.search.engine import PartitionedSearchEngine
+
+
+@pytest.fixture(scope="module")
+def fresh_setup():
+    """A private index/engine so caching cannot leak into other benches."""
+    records = list(setup.base_records())
+    index = build_index(records, IndexParameters(interval_length=8))
+    source = MemorySequenceSource(records)
+    return index, source
+
+
+def test_query_cold_decode(benchmark, fresh_setup):
+    index, source = fresh_setup
+    index.disable_decode_cache()
+    engine = PartitionedSearchEngine(index, source, coarse_cutoff=50)
+    case = setup.base_queries()[0]
+    report = benchmark.pedantic(
+        engine.search, args=(case.query,), rounds=5, iterations=1
+    )
+    assert report.best().ordinal == case.source_ordinal
+
+
+def test_query_warm_decode_cache(benchmark, fresh_setup):
+    index, source = fresh_setup
+    index.enable_decode_cache(100_000)
+    engine = PartitionedSearchEngine(index, source, coarse_cutoff=50)
+    case = setup.base_queries()[0]
+    engine.search(case.query)  # warm the hot lists
+    report = benchmark.pedantic(
+        engine.search, args=(case.query,), rounds=5, iterations=1
+    )
+    index.disable_decode_cache()
+    assert report.best().ordinal == case.source_ordinal

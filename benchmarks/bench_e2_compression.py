@@ -1,0 +1,58 @@
+"""E2 bench targets: integer-codec encode/decode throughput on the
+document-gap stream a real index produces."""
+
+import pytest
+
+from benchmarks import workload_setup as setup
+from repro.compression import (
+    EliasDeltaCodec,
+    EliasGammaCodec,
+    GolombCodec,
+    RiceCodec,
+    VByteCodec,
+    optimal_golomb_parameter,
+)
+
+#: Gap-stream slice: large enough to be representative, small enough to
+#: repeat many rounds.
+GAP_COUNT = 40_000
+
+
+@pytest.fixture(scope="module")
+def gaps():
+    stream = setup.document_gap_stream(setup.base_index())
+    return stream[:GAP_COUNT]
+
+
+@pytest.fixture(scope="module")
+def codecs(gaps):
+    universe = setup.base_collection().spec.num_sequences
+    density = max(1, round(len(gaps) / setup.base_index().vocabulary_size))
+    return {
+        "gamma": EliasGammaCodec(),
+        "delta": EliasDeltaCodec(),
+        "golomb": GolombCodec(optimal_golomb_parameter(density, universe)),
+        "rice": RiceCodec.for_density(density, universe),
+        "vbyte": VByteCodec(),
+    }
+
+
+@pytest.mark.parametrize("name", ["gamma", "delta", "golomb", "rice", "vbyte"])
+def test_encode_gaps(benchmark, gaps, codecs, name):
+    codec = codecs[name]
+    data = benchmark(codec.encode_array, gaps)
+    benchmark.extra_info["bits_per_gap"] = round(8 * len(data) / len(gaps), 2)
+
+
+@pytest.mark.parametrize("name", ["gamma", "delta", "golomb", "rice", "vbyte"])
+def test_decode_gaps(benchmark, gaps, codecs, name):
+    codec = codecs[name]
+    data = codec.encode_array(gaps)
+    decoded = benchmark(codec.decode_array, data, len(gaps))
+    assert decoded == gaps
+
+
+def test_golomb_beats_gamma_in_space(gaps, codecs):
+    golomb_bytes = len(codecs["golomb"].encode_array(gaps))
+    gamma_bytes = len(codecs["gamma"].encode_array(gaps))
+    assert golomb_bytes < gamma_bytes

@@ -1,0 +1,49 @@
+"""E3 bench targets: query evaluation vs collection size.
+
+The shape to look for in the results: exhaustive per-query time roughly
+doubles with the collection, partitioned time stays near-flat.
+"""
+
+import pytest
+
+from benchmarks import workload_setup as setup
+
+SIZES = [100, 400]
+
+
+@pytest.mark.parametrize("num_sequences", SIZES)
+def test_partitioned_query(benchmark, num_sequences):
+    _, engine, _, queries = setup.scaled_setup(num_sequences)
+    query = queries[0].query
+    report = benchmark.pedantic(
+        engine.search, args=(query,), kwargs={"top_k": 10},
+        rounds=5, iterations=1,
+    )
+    benchmark.extra_info["collection_sequences"] = num_sequences
+    benchmark.extra_info["candidates"] = report.candidates_examined
+    assert report.best() is not None
+
+
+@pytest.mark.parametrize("num_sequences", SIZES)
+def test_exhaustive_query(benchmark, num_sequences):
+    _, _, exhaustive, queries = setup.scaled_setup(num_sequences)
+    query = queries[0].query
+    report = benchmark.pedantic(
+        exhaustive.search, args=(query,), kwargs={"top_k": 10},
+        rounds=3, iterations=1,
+    )
+    benchmark.extra_info["collection_sequences"] = num_sequences
+    assert report.candidates_examined == num_sequences
+
+
+@pytest.mark.parametrize("num_sequences", SIZES)
+def test_coarse_phase_only(benchmark, num_sequences):
+    from repro.search.coarse import CoarseRanker
+
+    records, engine, _, queries = setup.scaled_setup(num_sequences)
+    ranker = CoarseRanker(engine.index)
+    candidates = benchmark.pedantic(
+        ranker.rank, args=(queries[0].query.codes, 50),
+        rounds=5, iterations=1,
+    )
+    assert candidates

@@ -1,0 +1,66 @@
+"""E4 bench targets: one query through every engine on the base
+collection — the headline who-wins-by-how-much comparison."""
+
+import pytest
+
+from benchmarks import workload_setup as setup
+from repro.search.blast_like import BlastLikeSearcher
+from repro.search.fasta_like import FastaLikeSearcher
+
+
+@pytest.fixture(scope="module")
+def query():
+    return setup.base_queries()[0].query
+
+
+@pytest.fixture(scope="module")
+def expected_best():
+    return setup.base_queries()[0].source_ordinal
+
+
+def test_partitioned_cutoff_50(benchmark, query, expected_best):
+    engine = setup.base_engine(50)
+    report = benchmark.pedantic(
+        engine.search, args=(query,), rounds=5, iterations=1
+    )
+    assert report.best().ordinal == expected_best
+
+
+def test_partitioned_cutoff_100(benchmark, query, expected_best):
+    engine = setup.base_engine(100)
+    report = benchmark.pedantic(
+        engine.search, args=(query,), rounds=5, iterations=1
+    )
+    assert report.best().ordinal == expected_best
+
+
+def test_exhaustive_smith_waterman(benchmark, query, expected_best):
+    engine = setup.base_exhaustive()
+    report = benchmark.pedantic(
+        engine.search, args=(query,), rounds=3, iterations=1
+    )
+    assert report.best().ordinal == expected_best
+
+
+@pytest.fixture(scope="module")
+def fasta_engine():
+    return FastaLikeSearcher(list(setup.base_records()))
+
+
+@pytest.fixture(scope="module")
+def blast_engine():
+    return BlastLikeSearcher(list(setup.base_records()))
+
+
+def test_fasta_like(benchmark, fasta_engine, query, expected_best):
+    report = benchmark.pedantic(
+        fasta_engine.search, args=(query,), rounds=2, iterations=1
+    )
+    assert report.best().ordinal == expected_best
+
+
+def test_blast_like(benchmark, blast_engine, query, expected_best):
+    report = benchmark.pedantic(
+        blast_engine.search, args=(query,), rounds=3, iterations=1
+    )
+    assert report.best().ordinal == expected_best

@@ -1,0 +1,32 @@
+"""E6 bench targets: index stopping — the pass itself and its effect on
+query time."""
+
+import pytest
+
+from benchmarks import workload_setup as setup
+from repro.eval.metrics import recall_at
+from repro.index.stopping import stop_most_frequent
+from repro.search.engine import PartitionedSearchEngine
+
+
+def test_stopping_pass_cost(benchmark):
+    index = setup.base_index()
+    stopped, report = benchmark(stop_most_frequent, index, 0.10)
+    assert report.dropped_intervals > 0
+    benchmark.extra_info["dropped_pointers"] = report.dropped_pointers
+
+
+@pytest.mark.parametrize("fraction", [0.0, 0.10, 0.20])
+def test_query_on_stopped_index(benchmark, fraction):
+    stopped, _ = stop_most_frequent(setup.base_index(), fraction)
+    engine = PartitionedSearchEngine(
+        stopped, setup.base_source(), coarse_cutoff=50
+    )
+    case = setup.base_queries()[2]
+    report = benchmark.pedantic(
+        engine.search, args=(case.query,), rounds=5, iterations=1
+    )
+    recall = recall_at(report.ordinals(), case.relevant, 10)
+    benchmark.extra_info["stopped_fraction"] = fraction
+    benchmark.extra_info["recall_at_10"] = recall
+    assert recall >= 0.5

@@ -1,0 +1,31 @@
+"""E7 bench targets: diverged-query evaluation.
+
+Accuracy columns come from the harness; the timed kernel here is the
+partitioned engine on queries of increasing divergence (more divergence
+means fewer interval hits, so the coarse phase has less to chew on and
+the candidate mix shifts).
+"""
+
+import pytest
+
+from benchmarks import workload_setup as setup
+
+
+@pytest.mark.parametrize("percent", [5, 20, 40])
+def test_diverged_query(benchmark, percent):
+    case = setup.diverged_queries(percent)[0]
+    engine = setup.base_engine(50)
+    report = benchmark.pedantic(
+        engine.search, args=(case.query,), rounds=5, iterations=1
+    )
+    benchmark.extra_info["divergence_percent"] = percent
+    benchmark.extra_info["answers"] = len(report.hits)
+
+
+def test_oracle_scan_on_diverged_query(benchmark):
+    case = setup.diverged_queries(20)[0]
+    exhaustive = setup.base_exhaustive()
+    report = benchmark.pedantic(
+        exhaustive.search, args=(case.query,), rounds=3, iterations=1
+    )
+    assert report.candidates_examined == len(setup.base_records())

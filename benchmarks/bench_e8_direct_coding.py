@@ -1,0 +1,52 @@
+"""E8 bench targets: direct (cino) sequence coding.
+
+Times the codec itself and the end-to-end effect of store coding on
+partitioned query evaluation.
+"""
+
+import pytest
+
+from benchmarks import workload_setup as setup
+from repro.compression.direct import decode_sequence, encode_sequence
+from repro.index.store import read_store, write_store
+from repro.search.engine import PartitionedSearchEngine
+
+
+@pytest.fixture(scope="module")
+def payloads():
+    return [encode_sequence(record.codes) for record in setup.base_records()]
+
+
+def test_encode_collection(benchmark):
+    records = setup.base_records()
+
+    def encode_all():
+        return [encode_sequence(record.codes) for record in records]
+
+    payloads = benchmark(encode_all)
+    assert len(payloads) == len(records)
+
+
+def test_decode_collection(benchmark, payloads):
+    def decode_all():
+        return [decode_sequence(payload) for payload in payloads]
+
+    decoded = benchmark(decode_all)
+    assert len(decoded) == len(payloads)
+
+
+@pytest.mark.parametrize("coding", ["raw", "direct"])
+def test_query_with_store_coding(benchmark, tmp_path_factory, coding):
+    path = tmp_path_factory.mktemp("store") / f"{coding}.rpsq"
+    write_store(list(setup.base_records()), path, coding=coding)
+    case = setup.base_queries()[0]
+    with read_store(path) as store:
+        engine = PartitionedSearchEngine(
+            setup.base_index(), store, coarse_cutoff=100
+        )
+        report = benchmark.pedantic(
+            engine.search, args=(case.query,), rounds=5, iterations=1
+        )
+        benchmark.extra_info["coding"] = coding
+        benchmark.extra_info["payload_bytes"] = store.payload_bytes
+        assert report.best().ordinal == case.source_ordinal

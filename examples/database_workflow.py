@@ -1,0 +1,52 @@
+"""The Database facade: create once, search many times.
+
+The one-object API a downstream user adopts: a persistent directory
+holding the compressed index and sequence store, opened memory-mapped,
+with engines, E-values, and alignments behind a single handle.
+
+Run with::
+
+    python examples/database_workflow.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro import Database, WorkloadSpec, generate_collection, make_family_queries
+
+
+def main() -> None:
+    collection = generate_collection(
+        WorkloadSpec(num_families=6, family_size=3, num_background=80,
+                     mean_length=500, seed=77)
+    )
+    cases = make_family_queries(collection, 2, query_length=160, seed=1)
+
+    with tempfile.TemporaryDirectory() as workdir:
+        path = Path(workdir) / "demo.db"
+
+        # One call builds index + store and writes the manifest.
+        database = Database.create(collection.sequences, path)
+        print(database.describe())
+        database.close()
+
+        # Reopen (as a service would at startup) and query.
+        with Database.open(path) as db:
+            for case in cases:
+                report = db.search(case.query, top_k=3, with_evalues=True)
+                print(f"\nquery {report.query_identifier}:")
+                for hit in report.hits:
+                    marker = "*" if hit.ordinal in case.relevant else " "
+                    print(f" {marker} {hit.identifier:<12} "
+                          f"score={hit.score:<5d} E={hit.evalue:.2e}")
+
+            # Pull the winning alignment for display.
+            best = db.search(cases[0].query, top_k=1).best()
+            print(f"\nalignment against {best.identifier}:")
+            print(db.alignment(cases[0].query, best.ordinal).pretty(width=50))
+
+
+if __name__ == "__main__":
+    main()

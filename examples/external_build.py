@@ -1,0 +1,102 @@
+"""External-memory pipeline: chunked build, disk parts, streamed merge.
+
+The paper's collections (GenBank) did not fit in memory; the classic
+recipe is to invert manageable chunks, write each part to disk, and
+stream-merge the parts into the final index.  This example runs the
+whole pipeline on synthetic data and verifies the merged index answers
+queries identically to a single-shot build.
+
+Run with::
+
+    python examples/external_build.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro import (
+    IndexParameters,
+    MemorySequenceSource,
+    PartitionedSearchEngine,
+    WorkloadSpec,
+    build_index,
+    generate_collection,
+    make_family_queries,
+    read_index,
+    read_store,
+    write_index,
+    write_store,
+)
+from repro.index.merge import merge_index_files
+
+
+def main() -> None:
+    collection = generate_collection(
+        WorkloadSpec(num_families=10, family_size=3, num_background=170,
+                     mean_length=500, seed=33)
+    )
+    records = list(collection.sequences)
+    params = IndexParameters(interval_length=8)
+    cases = make_family_queries(collection, 4, query_length=160, seed=1)
+    chunk_size = 50
+
+    with tempfile.TemporaryDirectory() as workdir:
+        workdir = Path(workdir)
+
+        print(f"collection: {len(records)} sequences, "
+              f"{collection.total_bases:,} bases; chunk size {chunk_size}\n")
+
+        # 1. Invert each chunk independently ("what fits in memory") and
+        #    spill it to disk.
+        part_paths = []
+        started = time.perf_counter()
+        for slot, start in enumerate(range(0, len(records), chunk_size)):
+            chunk = records[start : start + chunk_size]
+            part = build_index(chunk, params)
+            path = workdir / f"part{slot:02d}.rpix"
+            size = write_index(part, path)
+            part_paths.append(str(path))
+            print(f"  part {slot}: {len(chunk)} sequences -> "
+                  f"{size:,} bytes on disk")
+        print(f"chunk inversion: {time.perf_counter() - started:.2f}s\n")
+
+        # 2. Stream-merge the parts: peak memory is one posting list.
+        merged_path = workdir / "merged.rpix"
+        started = time.perf_counter()
+        merged_size = merge_index_files(part_paths, str(merged_path))
+        print(f"streamed merge -> {merged_size:,} bytes "
+              f"({time.perf_counter() - started:.2f}s)\n")
+
+        # 3. The sequence store completes the on-disk deployment.
+        store_path = workdir / "merged.rpsq"
+        write_store(records, store_path, coding="direct")
+
+        # 4. Verify: the merged on-disk index answers exactly like a
+        #    single-shot in-memory build.
+        reference = PartitionedSearchEngine(
+            build_index(records, params),
+            MemorySequenceSource(records),
+            coarse_cutoff=20,
+        )
+        with read_index(merged_path) as index, read_store(store_path) as store:
+            engine = PartitionedSearchEngine(index, store, coarse_cutoff=20)
+            print(f"{'query':<20} {'top answer':<14} {'score':>6} {'agrees':>7}")
+            for case in cases:
+                ours = engine.search(case.query, top_k=5)
+                theirs = reference.search(case.query, top_k=5)
+                agrees = [
+                    (hit.ordinal, hit.score) for hit in ours.hits
+                ] == [(hit.ordinal, hit.score) for hit in theirs.hits]
+                best = ours.best()
+                print(f"{case.query.identifier:<20} {best.identifier:<14} "
+                      f"{best.score:>6} {'yes' if agrees else 'NO':>7}")
+                assert agrees
+        print("\nmerged on-disk index is answer-identical to the "
+              "single-shot build")
+
+
+if __name__ == "__main__":
+    main()

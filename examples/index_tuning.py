@@ -1,0 +1,96 @@
+"""Index tuning tour: interval length, stride, stopping, and cutoff.
+
+Walks the index design space the paper explores and prints the size /
+speed / recall consequences of each knob on one collection.
+
+Run with::
+
+    python examples/index_tuning.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import (
+    IndexParameters,
+    MemorySequenceSource,
+    PartitionedSearchEngine,
+    WorkloadSpec,
+    build_index,
+    collect_statistics,
+    generate_collection,
+    make_family_queries,
+    stop_most_frequent,
+)
+from repro.eval.metrics import recall_at
+
+
+def measure(engine, cases) -> tuple[float, float]:
+    """(ms per query, mean family recall@10) for one engine."""
+    started = time.perf_counter()
+    recalls = [
+        recall_at(
+            engine.search(case.query, top_k=10).ordinals(), case.relevant, 10
+        )
+        for case in cases
+    ]
+    elapsed = (time.perf_counter() - started) / len(cases) * 1000
+    return elapsed, sum(recalls) / len(recalls)
+
+
+def main() -> None:
+    collection = generate_collection(
+        WorkloadSpec(num_families=15, family_size=4, num_background=240,
+                     mean_length=600, seed=11)
+    )
+    records = list(collection.sequences)
+    source = MemorySequenceSource(records)
+    cases = make_family_queries(collection, 8, query_length=200)
+    print(f"collection: {len(records)} sequences, "
+          f"{collection.total_bases:,} bases\n")
+
+    print("-- interval length (overlapping, cutoff=50) --")
+    print(f"{'k':>3} {'vocab':>8} {'bytes':>10} {'bits/ptr':>9} "
+          f"{'ms/query':>9} {'recall':>7}")
+    for k in (6, 8, 10, 12):
+        index = build_index(records, IndexParameters(interval_length=k))
+        stats = collect_statistics(index)
+        engine = PartitionedSearchEngine(index, source, coarse_cutoff=50)
+        per_query, recall = measure(engine, cases)
+        print(f"{k:>3} {stats.vocabulary_size:>8} {stats.compressed_bytes:>10,}"
+              f" {stats.bits_per_pointer:>9.1f} {per_query:>9.1f} {recall:>7.2f}")
+
+    print("\n-- extraction stride at k=8 --")
+    print(f"{'stride':>7} {'pointers':>9} {'bytes':>10} {'recall':>7}")
+    for stride in (1, 2, 4, 8):
+        index = build_index(
+            records, IndexParameters(interval_length=8, stride=stride)
+        )
+        stats = collect_statistics(index)
+        engine = PartitionedSearchEngine(index, source, coarse_cutoff=50)
+        _, recall = measure(engine, cases)
+        print(f"{stride:>7} {stats.pointer_count:>9,} "
+              f"{stats.compressed_bytes:>10,} {recall:>7.2f}")
+
+    print("\n-- stopping the most frequent intervals (k=8, stride=1) --")
+    base = build_index(records, IndexParameters(interval_length=8))
+    print(f"{'stop %':>7} {'vocab':>8} {'bytes':>10} {'ms/query':>9} {'recall':>7}")
+    for fraction in (0.0, 0.01, 0.05, 0.10):
+        stopped, _ = stop_most_frequent(base, fraction)
+        engine = PartitionedSearchEngine(stopped, source, coarse_cutoff=50)
+        per_query, recall = measure(engine, cases)
+        stats = collect_statistics(stopped)
+        print(f"{fraction:>7.0%} {stats.vocabulary_size:>8} "
+              f"{stats.compressed_bytes:>10,} {per_query:>9.1f} {recall:>7.2f}")
+
+    print("\n-- coarse cutoff (k=8): the speed/accuracy dial --")
+    print(f"{'cutoff':>7} {'ms/query':>9} {'recall':>7}")
+    for cutoff in (5, 20, 50, 100, len(records)):
+        engine = PartitionedSearchEngine(base, source, coarse_cutoff=cutoff)
+        per_query, recall = measure(engine, cases)
+        print(f"{cutoff:>7} {per_query:>9.1f} {recall:>7.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""repro — partitioned interval-index search for nucleotide databases.
+
+A reproduction of Williams & Zobel, *Indexing Nucleotide Databases for
+Fast Query Evaluation* (EDBT 1996): a compressed inverted index of
+fixed-length substrings ("intervals") selects candidate sequences,
+which are then ranked by local alignment — several times faster than
+exhaustive scanning at a small cost in accuracy.
+
+Quickstart::
+
+    from repro import (
+        PartitionedSearchEngine, build_index, MemorySequenceSource,
+        Sequence,
+    )
+
+    collection = [Sequence.from_text("s1", "ACGT..."), ...]
+    index = build_index(collection)
+    engine = PartitionedSearchEngine(
+        index, MemorySequenceSource(collection), coarse_cutoff=100
+    )
+    report = engine.search(Sequence.from_text("q", "ACGTT..."))
+    for hit in report.hits:
+        print(hit.identifier, hit.score)
+"""
+
+from repro.align import (
+    Alignment,
+    ScoringScheme,
+    best_local_score,
+    local_align,
+)
+from repro.database import Database
+from repro.errors import ReproError
+from repro.index import (
+    DiskIndex,
+    IndexParameters,
+    InvertedIndex,
+    MemorySequenceSource,
+    SequenceStore,
+    build_index,
+    collect_statistics,
+    read_index,
+    read_store,
+    stop_most_frequent,
+    write_index,
+    write_store,
+)
+from repro.search import (
+    BlastLikeSearcher,
+    ExhaustiveSearcher,
+    FastaLikeSearcher,
+    PartitionedSearchEngine,
+    SearchHit,
+    SearchReport,
+)
+from repro.sequences import MutationModel, Sequence, read_fasta, write_fasta
+from repro.workloads import (
+    WorkloadSpec,
+    generate_collection,
+    make_family_queries,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Alignment",
+    "Database",
+    "BlastLikeSearcher",
+    "DiskIndex",
+    "ExhaustiveSearcher",
+    "FastaLikeSearcher",
+    "IndexParameters",
+    "InvertedIndex",
+    "MemorySequenceSource",
+    "MutationModel",
+    "PartitionedSearchEngine",
+    "ReproError",
+    "ScoringScheme",
+    "SearchHit",
+    "SearchReport",
+    "Sequence",
+    "SequenceStore",
+    "WorkloadSpec",
+    "best_local_score",
+    "build_index",
+    "collect_statistics",
+    "generate_collection",
+    "local_align",
+    "make_family_queries",
+    "read_fasta",
+    "read_index",
+    "read_store",
+    "stop_most_frequent",
+    "write_fasta",
+    "write_index",
+    "write_store",
+]

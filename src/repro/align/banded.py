@@ -1,0 +1,86 @@
+"""Banded Smith-Waterman around a known diagonal.
+
+When a seed hit pins the alignment near diagonal ``d = j - i``, the DP
+only needs the cells within a band ``|j - i - d| <= half_width``.  The
+band is stored per-row as a fixed-width array indexed by the offset
+``o = j - i - d + half_width``, under which the diagonal move keeps the
+same offset, the vertical move reads offset ``o + 1`` of the previous
+row, and the horizontal move is the usual in-row closure.  Used by the
+BLAST-like baseline's gapped stage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.align.scoring import SENTINEL_SCORE, ScoringScheme
+from repro.errors import AlignmentError
+from repro.sequences.alphabet import NUM_BASES
+
+
+def banded_local_score(
+    query: np.ndarray,
+    target: np.ndarray,
+    diagonal: int,
+    half_width: int,
+    scheme: ScoringScheme,
+) -> int:
+    """Best local score restricted to a diagonal band.
+
+    Args:
+        query, target: coded sequences.
+        diagonal: the band centre, as ``target_pos - query_pos``.
+        half_width: how far the band extends either side of the centre.
+        scheme: linear-gap scoring.
+
+    Returns:
+        The best in-band Smith-Waterman cell (>= 0).  A band that never
+        intersects the DP matrix scores 0.
+
+    Raises:
+        AlignmentError: if ``half_width`` is negative.
+    """
+    if half_width < 0:
+        raise AlignmentError(f"half_width must be >= 0, got {half_width}")
+    query = np.asarray(query)
+    target = np.asarray(target)
+    query_length = int(query.shape[0])
+    target_length = int(target.shape[0])
+    if not query_length or not target_length:
+        return 0
+
+    width = 2 * half_width + 1
+    profile = scheme.target_profile(target)
+    rows = np.minimum(query, NUM_BASES).astype(np.int64)
+
+    gap = np.int32(scheme.gap)
+    gap_ramp = scheme.gap * np.arange(width, dtype=np.int32)
+    previous = np.zeros(width + 1, dtype=np.int32)
+    best = 0
+    scores = np.empty(width, dtype=np.int32)
+    chain = np.empty(width, dtype=np.int32)
+    for row_index in range(query_length):
+        # Columns this row's band covers: j = row_index + diagonal - w + o.
+        first_column = row_index + diagonal - half_width
+        columns = first_column + np.arange(width, dtype=np.int64)
+        valid = (columns >= 0) & (columns < target_length)
+        scores.fill(SENTINEL_SCORE)
+        if valid.any():
+            scores[valid] = profile[rows[row_index], columns[valid]]
+
+        candidate = np.maximum(previous[:-1] + scores, previous[1:] + gap)
+        np.maximum(candidate, 0, out=candidate)
+        candidate[~valid] = 0
+        np.subtract(candidate, gap_ramp, out=chain)
+        np.maximum.accumulate(chain, out=chain)
+        chain[1:] = chain[:-1] + gap_ramp[1:]
+        chain[0] = 0
+        np.maximum(candidate, chain, out=candidate)
+        candidate[~valid] = 0
+
+        previous[:-1] = candidate
+        previous[-1] = 0
+        row_best = int(candidate.max(initial=0))
+        if row_best > best:
+            best = row_best
+    return best

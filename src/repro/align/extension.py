@@ -1,0 +1,148 @@
+"""Ungapped seed extension with an X-drop cut-off.
+
+The BLAST-style baseline extends every exact seed hit along its
+diagonal in both directions, giving up once the running score falls
+more than ``x_drop`` below the best seen.  Both directions are a
+cumulative-sum/cumulative-max pass, so extension is vectorised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.align.scoring import ScoringScheme
+from repro.errors import AlignmentError
+from repro.sequences.alphabet import WILDCARD_MIN_CODE
+
+
+@dataclass(frozen=True)
+class UngappedExtension:
+    """An extended diagonal segment (an HSP in BLAST terms)."""
+
+    score: int
+    query_start: int
+    query_end: int
+    target_start: int
+    target_end: int
+
+    @property
+    def length(self) -> int:
+        return self.query_end - self.query_start
+
+    @property
+    def diagonal(self) -> int:
+        return self.target_start - self.query_start
+
+
+def _pair_scores(
+    query: np.ndarray, target: np.ndarray, scheme: ScoringScheme
+) -> np.ndarray:
+    """Substitution scores of aligned pairs (equal-length arrays)."""
+    concrete = (query < WILDCARD_MIN_CODE) & (target < WILDCARD_MIN_CODE)
+    match = concrete & (query == target)
+    scores = np.where(match, scheme.match, scheme.mismatch).astype(np.int64)
+    if scheme.transition is not None:
+        transition = concrete & ~match & ((query & 1) == (target & 1))
+        scores[transition] = scheme.transition
+    return scores
+
+
+def _best_prefix(scores: np.ndarray, x_drop: int) -> tuple[int, int]:
+    """Best prefix sum before the score drops ``x_drop`` below its peak.
+
+    Returns:
+        (best prefix score, number of positions taken); both 0 when no
+        positive prefix exists before the drop cut-off.
+    """
+    if not scores.shape[0]:
+        return 0, 0
+    totals = np.cumsum(scores)
+    # The running peak includes the empty prefix (the seed end itself),
+    # so an immediate dip below -x_drop stops the extension at once.
+    peaks = np.maximum(np.maximum.accumulate(totals), 0)
+    dropped = np.flatnonzero(peaks - totals > x_drop)
+    limit = int(dropped[0]) if dropped.shape[0] else scores.shape[0]
+    if not limit:
+        return 0, 0
+    best_slot = int(np.argmax(totals[:limit]))
+    best = int(totals[best_slot])
+    if best <= 0:
+        return 0, 0
+    return best, best_slot + 1
+
+
+def extend_seed(
+    query: np.ndarray,
+    target: np.ndarray,
+    query_start: int,
+    target_start: int,
+    seed_length: int,
+    scheme: ScoringScheme,
+    x_drop: int = 10,
+) -> UngappedExtension:
+    """Extend an exact seed along its diagonal in both directions.
+
+    Args:
+        query, target: coded sequences.
+        query_start, target_start: seed start coordinates.
+        seed_length: length of the (assumed exact) seed.
+        scheme: linear scoring (only match/mismatch are used).
+        x_drop: give up when the score falls this far below its peak.
+
+    Raises:
+        AlignmentError: if the seed coordinates fall outside either
+            sequence or ``x_drop`` is negative.
+    """
+    query = np.asarray(query)
+    target = np.asarray(target)
+    if x_drop < 0:
+        raise AlignmentError(f"x_drop must be >= 0, got {x_drop}")
+    if (
+        query_start < 0
+        or target_start < 0
+        or query_start + seed_length > query.shape[0]
+        or target_start + seed_length > target.shape[0]
+    ):
+        raise AlignmentError(
+            f"seed q[{query_start}:+{seed_length}] t[{target_start}:+{seed_length}] "
+            "outside the sequences"
+        )
+
+    seed_score = int(
+        _pair_scores(
+            query[query_start : query_start + seed_length],
+            target[target_start : target_start + seed_length],
+            scheme,
+        ).sum()
+    )
+
+    right_length = min(
+        query.shape[0] - query_start - seed_length,
+        target.shape[0] - target_start - seed_length,
+    )
+    right_scores = _pair_scores(
+        query[query_start + seed_length : query_start + seed_length + right_length],
+        target[
+            target_start + seed_length : target_start + seed_length + right_length
+        ],
+        scheme,
+    )
+    right_gain, right_taken = _best_prefix(right_scores, x_drop)
+
+    left_length = min(query_start, target_start)
+    left_scores = _pair_scores(
+        query[query_start - left_length : query_start][::-1],
+        target[target_start - left_length : target_start][::-1],
+        scheme,
+    )
+    left_gain, left_taken = _best_prefix(left_scores, x_drop)
+
+    return UngappedExtension(
+        score=seed_score + right_gain + left_gain,
+        query_start=query_start - left_taken,
+        query_end=query_start + seed_length + right_taken,
+        target_start=target_start - left_taken,
+        target_end=target_start + seed_length + right_taken,
+    )

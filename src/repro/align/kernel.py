@@ -1,0 +1,202 @@
+"""Vectorised Smith-Waterman (linear gaps), row-wise over the target.
+
+The dependence structure of the linear-gap recurrence lets the whole
+row be computed with numpy primitives.  For row ``i`` let
+
+    T[j] = max(0, H[i-1, j-1] + s(q_i, t_j), H[i-1, j] + g)
+
+(the diagonal and vertical moves).  A horizontal gap chain entering
+column ``j`` must start at some ``T[k]`` with ``k < j`` and costs
+``g * (j - k)``, so
+
+    H[i, j] = max(T[j],  g*j + max_{k<j} (T[k] - g*k))
+
+and the inner maximum is a running prefix maximum — one call to
+``np.maximum.accumulate``.  (Chains starting from H rather than T add
+nothing: H is itself the closure of T under chaining, and chains
+telescope.)  Each query row therefore costs a handful of vector
+operations over the target, which is what makes a pure-Python
+exhaustive Smith-Waterman scan of a megabase collection feasible — the
+substitution DESIGN.md records for the paper's C implementation.
+
+Scanning a whole collection uses a :class:`TargetImage`: the sequences
+concatenated with *sentinel runs* between them.  Sentinel positions
+score so negatively that no alignment can touch one, and the runs are
+long enough (see ``ScoringScheme.sentinel_run_length``) that no gap
+chain can bridge two sequences.  Per-sequence best scores then fall
+out of a segmented maximum over the column-best array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence as TypingSequence
+
+import numpy as np
+
+from repro.align.scoring import SENTINEL_CODE, ScoringScheme
+from repro.errors import AlignmentError
+from repro.sequences.alphabet import NUM_BASES
+
+
+def _query_rows(query: np.ndarray) -> np.ndarray:
+    """Map query codes onto profile row indices (wildcards share one)."""
+    query = np.asarray(query)
+    if query.size and int(query.max(initial=0)) >= SENTINEL_CODE:
+        raise AlignmentError("query sequences cannot contain sentinels")
+    return np.minimum(query, NUM_BASES).astype(np.int64)
+
+
+def column_best_scores(
+    query: np.ndarray, profile: np.ndarray, scheme: ScoringScheme
+) -> np.ndarray:
+    """Best Smith-Waterman cell in every target column.
+
+    Args:
+        query: coded query (no sentinels).
+        profile: target profile from ``ScoringScheme.target_profile``.
+        scheme: the same scheme the profile was built with.
+
+    Returns:
+        ``col_best`` with ``col_best[j] = max_i H[i, j]`` — int32, or
+        int64 when the target is long enough that the gap ramp would
+        overflow 32 bits.
+    """
+    target_length = profile.shape[1]
+    rows = _query_rows(query)
+    # The horizontal-gap ramp reaches |gap| * target_length; switch to
+    # 64-bit cells when that would overflow int32.
+    wide = abs(scheme.gap) * (target_length + 1) >= 2**31 - 2**20
+    cell_dtype = np.int64 if wide else np.int32
+    col_best = np.zeros(target_length, dtype=cell_dtype)
+    if not rows.shape[0] or not target_length:
+        return col_best
+
+    gap = cell_dtype(scheme.gap)
+    gap_ramp = scheme.gap * np.arange(target_length, dtype=cell_dtype)
+    previous = np.zeros(target_length + 1, dtype=cell_dtype)
+    candidate = np.empty(target_length, dtype=cell_dtype)
+    chain = np.empty(target_length, dtype=cell_dtype)
+    for row in rows:
+        scores = profile[row]
+        np.add(previous[:-1], scores, out=candidate)
+        np.maximum(candidate, previous[1:] + gap, out=candidate)
+        np.maximum(candidate, 0, out=candidate)
+        # Horizontal-gap closure via prefix maximum (see module docs).
+        np.subtract(candidate, gap_ramp, out=chain)
+        np.maximum.accumulate(chain, out=chain)
+        chain[1:] = chain[:-1] + gap_ramp[1:]
+        chain[0] = 0
+        np.maximum(candidate, chain, out=candidate)
+        previous[1:] = candidate
+        np.maximum(col_best, candidate, out=col_best)
+    return col_best
+
+
+def best_local_score(
+    query: np.ndarray, target: np.ndarray, scheme: ScoringScheme
+) -> int:
+    """Best local-alignment score between two coded sequences."""
+    profile = scheme.target_profile(np.asarray(target))
+    col_best = column_best_scores(np.asarray(query), profile, scheme)
+    return int(col_best.max(initial=0))
+
+
+@dataclass
+class TargetImage:
+    """A collection concatenated for whole-collection scanning.
+
+    Attributes:
+        codes: concatenated codes with sentinel runs between sequences.
+        starts: per-sequence start offset in ``codes``.
+        lengths: per-sequence length.
+        max_query_length: largest query the sentinel runs protect against.
+        profile: cached score profile (built lazily per scheme).
+    """
+
+    codes: np.ndarray
+    starts: np.ndarray
+    lengths: np.ndarray
+    max_query_length: int
+    _profiles: dict[ScoringScheme, np.ndarray] = field(default_factory=dict)
+
+    @classmethod
+    def build(
+        cls,
+        sequence_codes: TypingSequence[np.ndarray],
+        scheme: ScoringScheme,
+        max_query_length: int,
+    ) -> "TargetImage":
+        """Concatenate a collection with safe sentinel separation.
+
+        Raises:
+            AlignmentError: if the collection is empty or the query
+                bound is not positive.
+        """
+        if not sequence_codes:
+            raise AlignmentError("cannot build a target image of nothing")
+        if max_query_length <= 0:
+            raise AlignmentError(
+                f"max_query_length must be positive, got {max_query_length}"
+            )
+        run = scheme.sentinel_run_length(max_query_length)
+        sentinel = np.full(run, SENTINEL_CODE, dtype=np.uint8)
+        pieces: list[np.ndarray] = []
+        starts = np.empty(len(sequence_codes), dtype=np.int64)
+        lengths = np.empty(len(sequence_codes), dtype=np.int64)
+        cursor = 0
+        for ordinal, codes in enumerate(sequence_codes):
+            codes = np.asarray(codes, dtype=np.uint8)
+            starts[ordinal] = cursor
+            lengths[ordinal] = codes.shape[0]
+            pieces.append(codes)
+            pieces.append(sentinel)
+            cursor += codes.shape[0] + run
+        return cls(np.concatenate(pieces), starts, lengths, max_query_length)
+
+    def profile_for(self, scheme: ScoringScheme) -> np.ndarray:
+        """The (cached) score profile of the concatenated target."""
+        profile = self._profiles.get(scheme)
+        if profile is None:
+            profile = scheme.target_profile(self.codes)
+            self._profiles[scheme] = profile
+        return profile
+
+    @property
+    def num_sequences(self) -> int:
+        return int(self.starts.shape[0])
+
+
+def segment_best_scores(
+    query: np.ndarray, image: TargetImage, scheme: ScoringScheme
+) -> np.ndarray:
+    """Best local score of ``query`` against every sequence in an image.
+
+    Raises:
+        AlignmentError: if the query exceeds the image's query bound
+            (the sentinel runs would no longer be safe).
+    """
+    query = np.asarray(query)
+    if query.shape[0] > image.max_query_length:
+        raise AlignmentError(
+            f"query length {query.shape[0]} exceeds the image bound "
+            f"{image.max_query_length}; rebuild the image"
+        )
+    col_best = column_best_scores(query, image.profile_for(scheme), scheme)
+    # Segmented max over [start, start + length) for each sequence.  The
+    # flattened bound list alternates segment/gap; keep the even slots.
+    bounds = np.empty(2 * image.num_sequences, dtype=np.int64)
+    bounds[0::2] = image.starts
+    bounds[1::2] = image.starts + image.lengths
+    empty = image.lengths == 0
+    results = np.zeros(image.num_sequences, dtype=np.int64)
+    if bool(empty.all()):
+        return results
+    # reduceat cannot handle zero-width segments; give them width 1 and
+    # zero the result afterwards (sentinel columns never score > 0).
+    safe_bounds = bounds.copy()
+    safe_bounds[1::2] = np.maximum(safe_bounds[1::2], safe_bounds[0::2] + 1)
+    segment_max = np.maximum.reduceat(col_best, safe_bounds[:-1])[0::2]
+    results[:] = segment_max
+    results[empty] = 0
+    return results

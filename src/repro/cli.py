@@ -1,0 +1,354 @@
+"""Command-line front end.
+
+Subcommands mirror the life cycle of the paper's system::
+
+    repro generate  — synthesise a FASTA collection with planted families
+    repro index     — build the interval index (+ sequence store) on disk
+    repro stats     — print index size statistics
+    repro search    — evaluate FASTA queries against an on-disk index
+    repro align     — pretty-print the local alignment of two sequences
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.align.pairwise import local_align
+from repro.align.scoring import ScoringScheme
+from repro.errors import ReproError
+from repro.index.builder import IndexParameters, build_index
+from repro.index.statistics import collect_statistics
+from repro.index.storage import read_index, write_index
+from repro.index.store import read_store, write_store
+from repro.search.engine import PartitionedSearchEngine
+from repro.sequences.fasta import read_fasta, write_fasta
+from repro.sequences.mutate import MutationModel
+from repro.workloads.queries import make_family_queries
+from repro.workloads.synthetic import WorkloadSpec, generate_collection
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    spec = WorkloadSpec(
+        num_families=args.families,
+        family_size=args.family_size,
+        num_background=args.background,
+        mean_length=args.mean_length,
+        mutation=MutationModel(args.mutation_rate, 0.02, 0.02),
+        seed=args.seed,
+    )
+    collection = generate_collection(spec)
+    write_fasta(collection.sequences, args.output)
+    print(
+        f"wrote {len(collection.sequences)} sequences "
+        f"({collection.total_bases} bases) to {args.output}"
+    )
+    if args.queries:
+        cases = make_family_queries(
+            collection, args.num_queries, args.query_length, seed=args.seed + 1
+        )
+        write_fasta([case.query for case in cases], args.queries)
+        print(f"wrote {len(cases)} queries to {args.queries}")
+    return 0
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    sequences = list(read_fasta(args.collection))
+    params = IndexParameters(
+        interval_length=args.interval_length,
+        stride=args.stride,
+        include_positions=not args.no_positions,
+    )
+    started = time.perf_counter()
+    index = build_index(sequences, params)
+    elapsed = time.perf_counter() - started
+    index_bytes = write_index(index, args.output)
+    print(
+        f"indexed {len(sequences)} sequences in {elapsed:.2f}s: "
+        f"{index.vocabulary_size} intervals, {index_bytes} bytes -> {args.output}"
+    )
+    if args.store:
+        store_bytes = write_store(sequences, args.store, coding=args.coding)
+        print(f"wrote {args.coding} sequence store ({store_bytes} bytes) -> {args.store}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    with read_index(args.index) as index:
+        stats = collect_statistics(index)
+    print(f"interval length     : {stats.interval_length}")
+    print(f"stride              : {stats.stride}")
+    print(f"vocabulary size     : {stats.vocabulary_size}")
+    print(f"sequence pointers   : {stats.pointer_count}")
+    print(f"interval occurrences: {stats.occurrence_count}")
+    print(f"compressed bytes    : {stats.compressed_bytes}")
+    print(f"bits per pointer    : {stats.bits_per_pointer:.2f}")
+    print(f"compression ratio   : {stats.compression_ratio:.2f}x")
+    print(f"index/collection    : {stats.index_to_collection_ratio:.3f} bytes/base")
+    print(f"df quantiles 50/90/99: {stats.df_quantiles}")
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    significance = None
+    if args.evalues:
+        from repro.align.statistics import calibrate_gapped
+
+        significance = calibrate_gapped(ScoringScheme())
+    with read_index(args.index) as index, read_store(args.store) as store:
+        engine = PartitionedSearchEngine(
+            index,
+            store,
+            coarse_scorer=args.scorer,
+            coarse_cutoff=args.cutoff,
+            fine_mode=args.fine_mode,
+            both_strands=args.both_strands,
+            significance=significance,
+        )
+        for query in read_fasta(args.queries):
+            report = engine.search(query, top_k=args.top)
+            print(
+                f"query {report.query_identifier}: "
+                f"{len(report.hits)} answers, "
+                f"{report.candidates_examined} candidates, "
+                f"{report.total_seconds * 1000:.1f} ms"
+            )
+            for rank, hit in enumerate(report.hits, start=1):
+                line = (
+                    f"  {rank:2d}. {hit.identifier:<20} "
+                    f"score={hit.score:<6d} coarse={hit.coarse_score:.1f}"
+                )
+                if args.both_strands:
+                    line += f" strand={hit.strand}"
+                if hit.evalue is not None:
+                    line += f" evalue={hit.evalue:.2e}"
+                print(line)
+    return 0
+
+
+def _cmd_db_create(args: argparse.Namespace) -> int:
+    from repro.database import Database
+
+    params = IndexParameters(
+        interval_length=args.interval_length, stride=args.stride
+    )
+    with Database.create(
+        read_fasta(args.collection), args.output, params=params,
+        coding=args.coding,
+    ) as database:
+        print(database.describe())
+    return 0
+
+
+def _cmd_db_info(args: argparse.Namespace) -> int:
+    from repro.database import Database
+
+    with Database.open(args.database) as database:
+        print(database.describe())
+    return 0
+
+
+def _cmd_db_search(args: argparse.Namespace) -> int:
+    from repro.database import Database
+
+    with Database.open(args.database) as database:
+        for query in read_fasta(args.queries):
+            report = database.search(
+                query,
+                top_k=args.top,
+                coarse_cutoff=args.cutoff,
+                both_strands=args.both_strands,
+                with_evalues=args.evalues,
+            )
+            print(
+                f"query {report.query_identifier}: {len(report.hits)} answers"
+            )
+            for rank, hit in enumerate(report.hits, start=1):
+                line = f"  {rank:2d}. {hit.identifier:<20} score={hit.score}"
+                if args.both_strands:
+                    line += f" strand={hit.strand}"
+                if hit.evalue is not None:
+                    line += f" evalue={hit.evalue:.2e}"
+                print(line)
+    return 0
+
+
+def _cmd_oracle(args: argparse.Namespace) -> int:
+    from repro.eval.metrics import ranking_overlap
+    from repro.search.exhaustive import ExhaustiveSearcher
+
+    queries = list(read_fasta(args.queries))
+    if not queries:
+        print("error: no queries", file=sys.stderr)
+        return 1
+    longest = max(len(query) for query in queries)
+    with read_index(args.index) as index, read_store(args.store) as store:
+        engine = PartitionedSearchEngine(
+            index, store, coarse_cutoff=args.cutoff
+        )
+        exhaustive = ExhaustiveSearcher(store, max_query_length=longest)
+        overlaps = []
+        speedups = []
+        print(f"{'query':<24} {'part ms':>8} {'exh ms':>8} "
+              f"{'overlap@' + str(args.top):>10}")
+        for query in queries:
+            partitioned = engine.search(query, top_k=args.top)
+            oracle = exhaustive.search(query, top_k=args.top)
+            overlap = ranking_overlap(
+                partitioned.ordinals(), oracle.ordinals(), args.top
+            )
+            overlaps.append(overlap)
+            if partitioned.total_seconds > 0:
+                speedups.append(
+                    oracle.total_seconds / partitioned.total_seconds
+                )
+            print(
+                f"{query.identifier:<24} "
+                f"{partitioned.total_seconds * 1000:>8.1f} "
+                f"{oracle.total_seconds * 1000:>8.1f} "
+                f"{overlap:>10.2f}"
+            )
+        mean_overlap = sum(overlaps) / len(overlaps)
+        mean_speedup = sum(speedups) / len(speedups) if speedups else 0.0
+        print(f"\nmean overlap@{args.top}: {mean_overlap:.2f}   "
+              f"mean speedup: {mean_speedup:.1f}x")
+    return 0
+
+
+def _cmd_align(args: argparse.Namespace) -> int:
+    first = next(iter(read_fasta(args.first)))
+    second = next(iter(read_fasta(args.second)))
+    scheme = ScoringScheme(args.match, args.mismatch, args.gap)
+    alignment = local_align(first.codes, second.codes, scheme)
+    print(f"{first.identifier} vs {second.identifier}")
+    print(alignment.pretty())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Partitioned interval-index search for nucleotide databases",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="synthesise a collection with planted families"
+    )
+    generate.add_argument("--families", type=int, default=20)
+    generate.add_argument("--family-size", type=int, default=5)
+    generate.add_argument("--background", type=int, default=400)
+    generate.add_argument("--mean-length", type=int, default=1000)
+    generate.add_argument("--mutation-rate", type=float, default=0.1)
+    generate.add_argument("--seed", type=int, default=1)
+    generate.add_argument("--queries", type=Path, default=None)
+    generate.add_argument("--num-queries", type=int, default=20)
+    generate.add_argument("--query-length", type=int, default=200)
+    generate.add_argument("-o", "--output", type=Path, required=True)
+    generate.set_defaults(handler=_cmd_generate)
+
+    index = commands.add_parser("index", help="build an on-disk index")
+    index.add_argument("collection", type=Path)
+    index.add_argument("-o", "--output", type=Path, required=True)
+    index.add_argument("-k", "--interval-length", type=int, default=8)
+    index.add_argument("--stride", type=int, default=1)
+    index.add_argument("--no-positions", action="store_true")
+    index.add_argument("--store", type=Path, default=None)
+    index.add_argument("--coding", choices=("direct", "raw"), default="direct")
+    index.set_defaults(handler=_cmd_index)
+
+    stats = commands.add_parser("stats", help="print index statistics")
+    stats.add_argument("index", type=Path)
+    stats.set_defaults(handler=_cmd_stats)
+
+    search = commands.add_parser("search", help="evaluate FASTA queries")
+    search.add_argument("index", type=Path)
+    search.add_argument("store", type=Path)
+    search.add_argument("queries", type=Path)
+    search.add_argument("--cutoff", type=int, default=100)
+    search.add_argument("--top", type=int, default=10)
+    search.add_argument(
+        "--scorer",
+        choices=("count", "idf", "normalised", "diagonal"),
+        default="count",
+    )
+    search.add_argument(
+        "--fine-mode", choices=("full", "frames"), default="full"
+    )
+    search.add_argument("--both-strands", action="store_true")
+    search.add_argument(
+        "--evalues",
+        action="store_true",
+        help="calibrate Gumbel parameters and report E-values",
+    )
+    search.set_defaults(handler=_cmd_search)
+
+    db_create = commands.add_parser(
+        "db-create", help="build a persistent database directory"
+    )
+    db_create.add_argument("collection", type=Path)
+    db_create.add_argument("-o", "--output", type=Path, required=True)
+    db_create.add_argument("-k", "--interval-length", type=int, default=8)
+    db_create.add_argument("--stride", type=int, default=1)
+    db_create.add_argument(
+        "--coding", choices=("direct", "raw"), default="direct"
+    )
+    db_create.set_defaults(handler=_cmd_db_create)
+
+    db_info = commands.add_parser(
+        "db-info", help="describe a database directory"
+    )
+    db_info.add_argument("database", type=Path)
+    db_info.set_defaults(handler=_cmd_db_info)
+
+    db_search = commands.add_parser(
+        "db-search", help="search a database directory"
+    )
+    db_search.add_argument("database", type=Path)
+    db_search.add_argument("queries", type=Path)
+    db_search.add_argument("--cutoff", type=int, default=100)
+    db_search.add_argument("--top", type=int, default=10)
+    db_search.add_argument("--both-strands", action="store_true")
+    db_search.add_argument("--evalues", action="store_true")
+    db_search.set_defaults(handler=_cmd_db_search)
+
+    oracle = commands.add_parser(
+        "oracle",
+        help="compare partitioned answers against exhaustive search",
+    )
+    oracle.add_argument("index", type=Path)
+    oracle.add_argument("store", type=Path)
+    oracle.add_argument("queries", type=Path)
+    oracle.add_argument("--cutoff", type=int, default=100)
+    oracle.add_argument("--top", type=int, default=10)
+    oracle.set_defaults(handler=_cmd_oracle)
+
+    align = commands.add_parser("align", help="align two FASTA sequences")
+    align.add_argument("first", type=Path)
+    align.add_argument("second", type=Path)
+    align.add_argument("--match", type=int, default=1)
+    align.add_argument("--mismatch", type=int, default=-1)
+    align.add_argument("--gap", type=int, default=-2)
+    align.set_defaults(handler=_cmd_align)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,223 @@
+"""Bit-level stream I/O used by the integer and sequence codecs.
+
+Bits are written and read most-significant-first.  The writer keeps an
+integer accumulator and flushes whole bytes into a ``bytearray``; the
+reader walks a ``bytes`` buffer with an equivalent accumulator.  Both
+support byte alignment so codecs can mix bit-packed headers with
+byte-aligned payloads (the direct-coding sequence codec relies on this
+for vectorised decoding).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import BitStreamError, CodecValueError
+
+
+class BitWriter:
+    """Accumulates bits most-significant-first into a growable buffer."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._accumulator = 0
+        self._pending_bits = 0
+
+    def write_bits(self, value: int, width: int) -> None:
+        """Append ``width`` bits holding ``value`` (MSB first).
+
+        Raises:
+            CodecValueError: if ``value`` does not fit in ``width`` bits
+                or ``width`` is negative.
+        """
+        if width < 0:
+            raise CodecValueError(f"negative bit width {width}")
+        if value < 0 or (width < 64 and value >> width):
+            raise CodecValueError(f"value {value} does not fit in {width} bits")
+        self._accumulator = (self._accumulator << width) | value
+        self._pending_bits += width
+        while self._pending_bits >= 8:
+            self._pending_bits -= 8
+            self._buffer.append(
+                (self._accumulator >> self._pending_bits) & 0xFF
+            )
+        self._accumulator &= (1 << self._pending_bits) - 1
+
+    def write_unary(self, value: int) -> None:
+        """Append the unary code for ``value`` >= 0: ``value`` ones, then a zero."""
+        if value < 0:
+            raise CodecValueError(f"unary code undefined for {value}")
+        # Emit in chunks so huge values cannot build an enormous accumulator.
+        remaining = value
+        while remaining >= 32:
+            self.write_bits((1 << 32) - 1, 32)
+            remaining -= 32
+        self.write_bits(((1 << remaining) - 1) << 1, remaining + 1)
+
+    def write_bit_chunk(self, data: bytes, bit_length: int) -> None:
+        """Append the first ``bit_length`` bits of ``data`` (MSB first).
+
+        Lets independently encoded fragments (e.g. skip blocks) be
+        spliced into a stream at any bit position.
+
+        Raises:
+            CodecValueError: if ``data`` holds fewer than ``bit_length``
+                bits.
+        """
+        if bit_length < 0 or bit_length > 8 * len(data):
+            raise CodecValueError(
+                f"chunk of {len(data)} bytes cannot supply {bit_length} bits"
+            )
+        whole_bytes, tail_bits = divmod(bit_length, 8)
+        for byte in data[:whole_bytes]:
+            self.write_bits(byte, 8)
+        if tail_bits:
+            self.write_bits(data[whole_bytes] >> (8 - tail_bits), tail_bits)
+
+    def write_bytes(self, data: bytes) -> None:
+        """Append whole bytes; the stream must be byte-aligned.
+
+        Raises:
+            BitStreamError: if called while the stream is mid-byte.
+        """
+        if self._pending_bits:
+            raise BitStreamError("write_bytes requires byte alignment")
+        self._buffer.extend(data)
+
+    def align(self) -> None:
+        """Pad with zero bits to the next byte boundary."""
+        if self._pending_bits:
+            self.write_bits(0, 8 - self._pending_bits)
+
+    @property
+    def bit_length(self) -> int:
+        """Total number of bits written so far."""
+        return len(self._buffer) * 8 + self._pending_bits
+
+    def getvalue(self) -> bytes:
+        """The stream contents, zero-padded to a whole number of bytes."""
+        if not self._pending_bits:
+            return bytes(self._buffer)
+        tail = (self._accumulator << (8 - self._pending_bits)) & 0xFF
+        return bytes(self._buffer) + bytes([tail])
+
+
+class BitReader:
+    """Reads bits most-significant-first from a ``bytes`` buffer."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = bytes(data)
+        self._byte_position = 0
+        self._accumulator = 0
+        self._available_bits = 0
+
+    def _fill(self, want: int) -> None:
+        while self._available_bits < want:
+            if self._byte_position >= len(self._data):
+                raise BitStreamError(
+                    f"bit stream exhausted (wanted {want} bits, "
+                    f"have {self._available_bits})"
+                )
+            self._accumulator = (
+                (self._accumulator << 8) | self._data[self._byte_position]
+            )
+            self._byte_position += 1
+            self._available_bits += 8
+
+    def read_bits(self, width: int) -> int:
+        """Read ``width`` bits and return them as an unsigned integer.
+
+        Raises:
+            BitStreamError: if fewer than ``width`` bits remain.
+        """
+        if width < 0:
+            raise CodecValueError(f"negative bit width {width}")
+        if width == 0:
+            return 0
+        self._fill(width)
+        self._available_bits -= width
+        value = self._accumulator >> self._available_bits
+        self._accumulator &= (1 << self._available_bits) - 1
+        return value
+
+    def read_unary(self) -> int:
+        """Read a unary code: count ones until the terminating zero."""
+        count = 0
+        while True:
+            self._fill(1)
+            # Scan the accumulator for a zero bit without single-bit calls.
+            width = self._available_bits
+            chunk = self._accumulator
+            ones = 0
+            while ones < width and (chunk >> (width - 1 - ones)) & 1:
+                ones += 1
+            if ones < width:
+                self._available_bits = width - ones - 1
+                self._accumulator = chunk & ((1 << self._available_bits) - 1)
+                return count + ones
+            count += width
+            self._available_bits = 0
+            self._accumulator = 0
+
+    def skip_bits(self, count: int) -> None:
+        """Discard ``count`` bits without decoding them.
+
+        Whole buffered/byte spans are skipped by advancing the cursor,
+        so skipping is O(1) in the skipped length.
+
+        Raises:
+            BitStreamError: if fewer than ``count`` bits remain.
+            CodecValueError: if ``count`` is negative.
+        """
+        if count < 0:
+            raise CodecValueError(f"cannot skip {count} bits")
+        if count <= self._available_bits:
+            self._available_bits -= count
+            self._accumulator &= (1 << self._available_bits) - 1
+            return
+        count -= self._available_bits
+        self._available_bits = 0
+        self._accumulator = 0
+        whole_bytes, tail_bits = divmod(count, 8)
+        if self._byte_position + whole_bytes > len(self._data):
+            raise BitStreamError(
+                f"bit stream exhausted (wanted to skip {count} bits)"
+            )
+        self._byte_position += whole_bytes
+        if tail_bits:
+            self.read_bits(tail_bits)
+
+    def align(self) -> None:
+        """Discard bits up to the next byte boundary."""
+        self._available_bits -= self._available_bits % 8
+        self._accumulator &= (1 << self._available_bits) - 1
+
+    def read_aligned_bytes(self, count: int) -> np.ndarray:
+        """Read ``count`` whole bytes as a numpy ``uint8`` view.
+
+        The stream must be byte-aligned (call :meth:`align` first).
+
+        Raises:
+            BitStreamError: if mid-byte or fewer than ``count`` bytes remain.
+        """
+        if self._available_bits % 8:
+            raise BitStreamError("read_aligned_bytes requires byte alignment")
+        # Give back whole buffered bytes before slicing the raw data.
+        while self._available_bits >= 8:
+            self._available_bits -= 8
+            self._byte_position -= 1
+        self._accumulator = 0
+        end = self._byte_position + count
+        if end > len(self._data):
+            raise BitStreamError(
+                f"bit stream exhausted (wanted {count} aligned bytes)"
+            )
+        view = np.frombuffer(self._data, dtype=np.uint8, count=count,
+                             offset=self._byte_position)
+        self._byte_position = end
+        return view
+
+    @property
+    def bits_remaining(self) -> int:
+        """Number of unread bits (including the zero padding, if any)."""
+        return (len(self._data) - self._byte_position) * 8 + self._available_bits

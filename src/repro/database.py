@@ -1,0 +1,246 @@
+"""A persistent nucleotide database: index + store + engine in one.
+
+:class:`Database` is the convenience layer a downstream user adopts:
+it owns a directory holding the on-disk index and sequence store,
+opens them memory-mapped, and hands out ready-made search engines.
+
+    from repro import Database, read_fasta
+
+    Database.create(read_fasta("genbank.fasta"), "genbank.db")
+    with Database.open("genbank.db") as db:
+        report = db.search(query, top_k=10)
+        print(db.alignment(query, report.best().ordinal).pretty())
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.align.pairwise import Alignment, local_align
+from repro.align.scoring import ScoringScheme
+from repro.align.statistics import GumbelParameters, calibrate_gapped
+from repro.errors import IndexFormatError, SearchError
+from repro.index.builder import IndexParameters, build_index
+from repro.index.storage import DiskIndex, write_index
+from repro.index.store import SequenceStore, write_store
+from repro.search.engine import PartitionedSearchEngine
+from repro.search.results import SearchReport
+from repro.sequences.record import Sequence
+
+_MANIFEST_NAME = "manifest.json"
+_INDEX_NAME = "intervals.rpix"
+_STORE_NAME = "sequences.rpsq"
+_MANIFEST_VERSION = 1
+
+
+class Database:
+    """A directory-backed searchable nucleotide collection.
+
+    Create with :meth:`create`, open with :meth:`open` (also a context
+    manager).  The default engine settings can be overridden per call.
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        index: DiskIndex,
+        store: SequenceStore,
+        manifest: dict,
+    ) -> None:
+        self.path = path
+        self.index = index
+        self.store = store
+        self.manifest = manifest
+        self._engines: dict[tuple, PartitionedSearchEngine] = {}
+        self._significance: GumbelParameters | None = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        sequences: Iterable[Sequence],
+        path: str | Path,
+        params: IndexParameters | None = None,
+        coding: str = "direct",
+    ) -> "Database":
+        """Build and persist a database directory, then open it.
+
+        Args:
+            sequences: the collection (any iterable of records).
+            path: directory to create (must not already contain a
+                database).
+            params: index shape (defaults to overlapping length-8
+                intervals).
+            coding: sequence-store payload coding, "direct" or "raw".
+
+        Raises:
+            IndexFormatError: if the directory already holds a database.
+        """
+        directory = Path(path)
+        directory.mkdir(parents=True, exist_ok=True)
+        manifest_path = directory / _MANIFEST_NAME
+        if manifest_path.exists():
+            raise IndexFormatError(f"{directory} already holds a database")
+        records = list(sequences)
+        params = params or IndexParameters()
+        index = build_index(records, params)
+        index_bytes = write_index(index, directory / _INDEX_NAME)
+        store_bytes = write_store(records, directory / _STORE_NAME, coding)
+        manifest = {
+            "version": _MANIFEST_VERSION,
+            "sequences": len(records),
+            "bases": int(sum(len(record) for record in records)),
+            "coding": coding,
+            "params": params.describe(),
+            "index_bytes": index_bytes,
+            "store_bytes": store_bytes,
+        }
+        manifest_path.write_text(json.dumps(manifest, indent=2))
+        return cls.open(directory)
+
+    @classmethod
+    def open(cls, path: str | Path) -> "Database":
+        """Open an existing database directory.
+
+        Raises:
+            IndexFormatError: if the directory is not a database or its
+                files are inconsistent.
+        """
+        directory = Path(path)
+        manifest_path = directory / _MANIFEST_NAME
+        if not manifest_path.exists():
+            raise IndexFormatError(f"{directory} holds no database manifest")
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except ValueError as exc:
+            raise IndexFormatError(f"{directory}: bad manifest") from exc
+        if manifest.get("version") != _MANIFEST_VERSION:
+            raise IndexFormatError(
+                f"{directory}: unsupported database version "
+                f"{manifest.get('version')}"
+            )
+        index = DiskIndex(directory / _INDEX_NAME)
+        try:
+            store = SequenceStore(directory / _STORE_NAME)
+        except Exception:
+            index.close()
+            raise
+        if index.collection.num_sequences != len(store):
+            index.close()
+            store.close()
+            raise IndexFormatError(
+                f"{directory}: index and store disagree about the "
+                "collection size"
+            )
+        return cls(directory, index, store, manifest)
+
+    def close(self) -> None:
+        """Release the mapped files."""
+        self.index.close()
+        self.store.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- collection access ----------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.store)
+
+    @property
+    def total_bases(self) -> int:
+        return self.index.collection.total_length
+
+    def record(self, ordinal: int) -> Sequence:
+        """Fetch one sequence record by ordinal."""
+        return self.store.record(ordinal)
+
+    def records(self) -> Iterator[Sequence]:
+        """Iterate every record in ordinal order."""
+        for ordinal in range(len(self)):
+            yield self.store.record(ordinal)
+
+    # -- searching -------------------------------------------------------
+
+    def engine(
+        self,
+        coarse_cutoff: int = 100,
+        scheme: ScoringScheme | None = None,
+        fine_mode: str = "full",
+        both_strands: bool = False,
+        with_evalues: bool = False,
+    ) -> PartitionedSearchEngine:
+        """A (cached) engine over this database.
+
+        ``with_evalues=True`` calibrates Gumbel parameters once per
+        scheme and attaches E-values to every hit.
+        """
+        scheme = scheme or ScoringScheme()
+        significance = None
+        if with_evalues:
+            if self._significance is None or getattr(
+                self, "_significance_scheme", None
+            ) != scheme:
+                self._significance = calibrate_gapped(scheme)
+                self._significance_scheme = scheme
+            significance = self._significance
+        key = (coarse_cutoff, scheme, fine_mode, both_strands, with_evalues)
+        engine = self._engines.get(key)
+        if engine is None:
+            engine = PartitionedSearchEngine(
+                self.index,
+                self.store,
+                scheme=scheme,
+                coarse_cutoff=coarse_cutoff,
+                fine_mode=fine_mode,
+                both_strands=both_strands,
+                significance=significance,
+            )
+            self._engines[key] = engine
+        return engine
+
+    def search(
+        self, query: Sequence | np.ndarray, top_k: int = 10, **engine_kwargs
+    ) -> SearchReport:
+        """Evaluate one query with the default (or overridden) engine."""
+        return self.engine(**engine_kwargs).search(query, top_k=top_k)
+
+    def alignment(
+        self,
+        query: Sequence | np.ndarray,
+        ordinal: int,
+        scheme: ScoringScheme | None = None,
+    ) -> Alignment:
+        """The full local alignment of a query against one answer.
+
+        Raises:
+            SearchError: if ``ordinal`` is out of range.
+        """
+        if not 0 <= ordinal < len(self):
+            raise SearchError(f"no sequence with ordinal {ordinal}")
+        codes = query.codes if isinstance(query, Sequence) else (
+            np.asarray(query, dtype=np.uint8)
+        )
+        return local_align(
+            codes, self.store.codes(ordinal), scheme or ScoringScheme()
+        )
+
+    def describe(self) -> str:
+        """One-paragraph human-readable summary."""
+        return (
+            f"Database at {self.path}: {len(self)} sequences, "
+            f"{self.total_bases:,} bases; interval length "
+            f"{self.index.params.interval_length}, "
+            f"{self.index.vocabulary_size:,} indexed intervals, "
+            f"{self.manifest['index_bytes']:,} index bytes, "
+            f"{self.manifest['store_bytes']:,} store bytes "
+            f"({self.manifest['coding']} coding)."
+        )

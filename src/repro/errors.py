@@ -1,0 +1,64 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError`, so callers can catch a single base class at API
+boundaries while still being able to discriminate failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class AlphabetError(ReproError):
+    """A sequence contains characters outside the supported alphabet."""
+
+
+class FastaFormatError(ReproError):
+    """A FASTA stream is malformed (missing header, empty record, ...)."""
+
+
+class CodecError(ReproError):
+    """An integer or sequence codec was misused or fed corrupt data."""
+
+
+class CodecValueError(CodecError):
+    """A value is outside the range a codec can represent."""
+
+
+class BitStreamError(CodecError):
+    """A bit stream ended prematurely or is otherwise corrupt."""
+
+
+class IndexError_(ReproError):
+    """Base class for inverted-index errors.
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    :class:`IndexError`.
+    """
+
+
+class IndexParameterError(IndexError_):
+    """Invalid index construction parameters (interval length, stride, ...)."""
+
+
+class IndexFormatError(IndexError_):
+    """An on-disk index file is malformed or has the wrong version."""
+
+
+class IndexLookupError(IndexError_):
+    """A vocabulary or sequence-store lookup failed."""
+
+
+class AlignmentError(ReproError):
+    """Invalid alignment parameters or inputs."""
+
+
+class SearchError(ReproError):
+    """Invalid search parameters or an engine used before it is ready."""
+
+
+class WorkloadError(ReproError):
+    """Invalid synthetic-workload specification."""

@@ -1,0 +1,75 @@
+"""Exhaustive-search oracles for effectiveness evaluation.
+
+The paper judges partitioned search by how well it reproduces the
+answers an exhaustive local-alignment scan returns.  A
+:class:`GroundTruth` snapshots that oracle for a query set: per query,
+every sequence's true alignment score and the induced ranking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.search.exhaustive import ExhaustiveSearcher
+from repro.sequences.record import Sequence
+
+
+@dataclass(frozen=True)
+class QueryTruth:
+    """The oracle's verdict for one query.
+
+    Attributes:
+        query_identifier: the query's name.
+        scores: true local-alignment score per collection ordinal.
+        ranking: ordinals sorted by descending score (ties by ordinal),
+            truncated to the positive-scoring sequences.
+    """
+
+    query_identifier: str
+    scores: np.ndarray
+    ranking: np.ndarray
+
+    def relevant(self, min_score: int) -> frozenset[int]:
+        """Ordinals whose true score reaches ``min_score``."""
+        return frozenset(
+            int(ordinal)
+            for ordinal in np.flatnonzero(self.scores >= min_score)
+        )
+
+    def top(self, count: int) -> list[int]:
+        """The oracle's first ``count`` answers."""
+        return [int(ordinal) for ordinal in self.ranking[:count]]
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """Oracle verdicts for a whole query set, in query order."""
+
+    truths: tuple[QueryTruth, ...]
+
+    def __len__(self) -> int:
+        return len(self.truths)
+
+    def __getitem__(self, slot: int) -> QueryTruth:
+        return self.truths[slot]
+
+
+def compute_ground_truth(
+    searcher: ExhaustiveSearcher, queries: list[Sequence]
+) -> GroundTruth:
+    """Score every query against every sequence with the oracle scanner."""
+    truths = []
+    for query in queries:
+        scores = searcher.scores(query)
+        positive = np.flatnonzero(scores > 0)
+        order = np.lexsort((positive, -scores[positive]))
+        truths.append(
+            QueryTruth(
+                query_identifier=query.identifier,
+                scores=scores,
+                ranking=positive[order],
+            )
+        )
+    return GroundTruth(tuple(truths))

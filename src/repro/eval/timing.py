@@ -1,0 +1,60 @@
+"""Small timing utilities used by the benchmark harness."""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+
+
+class Timer:
+    """Context manager measuring wall-clock seconds.
+
+    Example:
+        >>> with Timer() as timer:
+        ...     _ = sum(range(1000))
+        >>> timer.seconds >= 0.0
+        True
+    """
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self._started = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.seconds = time.perf_counter() - self._started
+
+
+@dataclass
+class TimingSummary:
+    """Accumulates repeated measurements of one operation."""
+
+    label: str
+    samples: list[float] = field(default_factory=list)
+
+    def add(self, seconds: float) -> None:
+        """Record one measurement."""
+        self.samples.append(seconds)
+
+    @property
+    def total(self) -> float:
+        return sum(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return statistics.fmean(self.samples) if self.samples else 0.0
+
+    @property
+    def median(self) -> float:
+        return statistics.median(self.samples) if self.samples else 0.0
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.label}: n={len(self.samples)} total={self.total:.3f}s "
+            f"mean={self.mean * 1000:.1f}ms median={self.median * 1000:.1f}ms"
+        )

@@ -1,0 +1,73 @@
+"""Interval (k-mer) inverted index: extraction, postings, storage."""
+
+from repro.index.blocked import DEFAULT_BLOCK_SIZE, BlockedPostings
+from repro.index.builder import (
+    CollectionInfo,
+    IndexParameters,
+    IndexReader,
+    InvertedIndex,
+    VocabEntry,
+    build_index,
+)
+from repro.index.intervals import (
+    MAX_INTERVAL_LENGTH,
+    IntervalExtractor,
+    interval_id,
+    interval_text,
+)
+from repro.index.merge import (
+    append_sequences,
+    build_index_chunked,
+    merge_index_files,
+    merge_indexes,
+)
+from repro.index.postings import PostingEntry, PostingsCodec, PostingsContext
+from repro.index.statistics import IndexStatistics, collect_statistics
+from repro.index.stopping import (
+    StoppingReport,
+    stop_above_frequency,
+    stop_most_frequent,
+)
+from repro.index.storage import DiskIndex, read_index, write_index
+from repro.index.store import (
+    MemorySequenceSource,
+    SequenceSource,
+    SequenceStore,
+    read_store,
+    write_store,
+)
+
+__all__ = [
+    "DEFAULT_BLOCK_SIZE",
+    "MAX_INTERVAL_LENGTH",
+    "BlockedPostings",
+    "CollectionInfo",
+    "DiskIndex",
+    "IndexParameters",
+    "IndexReader",
+    "IndexStatistics",
+    "IntervalExtractor",
+    "InvertedIndex",
+    "MemorySequenceSource",
+    "PostingEntry",
+    "PostingsCodec",
+    "PostingsContext",
+    "SequenceSource",
+    "SequenceStore",
+    "StoppingReport",
+    "VocabEntry",
+    "append_sequences",
+    "build_index",
+    "build_index_chunked",
+    "collect_statistics",
+    "merge_index_files",
+    "merge_indexes",
+    "interval_id",
+    "interval_text",
+    "read_index",
+    "read_store",
+    "stop_above_frequency",
+    "stop_most_frequent",
+    "write_index",
+    "write_store",
+]

@@ -1,0 +1,532 @@
+"""Inverted-index construction and the in-memory index.
+
+Building is a single vectorised pass: every (interval id, sequence
+ordinal, offset) triple in the collection goes into three flat numpy
+arrays, one lexicographic sort groups them, and each group is handed to
+the postings codec.  This mirrors the sort-based inversion used for the
+paper's on-disk indexes, scaled to in-memory collections.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence as TypingSequence
+
+import numpy as np
+
+from repro.errors import (
+    CodecValueError,
+    IndexLookupError,
+    IndexParameterError,
+)
+from repro.index.intervals import IntervalExtractor
+from repro.index.postings import PostingEntry, PostingsCodec, PostingsContext
+from repro.sequences.record import Sequence
+
+
+@dataclass(frozen=True)
+class IndexParameters:
+    """Everything that determines an index's shape.
+
+    Attributes:
+        interval_length: the fixed substring (k-mer) length.
+        stride: window stride; 1 = overlapping, interval_length =
+            non-overlapping.
+        doc_codec / count_codec / position_codec: integer-codec names
+            for the three posting fields.
+        include_positions: store occurrence offsets (needed for
+            diagonal coarse scoring; drop for a smaller index).
+    """
+
+    interval_length: int = 8
+    stride: int = 1
+    doc_codec: str = "golomb"
+    count_codec: str = "gamma"
+    position_codec: str = "golomb"
+    include_positions: bool = True
+
+    def make_extractor(self) -> IntervalExtractor:
+        """The extractor these parameters describe."""
+        return IntervalExtractor(self.interval_length, self.stride)
+
+    def make_codec(self) -> PostingsCodec:
+        """The postings codec these parameters describe."""
+        return PostingsCodec(
+            doc_codec=self.doc_codec,
+            count_codec=self.count_codec,
+            position_codec=self.position_codec,
+            include_positions=self.include_positions,
+        )
+
+    def describe(self) -> dict[str, object]:
+        """Parameters as a plain dict (for index headers)."""
+        return {
+            "interval_length": self.interval_length,
+            "stride": self.stride,
+            "doc_codec": self.doc_codec,
+            "count_codec": self.count_codec,
+            "position_codec": self.position_codec,
+            "include_positions": self.include_positions,
+        }
+
+    @classmethod
+    def from_description(cls, description: dict[str, object]) -> "IndexParameters":
+        """Rebuild parameters from :meth:`describe` output."""
+        return cls(
+            interval_length=int(description["interval_length"]),  # type: ignore[arg-type]
+            stride=int(description["stride"]),  # type: ignore[arg-type]
+            doc_codec=str(description["doc_codec"]),
+            count_codec=str(description["count_codec"]),
+            position_codec=str(description["position_codec"]),
+            include_positions=bool(description["include_positions"]),
+        )
+
+
+@dataclass(frozen=True)
+class CollectionInfo:
+    """Identifiers and lengths of the indexed collection.
+
+    This is the only collection knowledge the index itself retains; the
+    residues live in a :class:`~repro.index.store.SequenceStore` (or in
+    memory) and are touched only by the fine search.
+    """
+
+    identifiers: tuple[str, ...]
+    lengths: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        lengths = np.ascontiguousarray(self.lengths, dtype=np.int64)
+        lengths.setflags(write=False)
+        object.__setattr__(self, "lengths", lengths)
+        if len(self.identifiers) != int(lengths.shape[0]):
+            raise IndexParameterError(
+                "identifier and length counts disagree: "
+                f"{len(self.identifiers)} vs {lengths.shape[0]}"
+            )
+
+    @classmethod
+    def from_sequences(cls, sequences: TypingSequence[Sequence]) -> "CollectionInfo":
+        return cls(
+            tuple(record.identifier for record in sequences),
+            np.array([len(record) for record in sequences], dtype=np.int64),
+        )
+
+    @property
+    def num_sequences(self) -> int:
+        return len(self.identifiers)
+
+    @property
+    def total_length(self) -> int:
+        return int(self.lengths.sum())
+
+    def context(self) -> PostingsContext:
+        """The statistics the postings codec derives parameters from."""
+        return PostingsContext(self.num_sequences, self.total_length)
+
+
+@dataclass(frozen=True)
+class VocabEntry:
+    """One vocabulary row: an interval and its compressed posting list."""
+
+    interval_id: int
+    df: int  # sequences containing the interval
+    cf: int  # total occurrences across the collection
+    data: bytes = field(repr=False)
+
+
+class IndexReader(ABC):
+    """Common read API of the in-memory and on-disk indexes."""
+
+    params: IndexParameters
+    collection: CollectionInfo
+
+    @abstractmethod
+    def lookup_entry(self, interval_id: int) -> VocabEntry | None:
+        """The vocabulary row for an interval, or None if absent."""
+
+    @abstractmethod
+    def interval_ids(self) -> Iterator[int]:
+        """All indexed interval ids in ascending order."""
+
+    @property
+    @abstractmethod
+    def vocabulary_size(self) -> int:
+        """Number of distinct intervals indexed."""
+
+    def __contains__(self, interval_id: int) -> bool:
+        return self.lookup_entry(interval_id) is not None
+
+    @property
+    def codec(self) -> PostingsCodec:
+        """The postings codec, built once and cached."""
+        codec = getattr(self, "_codec_cache", None)
+        if codec is None:
+            codec = self.params.make_codec()
+            self._codec_cache = codec
+        return codec
+
+    @property
+    def context(self) -> PostingsContext:
+        """The collection statistics context, built once and cached."""
+        context = getattr(self, "_context_cache", None)
+        if context is None:
+            context = self.collection.context()
+            self._context_cache = context
+        return context
+
+    def enable_decode_cache(self, max_entries: int = 4096) -> None:
+        """Cache decoded section-A lists (hot intervals repeat across
+        queries).  Off by default so timing experiments measure real
+        decode work; long-running services should turn it on.
+
+        Raises:
+            IndexParameterError: if ``max_entries`` < 1.
+        """
+        if max_entries < 1:
+            raise IndexParameterError(
+                f"max_entries must be >= 1, got {max_entries}"
+            )
+        self._decode_cache: "OrderedDict[int, tuple]" = OrderedDict()
+        self._decode_cache_limit = max_entries
+
+    def disable_decode_cache(self) -> None:
+        """Drop the decode cache (and stop caching)."""
+        self._decode_cache = None
+        self._decode_cache_limit = 0
+
+    def docs_counts(
+        self, interval_id: int
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """Section-A decode: (sequence ordinals, counts), or None."""
+        cache = getattr(self, "_decode_cache", None)
+        if cache is not None and interval_id in cache:
+            cache.move_to_end(interval_id)
+            return cache[interval_id]
+        entry = self.lookup_entry(interval_id)
+        if entry is None:
+            return None
+        decoded = self.codec.decode_docs_counts(
+            entry.data, entry.df, self.context
+        )
+        if cache is not None:
+            cache[interval_id] = decoded
+            if len(cache) > self._decode_cache_limit:
+                cache.popitem(last=False)
+        return decoded
+
+    def postings(self, interval_id: int) -> list[PostingEntry]:
+        """Full decode including occurrence offsets.
+
+        Raises:
+            IndexLookupError: if the interval is not in the vocabulary.
+        """
+        entry = self.lookup_entry(interval_id)
+        if entry is None:
+            raise IndexLookupError(f"interval {interval_id} not indexed")
+        return self.codec.decode(entry.data, entry.df, entry.cf, self.context)
+
+    @property
+    def pointer_count(self) -> int:
+        """Total postings (sequence pointers) across the vocabulary."""
+        return sum(
+            entry.df for entry in map(self.lookup_entry, self.interval_ids())
+            if entry is not None
+        )
+
+    @property
+    def compressed_bytes(self) -> int:
+        """Total bytes of compressed posting data."""
+        return sum(
+            len(entry.data)
+            for entry in map(self.lookup_entry, self.interval_ids())
+            if entry is not None
+        )
+
+
+class InvertedIndex(IndexReader):
+    """In-memory interval index: vocabulary dict over compressed lists."""
+
+    def __init__(
+        self,
+        params: IndexParameters,
+        collection: CollectionInfo,
+        vocabulary: dict[int, VocabEntry],
+    ) -> None:
+        self.params = params
+        self.collection = collection
+        self._vocabulary = vocabulary
+
+    def lookup_entry(self, interval_id: int) -> VocabEntry | None:
+        return self._vocabulary.get(interval_id)
+
+    def interval_ids(self) -> Iterator[int]:
+        return iter(sorted(self._vocabulary))
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self._vocabulary)
+
+    def entries(self) -> Iterator[VocabEntry]:
+        """Vocabulary rows in ascending interval-id order."""
+        for interval_id in sorted(self._vocabulary):
+            yield self._vocabulary[interval_id]
+
+    def replace_vocabulary(
+        self, vocabulary: dict[int, VocabEntry]
+    ) -> "InvertedIndex":
+        """A new index sharing parameters/collection with new rows."""
+        return InvertedIndex(self.params, self.collection, vocabulary)
+
+
+def build_index(
+    sequences: TypingSequence[Sequence],
+    params: IndexParameters | None = None,
+) -> InvertedIndex:
+    """Index a collection of sequences.
+
+    Args:
+        sequences: the collection, in the ordinal order queries will
+            report.
+        params: index shape; defaults to overlapping length-8 intervals
+            with Golomb/gamma/Golomb coding.
+
+    Raises:
+        IndexParameterError: if the collection is empty.
+    """
+    if params is None:
+        params = IndexParameters()
+    if not sequences:
+        raise IndexParameterError("cannot index an empty collection")
+
+    collection = CollectionInfo.from_sequences(sequences)
+    extractor = params.make_extractor()
+    codec = params.make_codec()
+    context = collection.context()
+
+    id_chunks: list[np.ndarray] = []
+    doc_chunks: list[np.ndarray] = []
+    position_chunks: list[np.ndarray] = []
+    for ordinal, record in enumerate(sequences):
+        ids, positions = extractor.extract(record.codes)
+        if not ids.shape[0]:
+            continue
+        id_chunks.append(ids)
+        doc_chunks.append(np.full(ids.shape[0], ordinal, dtype=np.int64))
+        position_chunks.append(positions)
+
+    vocabulary: dict[int, VocabEntry] = {}
+    if id_chunks:
+        all_ids = np.concatenate(id_chunks)
+        all_docs = np.concatenate(doc_chunks)
+        all_positions = np.concatenate(position_chunks)
+        order = np.lexsort((all_positions, all_docs, all_ids))
+        all_ids = all_ids[order]
+        all_docs = all_docs[order]
+        all_positions = all_positions[order]
+
+        vocabulary = _bulk_encode_vocabulary(
+            all_ids, all_docs, all_positions, params, context
+        )
+        if vocabulary is None:
+            vocabulary = _loop_encode_vocabulary(
+                all_ids, all_docs, all_positions, codec, context
+            )
+    return InvertedIndex(params, collection, vocabulary)
+
+
+def _loop_encode_vocabulary(
+    all_ids: np.ndarray,
+    all_docs: np.ndarray,
+    all_positions: np.ndarray,
+    codec,
+    context,
+) -> dict[int, VocabEntry]:
+    """Per-interval encoding loop — the reference path and the
+    fallback for non-default codec configurations."""
+    vocabulary: dict[int, VocabEntry] = {}
+    unique_ids, id_starts = np.unique(all_ids, return_index=True)
+    id_bounds = np.append(id_starts, all_ids.shape[0])
+    for slot, interval in enumerate(unique_ids):
+        lo, hi = int(id_bounds[slot]), int(id_bounds[slot + 1])
+        docs = all_docs[lo:hi]
+        positions = all_positions[lo:hi]
+        unique_docs, doc_starts = np.unique(docs, return_index=True)
+        doc_bounds = np.append(doc_starts, docs.shape[0])
+        entries = [
+            PostingEntry(
+                int(unique_docs[i]),
+                positions[int(doc_bounds[i]) : int(doc_bounds[i + 1])],
+            )
+            for i in range(unique_docs.shape[0])
+        ]
+        data = codec.encode(entries, context)
+        vocabulary[int(interval)] = VocabEntry(
+            int(interval), len(entries), hi - lo, data
+        )
+    return vocabulary
+
+
+def _bulk_encode_vocabulary(
+    all_ids: np.ndarray,
+    all_docs: np.ndarray,
+    all_positions: np.ndarray,
+    params: IndexParameters,
+    context,
+) -> dict[int, VocabEntry] | None:
+    """Whole-index vectorised encoding.
+
+    Computes every posting list's gap codes in flat array passes and
+    packs them into one buffer with per-interval byte alignment, so
+    each interval's slice is bit-identical to encoding it alone.
+    Returns None when the codec configuration has no vector path or a
+    code overflows the vector window (both fall back to the loop).
+    """
+    if (
+        params.doc_codec != "golomb"
+        or params.count_codec != "gamma"
+        or (params.include_positions and params.position_codec != "golomb")
+    ):
+        return None
+    from repro.compression.fastpack import (
+        gamma_code_array,
+        golomb_code_array_multi,
+        pack_grouped,
+    )
+
+    # --- entry level: one (interval, ordinal) pair per row -------------
+    is_entry_start = np.empty(all_ids.shape[0], dtype=bool)
+    is_entry_start[0] = True
+    is_entry_start[1:] = (np.diff(all_ids) != 0) | (np.diff(all_docs) != 0)
+    entry_starts = np.flatnonzero(is_entry_start)
+    entry_ids = all_ids[entry_starts]
+    entry_docs = all_docs[entry_starts]
+    entry_counts = np.diff(np.append(entry_starts, all_ids.shape[0]))
+
+    # --- interval level -------------------------------------------------
+    is_interval_start = np.empty(entry_ids.shape[0], dtype=bool)
+    is_interval_start[0] = True
+    is_interval_start[1:] = np.diff(entry_ids) != 0
+    interval_of_entry = np.cumsum(is_interval_start) - 1
+    unique_ids = entry_ids[is_interval_start]
+    num_intervals = unique_ids.shape[0]
+    df = np.bincount(interval_of_entry, minlength=num_intervals)
+    cf = np.bincount(
+        interval_of_entry, weights=entry_counts, minlength=num_intervals
+    ).astype(np.int64)
+
+    # --- per-interval codec parameters (must match the scalar rule) ----
+    num_sequences = max(context.num_sequences, 1)
+    density = np.minimum(df / num_sequences, 1.0 - 1e-12)
+    doc_parameters = np.maximum(
+        1, np.ceil(np.log(2.0 - density) / -np.log1p(-density))
+    ).astype(np.int64)
+
+    # --- document gaps ---------------------------------------------------
+    doc_gaps = np.empty_like(entry_docs)
+    doc_gaps[0] = entry_docs[0]
+    doc_gaps[1:] = entry_docs[1:] - entry_docs[:-1] - 1
+    doc_gaps[is_interval_start] = entry_docs[is_interval_start]
+    doc_patterns, doc_lengths, doc_overflow = golomb_code_array_multi(
+        doc_gaps, doc_parameters[interval_of_entry]
+    )
+    if bool(doc_overflow.any()):
+        return None
+    try:
+        count_patterns, count_lengths = gamma_code_array(entry_counts - 1)
+    except CodecValueError:
+        return None  # absurd count; the scalar loop handles it
+
+    # --- occurrence gaps -------------------------------------------------
+    if params.include_positions:
+        occurrence_is_start = is_entry_start
+        previous_positions = np.empty_like(all_positions)
+        previous_positions[1:] = all_positions[:-1]
+        previous_positions[occurrence_is_start] = -1
+        position_gaps = all_positions - previous_positions - 1
+        per_sequence = np.maximum(
+            1, np.rint(cf / np.maximum(df, 1))
+        ).astype(np.int64)
+        mean_length = max(1, round(context.mean_length))
+        pos_density = np.minimum(
+            per_sequence / mean_length, 1.0 - 1e-12
+        )
+        position_parameters = np.maximum(
+            1, np.ceil(np.log(2.0 - pos_density) / -np.log1p(-pos_density))
+        ).astype(np.int64)
+        interval_of_occurrence = (np.cumsum(is_entry_start) - 1)
+        interval_of_occurrence = interval_of_entry[interval_of_occurrence]
+        pos_patterns, pos_lengths, pos_overflow = golomb_code_array_multi(
+            position_gaps, position_parameters[interval_of_occurrence]
+        )
+        if bool(pos_overflow.any()):
+            return None
+    else:
+        pos_patterns = np.empty(0, dtype=np.uint64)
+        pos_lengths = np.empty(0, dtype=np.int64)
+        interval_of_occurrence = np.empty(0, dtype=np.int64)
+
+    # --- assemble the global code order: per interval, section A
+    #     (doc gap, count interleaved) then section B (offsets) --------
+    codes_a = 2 * df
+    codes_b = cf if params.include_positions else np.zeros_like(cf)
+    interval_code_starts = np.zeros(num_intervals, dtype=np.int64)
+    np.cumsum((codes_a + codes_b)[:-1], out=interval_code_starts[1:])
+
+    entry_rank = np.arange(entry_ids.shape[0]) - np.repeat(
+        np.flatnonzero(is_interval_start), df
+    )
+    doc_slots = interval_code_starts[interval_of_entry] + 2 * entry_rank
+    count_slots = doc_slots + 1
+
+    total_codes = int((codes_a + codes_b).sum())
+    patterns = np.empty(total_codes, dtype=np.uint64)
+    lengths = np.empty(total_codes, dtype=np.int64)
+    group_ids = np.empty(total_codes, dtype=np.int64)
+    patterns[doc_slots] = doc_patterns
+    lengths[doc_slots] = doc_lengths
+    group_ids[doc_slots] = interval_of_entry
+    patterns[count_slots] = count_patterns
+    lengths[count_slots] = count_lengths
+    group_ids[count_slots] = interval_of_entry
+
+    if params.include_positions and all_positions.shape[0]:
+        # Rank of each occurrence within its interval: global index
+        # minus the interval's first occurrence index.
+        interval_first_occurrence = np.zeros(num_intervals, dtype=np.int64)
+        occ_counts = np.bincount(
+            interval_of_occurrence, minlength=num_intervals
+        )
+        np.cumsum(occ_counts[:-1], out=interval_first_occurrence[1:])
+        occurrence_rank = (
+            np.arange(all_positions.shape[0])
+            - interval_first_occurrence[interval_of_occurrence]
+        )
+        pos_slots = (
+            interval_code_starts[interval_of_occurrence]
+            + codes_a[interval_of_occurrence]
+            + occurrence_rank
+        )
+        patterns[pos_slots] = pos_patterns
+        lengths[pos_slots] = pos_lengths
+        group_ids[pos_slots] = interval_of_occurrence
+
+    buffer, bounds = pack_grouped(patterns, lengths, group_ids)
+    vocabulary: dict[int, VocabEntry] = {}
+    for slot in range(num_intervals):
+        interval = int(unique_ids[slot])
+        vocabulary[interval] = VocabEntry(
+            interval,
+            int(df[slot]),
+            int(cf[slot]),
+            buffer[int(bounds[slot]) : int(bounds[slot + 1])],
+        )
+    return vocabulary
+
+
+def index_sequences_from(
+    records: Iterable[Sequence], params: IndexParameters | None = None
+) -> InvertedIndex:
+    """Convenience wrapper accepting any iterable of records."""
+    return build_index(list(records), params)

@@ -1,0 +1,205 @@
+"""Fixed-length substring ("interval") extraction.
+
+The paper's index terms are fixed-length substrings of the collection.
+An interval of length k over the four bases packs into the integer
+
+    id = sum_j  code[j] * 4^(k - 1 - j)
+
+so the vocabulary is at most 4^k entries and extraction is pure numpy:
+a sliding window view times a weight vector.  Windows that contain a
+wildcard are skipped, as in the original system — wildcards are rare
+and the fine search still sees them.
+
+Extraction supports a stride so both overlapping (stride 1) and
+non-overlapping (stride k) indexing — an explicit design axis of the
+paper's index-size experiments — share one code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import IndexParameterError
+from repro.sequences.alphabet import BASES, NUM_BASES, WILDCARD_MIN_CODE
+
+#: Largest supported interval length: 4^16 ids still fit comfortably in
+#: an int64 and vocabularies beyond that are never useful for DNA.
+MAX_INTERVAL_LENGTH = 16
+
+
+def interval_id(text: str) -> int:
+    """Pack an interval string (bases only) into its integer id.
+
+    Raises:
+        IndexParameterError: if the string is empty, too long, or holds
+            a non-base character.
+    """
+    if not 0 < len(text) <= MAX_INTERVAL_LENGTH:
+        raise IndexParameterError(
+            f"interval length must be 1..{MAX_INTERVAL_LENGTH}, "
+            f"got {len(text)}"
+        )
+    packed = 0
+    for char in text.upper():
+        try:
+            packed = packed * NUM_BASES + BASES.index(char)
+        except ValueError:
+            raise IndexParameterError(
+                f"interval may only contain bases, got {char!r}"
+            ) from None
+    return packed
+
+
+def interval_text(packed: int, length: int) -> str:
+    """Unpack an integer id back into its interval string.
+
+    Raises:
+        IndexParameterError: if the id is out of range for ``length``.
+    """
+    if not 0 < length <= MAX_INTERVAL_LENGTH:
+        raise IndexParameterError(f"bad interval length {length}")
+    if not 0 <= packed < NUM_BASES**length:
+        raise IndexParameterError(
+            f"id {packed} out of range for length {length}"
+        )
+    chars = []
+    for _ in range(length):
+        packed, digit = divmod(packed, NUM_BASES)
+        chars.append(BASES[digit])
+    return "".join(reversed(chars))
+
+
+@dataclass(frozen=True)
+class IntervalExtractor:
+    """Extracts (interval id, position) pairs from coded sequences.
+
+    Attributes:
+        length: the interval (k-mer) length.
+        stride: distance between successive window starts; 1 gives
+            overlapping intervals, ``length`` gives non-overlapping.
+    """
+
+    length: int
+    stride: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0 < self.length <= MAX_INTERVAL_LENGTH:
+            raise IndexParameterError(
+                f"interval length must be 1..{MAX_INTERVAL_LENGTH}, "
+                f"got {self.length}"
+            )
+        if self.stride < 1:
+            raise IndexParameterError(f"stride must be >= 1, got {self.stride}")
+
+    @property
+    def vocabulary_limit(self) -> int:
+        """Number of distinct interval ids this length admits."""
+        return NUM_BASES**self.length
+
+    def extract(self, codes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """All interval ids and their start positions in one sequence.
+
+        Returns:
+            ``(ids, positions)`` — int64 arrays of equal length.  Windows
+            containing a wildcard are omitted; a sequence shorter than
+            the interval length yields empty arrays.
+        """
+        codes = np.ascontiguousarray(codes, dtype=np.uint8)
+        if codes.shape[0] < self.length:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy()
+        windows = np.lib.stride_tricks.sliding_window_view(codes, self.length)
+        windows = windows[:: self.stride]
+        positions = np.arange(
+            0, codes.shape[0] - self.length + 1, self.stride, dtype=np.int64
+        )
+        valid = (windows < WILDCARD_MIN_CODE).all(axis=1)
+        weights = NUM_BASES ** np.arange(
+            self.length - 1, -1, -1, dtype=np.int64
+        )
+        ids = windows[valid].astype(np.int64) @ weights
+        return ids, positions[valid]
+
+    def extract_distinct(self, codes: np.ndarray) -> np.ndarray:
+        """Sorted distinct interval ids appearing in a sequence."""
+        ids, _ = self.extract(codes)
+        return np.unique(ids)
+
+    def extract_expanded(
+        self,
+        codes: np.ndarray,
+        max_wildcards: int = 1,
+        max_expansion: int = 64,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Extraction that expands lightly-wildcarded windows.
+
+        Windows containing up to ``max_wildcards`` wildcard characters
+        are enumerated into every concrete interval their IUPAC
+        expansions allow (an ``N`` contributes all four bases, an ``R``
+        two, ...), capped at ``max_expansion`` ids per window.  Clean
+        windows behave exactly as :meth:`extract`.  This is how a query
+        containing uncalled bases still reaches the index.
+
+        Raises:
+            IndexParameterError: if the limits are not positive.
+        """
+        if max_wildcards < 1:
+            raise IndexParameterError(
+                f"max_wildcards must be >= 1, got {max_wildcards}"
+            )
+        if max_expansion < 1:
+            raise IndexParameterError(
+                f"max_expansion must be >= 1, got {max_expansion}"
+            )
+        ids, positions = self.extract(codes)
+        codes = np.ascontiguousarray(codes, dtype=np.uint8)
+        if codes.shape[0] < self.length:
+            return ids, positions
+
+        from itertools import product
+
+        from repro.sequences.alphabet import IUPAC_ALPHABET, IUPAC_EXPANSIONS
+
+        expansion_codes = [
+            tuple(BASES.index(base) for base in sorted(IUPAC_EXPANSIONS[char]))
+            for char in IUPAC_ALPHABET
+        ]
+        weights = NUM_BASES ** np.arange(
+            self.length - 1, -1, -1, dtype=np.int64
+        )
+        windows = np.lib.stride_tricks.sliding_window_view(codes, self.length)
+        windows = windows[:: self.stride]
+        window_positions = np.arange(
+            0, codes.shape[0] - self.length + 1, self.stride, dtype=np.int64
+        )
+        wildcard_counts = (windows >= WILDCARD_MIN_CODE).sum(axis=1)
+        expandable = np.flatnonzero(
+            (wildcard_counts >= 1) & (wildcard_counts <= max_wildcards)
+        )
+        extra_ids: list[int] = []
+        extra_positions: list[int] = []
+        for window_slot in expandable:
+            window = windows[window_slot]
+            choices = [expansion_codes[int(code)] for code in window]
+            emitted = 0
+            for concrete in product(*choices):
+                if emitted >= max_expansion:
+                    break
+                packed = int(
+                    np.dot(np.array(concrete, dtype=np.int64), weights)
+                )
+                extra_ids.append(packed)
+                extra_positions.append(int(window_positions[window_slot]))
+                emitted += 1
+        if not extra_ids:
+            return ids, positions
+        combined_ids = np.concatenate(
+            [ids, np.array(extra_ids, dtype=np.int64)]
+        )
+        combined_positions = np.concatenate(
+            [positions, np.array(extra_positions, dtype=np.int64)]
+        )
+        order = np.argsort(combined_positions, kind="stable")
+        return combined_ids[order], combined_positions[order]

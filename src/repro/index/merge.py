@@ -1,0 +1,305 @@
+"""Chunked index construction and index merging.
+
+The paper's collections (GenBank) do not fit in memory, so the on-disk
+index is built the classic inverted-file way: invert manageable chunks
+in memory, then merge the partial indexes.  Merging re-encodes each
+interval's postings because sequence ordinals are renumbered into the
+combined collection and the Golomb parameters are derived from the
+combined statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence as TypingSequence
+
+import numpy as np
+
+from repro.errors import IndexParameterError
+from repro.index.builder import (
+    CollectionInfo,
+    IndexParameters,
+    InvertedIndex,
+    VocabEntry,
+    build_index,
+)
+from repro.index.postings import PostingEntry
+from repro.sequences.record import Sequence
+
+
+def merge_indexes(parts: TypingSequence[InvertedIndex]) -> InvertedIndex:
+    """Merge partial indexes into one index over the concatenated
+    collections.
+
+    Sequence ordinals of part ``i`` are shifted by the total number of
+    sequences in parts ``0..i-1``; the result is exactly the index a
+    single :func:`~repro.index.builder.build_index` over the combined
+    record list would produce.
+
+    Raises:
+        IndexParameterError: if no parts are given or their parameters
+            disagree.
+    """
+    if not parts:
+        raise IndexParameterError("nothing to merge")
+    params = parts[0].params
+    for part in parts[1:]:
+        if part.params != params:
+            raise IndexParameterError(
+                "cannot merge indexes with different parameters: "
+                f"{part.params} vs {params}"
+            )
+
+    identifiers: list[str] = []
+    lengths: list[int] = []
+    offsets: list[int] = []
+    running = 0
+    for part in parts:
+        offsets.append(running)
+        identifiers.extend(part.collection.identifiers)
+        lengths.extend(part.collection.lengths.tolist())
+        running += part.collection.num_sequences
+    collection = CollectionInfo(
+        tuple(identifiers), np.array(lengths, dtype=np.int64)
+    )
+    context = collection.context()
+    codec = params.make_codec()
+
+    all_ids = sorted(
+        {interval for part in parts for interval in part.interval_ids()}
+    )
+    vocabulary: dict[int, VocabEntry] = {}
+    for interval in all_ids:
+        entries: list[PostingEntry] = []
+        for part, offset in zip(parts, offsets):
+            if interval not in part:
+                continue
+            if params.include_positions:
+                for posting in part.postings(interval):
+                    entries.append(
+                        PostingEntry(
+                            posting.sequence + offset, posting.positions
+                        )
+                    )
+            else:
+                # Positions were never stored; the codec only reads the
+                # count from the placeholder array.
+                docs, counts = part.docs_counts(interval)
+                for doc, count in zip(docs.tolist(), counts.tolist()):
+                    entries.append(
+                        PostingEntry(
+                            doc + offset, np.zeros(count, dtype=np.int64)
+                        )
+                    )
+        data = codec.encode(entries, context)
+        vocabulary[interval] = VocabEntry(
+            interval,
+            len(entries),
+            sum(entry.count for entry in entries),
+            data,
+        )
+    return InvertedIndex(params, collection, vocabulary)
+
+
+def _batches(
+    records: Iterable[Sequence], batch_size: int
+) -> Iterator[list[Sequence]]:
+    batch: list[Sequence] = []
+    for record in records:
+        batch.append(record)
+        if len(batch) == batch_size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
+
+
+def merge_index_files(
+    paths: TypingSequence[str], output: str, buffer_limit: int = 1 << 16
+) -> int:
+    """Merge on-disk indexes into a new on-disk index, streaming.
+
+    This is the external-memory build path: posting lists are decoded
+    from the parts and re-encoded one interval at a time, so peak
+    memory is one interval's postings plus a small write buffer — the
+    classic inverted-file merge the paper's system used for GenBank.
+
+    Args:
+        paths: the part files, in the ordinal order their collections
+            should be concatenated.
+        output: destination path.
+        buffer_limit: accumulated blob bytes held before flushing.
+
+    Returns:
+        Bytes written to ``output``.
+
+    Raises:
+        IndexParameterError: if no parts are given or their parameters
+            disagree.
+    """
+    import heapq
+    import json
+    import tempfile
+    from pathlib import Path
+
+    from repro.index.storage import _COUNT, _MAGIC, _PREFIX, _VERSION, \
+        _VOCAB_DTYPE, DiskIndex
+
+    if not paths:
+        raise IndexParameterError("nothing to merge")
+    parts = [DiskIndex(path) for path in paths]
+    try:
+        params = parts[0].params
+        for part in parts[1:]:
+            if part.params != params:
+                raise IndexParameterError(
+                    "cannot merge indexes with different parameters"
+                )
+        identifiers: list[str] = []
+        lengths: list[int] = []
+        offsets: list[int] = []
+        running = 0
+        for part in parts:
+            offsets.append(running)
+            identifiers.extend(part.collection.identifiers)
+            lengths.extend(part.collection.lengths.tolist())
+            running += part.collection.num_sequences
+        collection = CollectionInfo(
+            tuple(identifiers), np.array(lengths, dtype=np.int64)
+        )
+        context = collection.context()
+        codec = params.make_codec()
+
+        all_ids = heapq.merge(
+            *(part.interval_ids() for part in parts)
+        )
+        table_rows: list[tuple[int, int, int, int, int]] = []
+        blob_offset = 0
+        previous_interval = -1
+        with tempfile.NamedTemporaryFile(
+            dir=Path(output).parent, delete=False
+        ) as blob:
+            buffer = bytearray()
+            for interval in all_ids:
+                if interval == previous_interval:
+                    continue  # duplicates across parts handled once
+                previous_interval = interval
+                entries: list[PostingEntry] = []
+                for part, offset in zip(parts, offsets):
+                    if interval not in part:
+                        continue
+                    if params.include_positions:
+                        for posting in part.postings(interval):
+                            entries.append(
+                                PostingEntry(
+                                    posting.sequence + offset,
+                                    posting.positions,
+                                )
+                            )
+                    else:
+                        docs, counts = part.docs_counts(interval)
+                        for doc, count in zip(
+                            docs.tolist(), counts.tolist()
+                        ):
+                            entries.append(
+                                PostingEntry(
+                                    doc + offset,
+                                    np.zeros(count, dtype=np.int64),
+                                )
+                            )
+                data = codec.encode(entries, context)
+                table_rows.append(
+                    (
+                        interval,
+                        len(entries),
+                        sum(entry.count for entry in entries),
+                        blob_offset,
+                        len(data),
+                    )
+                )
+                blob_offset += len(data)
+                buffer.extend(data)
+                if len(buffer) >= buffer_limit:
+                    blob.write(buffer)
+                    buffer.clear()
+            blob.write(buffer)
+            blob_path = blob.name
+
+        header = json.dumps(
+            {
+                "params": params.describe(),
+                "identifiers": list(collection.identifiers),
+                "lengths": collection.lengths.tolist(),
+            }
+        ).encode("utf-8")
+        table = np.array(table_rows, dtype=np.int64) if table_rows else \
+            np.empty((0, 5), dtype=np.int64)
+        packed = np.empty(len(table_rows), dtype=_VOCAB_DTYPE)
+        if table_rows:
+            packed["interval_id"] = table[:, 0]
+            packed["df"] = table[:, 1]
+            packed["cf"] = table[:, 2]
+            packed["offset"] = table[:, 3]
+            packed["length"] = table[:, 4]
+        with open(output, "wb") as out:
+            out.write(_PREFIX.pack(_MAGIC, _VERSION, len(header)))
+            out.write(header)
+            out.write(_COUNT.pack(len(table_rows)))
+            out.write(packed.tobytes())
+            with open(blob_path, "rb") as blob_in:
+                while True:
+                    chunk = blob_in.read(1 << 20)
+                    if not chunk:
+                        break
+                    out.write(chunk)
+            written = out.tell()
+        Path(blob_path).unlink()
+        return written
+    finally:
+        for part in parts:
+            part.close()
+
+
+def append_sequences(
+    index: InvertedIndex, records: TypingSequence[Sequence]
+) -> InvertedIndex:
+    """Extend an index with new sequences (appended at the end).
+
+    New records receive the next ordinals; existing ordinals are
+    untouched, so sequence sources only need to grow.  Equivalent to
+    rebuilding over the combined record list.
+
+    Raises:
+        IndexParameterError: if ``records`` is empty.
+    """
+    if not records:
+        raise IndexParameterError("no sequences to append")
+    addition = build_index(list(records), index.params)
+    return merge_indexes([index, addition])
+
+
+def build_index_chunked(
+    records: Iterable[Sequence],
+    params: IndexParameters | None = None,
+    chunk_size: int = 1000,
+) -> InvertedIndex:
+    """Build an index by inverting fixed-size chunks and merging.
+
+    Accepts any iterable of records (e.g. a lazy FASTA reader), so the
+    whole collection never needs to be materialised twice.
+
+    Raises:
+        IndexParameterError: if ``chunk_size`` < 1 or the collection is
+            empty.
+    """
+    if chunk_size < 1:
+        raise IndexParameterError(f"chunk_size must be >= 1, got {chunk_size}")
+    if params is None:
+        params = IndexParameters()
+    parts = [
+        build_index(batch, params) for batch in _batches(records, chunk_size)
+    ]
+    if not parts:
+        raise IndexParameterError("cannot index an empty collection")
+    if len(parts) == 1:
+        return parts[0]
+    return merge_indexes(parts)

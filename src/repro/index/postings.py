@@ -1,0 +1,299 @@
+"""Compressed posting lists.
+
+A posting list for one interval records, per sequence containing it,
+the sequence ordinal, the within-sequence occurrence count, and the
+occurrence offsets.  The on-the-wire layout is two sections:
+
+* **section A** — per sequence, interleaved: the sequence-ordinal gap
+  and ``count - 1``;
+* **section B** — the offset gaps, sequence by sequence.
+
+Coarse ranking only needs section A, so splitting the sections lets it
+stop decoding before the (larger) offset data — the positions are only
+read by the diagonal-scoring accumulator and the fine search.
+
+Codecs are pluggable by name.  Golomb parameters are *derived, not
+stored*: both encoder and decoder compute them from (df, cf) and the
+collection statistics with the same rule, which is how the paper avoids
+spending space on per-list parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compression.bitio import BitReader, BitWriter
+from repro.compression.golomb import GolombCodec, optimal_golomb_parameter
+from repro.compression.integer import IntegerCodec, make_codec
+from repro.errors import CodecError, CodecValueError
+
+
+@dataclass(frozen=True)
+class PostingsContext:
+    """Collection-level statistics every list codec derivation needs.
+
+    Attributes:
+        num_sequences: sequences in the collection (document universe).
+        total_length: total bases in the collection.
+    """
+
+    num_sequences: int
+    total_length: int
+
+    @property
+    def mean_length(self) -> float:
+        """Mean sequence length (1.0 floor to keep derivations sane)."""
+        if self.num_sequences <= 0:
+            return 1.0
+        return max(1.0, self.total_length / self.num_sequences)
+
+
+@dataclass(frozen=True)
+class PostingEntry:
+    """One sequence's occurrences of one interval."""
+
+    sequence: int
+    positions: np.ndarray
+
+    @property
+    def count(self) -> int:
+        return int(self.positions.shape[0])
+
+
+class PostingsCodec:
+    """Encodes/decodes posting lists with pluggable integer codes.
+
+    Args:
+        doc_codec: codec name for sequence-ordinal gaps ("golomb" uses
+            the Bernoulli-derived per-list parameter).
+        count_codec: codec name for the count field.
+        position_codec: codec name for offset gaps (same Golomb rule).
+        include_positions: when False section B is omitted entirely and
+            the index stores only ordinals and counts.
+
+    Raises:
+        CodecError: if a codec name is unknown.
+    """
+
+    def __init__(
+        self,
+        doc_codec: str = "golomb",
+        count_codec: str = "gamma",
+        position_codec: str = "golomb",
+        include_positions: bool = True,
+    ) -> None:
+        self.doc_codec_name = doc_codec
+        self.count_codec_name = count_codec
+        self.position_codec_name = position_codec
+        self.include_positions = include_positions
+        # Non-parameterised codecs are stateless; build them once.
+        self._count_codec = make_codec(count_codec)
+        self._doc_codec_static = (
+            None if doc_codec == "golomb" else make_codec(doc_codec)
+        )
+        self._position_codec_static = (
+            None if position_codec == "golomb" else make_codec(position_codec)
+        )
+
+    def _doc_codec(self, df: int, context: PostingsContext) -> IntegerCodec:
+        if self._doc_codec_static is not None:
+            return self._doc_codec_static
+        return GolombCodec(
+            optimal_golomb_parameter(max(df, 1), max(context.num_sequences, 1))
+        )
+
+    def _position_codec(
+        self, df: int, cf: int, context: PostingsContext
+    ) -> IntegerCodec:
+        if self._position_codec_static is not None:
+            return self._position_codec_static
+        per_sequence = max(1, round(cf / max(df, 1)))
+        return GolombCodec(
+            optimal_golomb_parameter(per_sequence, round(context.mean_length))
+        )
+
+    def encode(
+        self, entries: list[PostingEntry], context: PostingsContext
+    ) -> bytes:
+        """Compress a posting list (entries must be ordinal-sorted).
+
+        Uses the vectorised packer when the codec configuration allows
+        (Golomb gaps + gamma counts, the default); the scalar writer is
+        the fallback and the behavioural reference — both produce
+        bit-identical output.
+
+        Raises:
+            CodecError: if entries are unsorted or a count is zero.
+        """
+        df = len(entries)
+        cf = sum(entry.count for entry in entries)
+        doc_codec = self._doc_codec(df, context)
+        position_codec = self._position_codec(df, cf, context)
+
+        if (
+            df
+            and self.doc_codec_name == "golomb"
+            and self.count_codec_name == "gamma"
+            and (not self.include_positions
+                 or self.position_codec_name == "golomb")
+        ):
+            fast = self._encode_vectorised(
+                entries, doc_codec, position_codec
+            )
+            if fast is not None:
+                return fast
+
+        writer = BitWriter()
+        previous_doc = -1
+        for entry in entries:
+            if entry.sequence <= previous_doc:
+                raise CodecError(
+                    "posting entries must be strictly ordinal-sorted"
+                )
+            if entry.count == 0:
+                raise CodecError("posting entry with zero occurrences")
+            doc_codec.encode_value(writer, entry.sequence - previous_doc - 1)
+            self._count_codec.encode_value(writer, entry.count - 1)
+            previous_doc = entry.sequence
+        if self.include_positions:
+            for entry in entries:
+                previous_position = -1
+                for position in entry.positions:
+                    position_codec.encode_value(
+                        writer, int(position) - previous_position - 1
+                    )
+                    previous_position = int(position)
+        return writer.getvalue()
+
+    def _encode_vectorised(
+        self,
+        entries: list[PostingEntry],
+        doc_codec: IntegerCodec,
+        position_codec: IntegerCodec,
+    ) -> bytes | None:
+        """Array-at-a-time encoding; None when a code overflows the
+        vector window (the caller then uses the scalar writer)."""
+        from repro.compression.fastpack import (
+            gamma_code_array,
+            golomb_code_array,
+            interleave_codes,
+            pack_patterns,
+        )
+
+        docs = np.fromiter(
+            (entry.sequence for entry in entries), dtype=np.int64,
+            count=len(entries),
+        )
+        counts = np.fromiter(
+            (entry.count for entry in entries), dtype=np.int64,
+            count=len(entries),
+        )
+        if int(docs[0]) < 0 or (docs.shape[0] > 1
+                                and int(np.diff(docs).min()) <= 0):
+            raise CodecError("posting entries must be strictly ordinal-sorted")
+        if int(counts.min()) < 1:
+            raise CodecError("posting entry with zero occurrences")
+
+        doc_gaps = np.empty_like(docs)
+        doc_gaps[0] = docs[0]
+        doc_gaps[1:] = np.diff(docs) - 1
+        assert isinstance(doc_codec, GolombCodec)
+        doc_patterns, doc_lengths, doc_overflow = golomb_code_array(
+            doc_gaps, doc_codec.parameter
+        )
+        if bool(doc_overflow.any()):
+            return None
+        try:
+            count_patterns, count_lengths = gamma_code_array(counts - 1)
+        except CodecValueError:
+            return None  # absurd count; the scalar writer handles it
+        patterns, lengths = interleave_codes(
+            (doc_patterns, doc_lengths), (count_patterns, count_lengths)
+        )
+
+        if self.include_positions:
+            all_positions = np.concatenate(
+                [entry.positions for entry in entries]
+            ).astype(np.int64)
+            previous = np.empty_like(all_positions)
+            previous[1:] = all_positions[:-1]
+            starts = np.zeros(all_positions.shape[0], dtype=bool)
+            starts[np.cumsum(counts[:-1])] = True
+            starts[0] = True
+            previous[starts] = -1
+            position_gaps = all_positions - previous - 1
+            assert isinstance(position_codec, GolombCodec)
+            pos_patterns, pos_lengths, pos_overflow = golomb_code_array(
+                position_gaps, position_codec.parameter
+            )
+            if bool(pos_overflow.any()):
+                return None
+            patterns = np.concatenate([patterns, pos_patterns])
+            lengths = np.concatenate([lengths, pos_lengths])
+        return pack_patterns(patterns, lengths)
+
+    def decode_docs_counts(
+        self, data: bytes, df: int, context: PostingsContext
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Decode section A only: (ordinals, counts) as int64 arrays."""
+        doc_codec = self._doc_codec(df, context)
+        reader = BitReader(data)
+        docs = np.empty(df, dtype=np.int64)
+        counts = np.empty(df, dtype=np.int64)
+        previous_doc = -1
+        for slot in range(df):
+            previous_doc += doc_codec.decode_value(reader) + 1
+            docs[slot] = previous_doc
+            counts[slot] = self._count_codec.decode_value(reader) + 1
+        return docs, counts
+
+    def decode(
+        self, data: bytes, df: int, cf: int, context: PostingsContext
+    ) -> list[PostingEntry]:
+        """Decode the full list including occurrence offsets.
+
+        Raises:
+            CodecError: if the codec was built without positions.
+        """
+        if not self.include_positions:
+            raise CodecError("this index stores no occurrence offsets")
+        doc_codec = self._doc_codec(df, context)
+        position_codec = self._position_codec(df, cf, context)
+        reader = BitReader(data)
+        docs = np.empty(df, dtype=np.int64)
+        counts = np.empty(df, dtype=np.int64)
+        previous_doc = -1
+        for slot in range(df):
+            previous_doc += doc_codec.decode_value(reader) + 1
+            docs[slot] = previous_doc
+            counts[slot] = self._count_codec.decode_value(reader) + 1
+        entries = []
+        for slot in range(df):
+            previous_position = -1
+            positions = np.empty(counts[slot], dtype=np.int64)
+            for occurrence in range(int(counts[slot])):
+                previous_position += position_codec.decode_value(reader) + 1
+                positions[occurrence] = previous_position
+            entries.append(PostingEntry(int(docs[slot]), positions))
+        return entries
+
+    def describe(self) -> dict[str, object]:
+        """Codec configuration as a plain dict (for index headers)."""
+        return {
+            "doc_codec": self.doc_codec_name,
+            "count_codec": self.count_codec_name,
+            "position_codec": self.position_codec_name,
+            "include_positions": self.include_positions,
+        }
+
+    @classmethod
+    def from_description(cls, description: dict[str, object]) -> "PostingsCodec":
+        """Rebuild a codec from :meth:`describe` output."""
+        return cls(
+            doc_codec=str(description["doc_codec"]),
+            count_codec=str(description["count_codec"]),
+            position_codec=str(description["position_codec"]),
+            include_positions=bool(description["include_positions"]),
+        )

@@ -1,0 +1,204 @@
+"""On-disk index format.
+
+The paper's system keeps its index on disk and reads posting lists on
+demand; this module reproduces that arrangement.  Layout::
+
+    magic "RPIX" | version u16 | header-length u32 | header JSON
+    vocab-count u64 | vocabulary table | postings blob
+
+The header JSON carries the index parameters and the collection's
+identifiers/lengths.  The vocabulary table is a packed little-endian
+record array — interval id, df, cf, blob offset, blob length — sorted
+by interval id so lookups are a binary search over a numpy column.
+:class:`DiskIndex` memory-maps the file and fetches each posting list
+as a byte slice, never materialising the whole index.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import struct
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import IndexFormatError
+from repro.index.builder import (
+    CollectionInfo,
+    IndexParameters,
+    IndexReader,
+    InvertedIndex,
+    VocabEntry,
+)
+
+_MAGIC = b"RPIX"
+_VERSION = 1
+_PREFIX = struct.Struct("<4sHI")
+_COUNT = struct.Struct("<Q")
+
+#: interval id, df, cf, offset into blob, byte length of the list.
+_VOCAB_DTYPE = np.dtype(
+    [
+        ("interval_id", "<u8"),
+        ("df", "<u4"),
+        ("cf", "<u8"),
+        ("offset", "<u8"),
+        ("length", "<u4"),
+    ]
+)
+
+
+def write_index(index: InvertedIndex, path: str | Path) -> int:
+    """Serialise an in-memory index; returns the bytes written."""
+    header = json.dumps(
+        {
+            "params": index.params.describe(),
+            "identifiers": list(index.collection.identifiers),
+            "lengths": index.collection.lengths.tolist(),
+        }
+    ).encode("utf-8")
+
+    entries = list(index.entries())
+    table = np.empty(len(entries), dtype=_VOCAB_DTYPE)
+    offset = 0
+    for slot, entry in enumerate(entries):
+        table[slot] = (
+            entry.interval_id,
+            entry.df,
+            entry.cf,
+            offset,
+            len(entry.data),
+        )
+        offset += len(entry.data)
+
+    with open(path, "wb") as handle:
+        handle.write(_PREFIX.pack(_MAGIC, _VERSION, len(header)))
+        handle.write(header)
+        handle.write(_COUNT.pack(len(entries)))
+        handle.write(table.tobytes())
+        for entry in entries:
+            handle.write(entry.data)
+        return handle.tell()
+
+
+class DiskIndex(IndexReader):
+    """A read-only index backed by a memory-mapped file.
+
+    Raises:
+        IndexFormatError: if the file is not a valid index.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self._path = Path(path)
+        self._handle = open(self._path, "rb")
+        try:
+            self._map = mmap.mmap(
+                self._handle.fileno(), 0, access=mmap.ACCESS_READ
+            )
+        except ValueError as exc:
+            self._handle.close()
+            raise IndexFormatError(f"{self._path}: empty index file") from exc
+        try:
+            self._parse()
+        except Exception:
+            self.close()
+            raise
+
+    def _parse(self) -> None:
+        view = self._map
+        if len(view) < _PREFIX.size:
+            raise IndexFormatError(f"{self._path}: truncated prefix")
+        magic, version, header_length = _PREFIX.unpack_from(view, 0)
+        if magic != _MAGIC:
+            raise IndexFormatError(f"{self._path}: bad magic {magic!r}")
+        if version != _VERSION:
+            raise IndexFormatError(
+                f"{self._path}: unsupported version {version}"
+            )
+        cursor = _PREFIX.size
+        try:
+            header = json.loads(view[cursor : cursor + header_length])
+        except ValueError as exc:
+            raise IndexFormatError(f"{self._path}: bad header JSON") from exc
+        cursor += header_length
+        self.params = IndexParameters.from_description(header["params"])
+        self.collection = CollectionInfo(
+            tuple(header["identifiers"]),
+            np.array(header["lengths"], dtype=np.int64),
+        )
+        if cursor + _COUNT.size > len(view):
+            raise IndexFormatError(f"{self._path}: truncated vocabulary count")
+        (count,) = _COUNT.unpack_from(view, cursor)
+        cursor += _COUNT.size
+        table_bytes = count * _VOCAB_DTYPE.itemsize
+        if cursor + table_bytes > len(view):
+            raise IndexFormatError(f"{self._path}: truncated vocabulary")
+        # Copy the (small) table out of the map so closing it is safe.
+        self._table = np.frombuffer(
+            view, dtype=_VOCAB_DTYPE, count=count, offset=cursor
+        ).copy()
+        self._blob_start = cursor + table_bytes
+        blob_length = len(view) - self._blob_start
+        ends = self._table["offset"].astype(np.int64) + self._table["length"]
+        if count and int(ends.max(initial=0)) > blob_length:
+            raise IndexFormatError(f"{self._path}: truncated postings blob")
+        self._ids = self._table["interval_id"].astype(np.int64)
+        if count and np.any(np.diff(self._ids) <= 0):
+            raise IndexFormatError(
+                f"{self._path}: vocabulary not strictly sorted"
+            )
+
+    def close(self) -> None:
+        """Release the mapping and file handle."""
+        if getattr(self, "_map", None) is not None:
+            self._map.close()
+            self._map = None  # type: ignore[assignment]
+        if getattr(self, "_handle", None) is not None:
+            self._handle.close()
+            self._handle = None  # type: ignore[assignment]
+
+    def __enter__(self) -> "DiskIndex":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def lookup_entry(self, interval_id: int) -> VocabEntry | None:
+        slot = int(np.searchsorted(self._ids, interval_id))
+        if slot >= self._ids.shape[0] or self._ids[slot] != interval_id:
+            return None
+        row = self._table[slot]
+        start = self._blob_start + int(row["offset"])
+        data = bytes(self._map[start : start + int(row["length"])])
+        return VocabEntry(interval_id, int(row["df"]), int(row["cf"]), data)
+
+    def interval_ids(self) -> Iterator[int]:
+        return iter(int(value) for value in self._ids)
+
+    @property
+    def vocabulary_size(self) -> int:
+        return int(self._ids.shape[0])
+
+    @property
+    def pointer_count(self) -> int:
+        return int(self._table["df"].sum())
+
+    @property
+    def compressed_bytes(self) -> int:
+        return int(self._table["length"].sum())
+
+    def to_memory(self) -> InvertedIndex:
+        """Materialise the whole index in memory."""
+        vocabulary = {}
+        for slot in range(self._ids.shape[0]):
+            entry = self.lookup_entry(int(self._ids[slot]))
+            assert entry is not None
+            vocabulary[entry.interval_id] = entry
+        return InvertedIndex(self.params, self.collection, vocabulary)
+
+
+def read_index(path: str | Path) -> DiskIndex:
+    """Open an on-disk index for reading."""
+    return DiskIndex(path)

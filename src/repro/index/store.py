@@ -1,0 +1,240 @@
+"""Sequence stores: where the fine search fetches residues from.
+
+The paper's partitioned search touches only the candidate sequences the
+coarse phase selects, so sequences must be retrievable independently of
+storage order.  The on-disk store keeps an offset table plus per-record
+payloads coded either *raw* (one code byte per base) or *direct*
+(2-bit packed with a wildcard side list — the cino scheme measured in
+E8).  An in-memory source with the same interface backs small runs and
+tests.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import struct
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import Sequence as TypingSequence
+
+import numpy as np
+
+from repro.compression.direct import decode_sequence, encode_sequence
+from repro.errors import IndexFormatError, IndexLookupError
+from repro.sequences.record import Sequence
+
+_MAGIC = b"RPSQ"
+_VERSION = 1
+_PREFIX = struct.Struct("<4sHI")
+
+#: Supported payload codings.
+CODINGS = ("raw", "direct")
+
+
+class SequenceSource(ABC):
+    """Random access to the collection's sequences by ordinal."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of sequences."""
+
+    @abstractmethod
+    def identifier(self, ordinal: int) -> str:
+        """Identifier of the sequence at ``ordinal``."""
+
+    @abstractmethod
+    def codes(self, ordinal: int) -> np.ndarray:
+        """Coded residues of the sequence at ``ordinal``."""
+
+    def record(self, ordinal: int) -> Sequence:
+        """Full :class:`Sequence` record at ``ordinal``."""
+        return Sequence(self.identifier(ordinal), self.codes(ordinal))
+
+    def _check(self, ordinal: int) -> None:
+        if not 0 <= ordinal < len(self):
+            raise IndexLookupError(
+                f"sequence ordinal {ordinal} out of range 0..{len(self) - 1}"
+            )
+
+
+class MemorySequenceSource(SequenceSource):
+    """A list of records presented through the source interface."""
+
+    def __init__(self, sequences: TypingSequence[Sequence]) -> None:
+        self._sequences = list(sequences)
+
+    def __len__(self) -> int:
+        return len(self._sequences)
+
+    def identifier(self, ordinal: int) -> str:
+        self._check(ordinal)
+        return self._sequences[ordinal].identifier
+
+    def codes(self, ordinal: int) -> np.ndarray:
+        self._check(ordinal)
+        return self._sequences[ordinal].codes
+
+    def record(self, ordinal: int) -> Sequence:
+        self._check(ordinal)
+        return self._sequences[ordinal]
+
+
+def write_store(
+    sequences: TypingSequence[Sequence],
+    path: str | Path,
+    coding: str = "direct",
+) -> int:
+    """Serialise a collection; returns the bytes written.
+
+    Raises:
+        IndexFormatError: if ``coding`` is unknown.
+    """
+    if coding not in CODINGS:
+        raise IndexFormatError(
+            f"unknown coding {coding!r}; expected one of {CODINGS}"
+        )
+    payloads: list[bytes] = []
+    for record in sequences:
+        if coding == "direct":
+            payloads.append(encode_sequence(record.codes))
+        else:
+            payloads.append(record.codes.tobytes())
+
+    header = json.dumps(
+        {
+            "coding": coding,
+            "identifiers": [record.identifier for record in sequences],
+            "descriptions": [record.description for record in sequences],
+        }
+    ).encode("utf-8")
+    offsets = np.zeros(len(payloads) + 1, dtype="<u8")
+    if payloads:
+        offsets[1:] = np.cumsum(
+            np.array([len(payload) for payload in payloads], dtype=np.int64)
+        )
+
+    with open(path, "wb") as handle:
+        handle.write(_PREFIX.pack(_MAGIC, _VERSION, len(header)))
+        handle.write(header)
+        handle.write(struct.pack("<Q", len(payloads)))
+        handle.write(offsets.tobytes())
+        for payload in payloads:
+            handle.write(payload)
+        return handle.tell()
+
+
+class SequenceStore(SequenceSource):
+    """Memory-mapped random-access store written by :func:`write_store`.
+
+    Raises:
+        IndexFormatError: if the file is not a valid store.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self._path = Path(path)
+        self._handle = open(self._path, "rb")
+        try:
+            self._map = mmap.mmap(
+                self._handle.fileno(), 0, access=mmap.ACCESS_READ
+            )
+        except ValueError as exc:
+            self._handle.close()
+            raise IndexFormatError(f"{self._path}: empty store file") from exc
+        try:
+            self._parse()
+        except Exception:
+            self.close()
+            raise
+
+    def _parse(self) -> None:
+        view = self._map
+        if len(view) < _PREFIX.size:
+            raise IndexFormatError(f"{self._path}: truncated prefix")
+        magic, version, header_length = _PREFIX.unpack_from(view, 0)
+        if magic != _MAGIC:
+            raise IndexFormatError(f"{self._path}: bad magic {magic!r}")
+        if version != _VERSION:
+            raise IndexFormatError(f"{self._path}: unsupported version {version}")
+        cursor = _PREFIX.size
+        try:
+            header = json.loads(view[cursor : cursor + header_length])
+        except ValueError as exc:
+            raise IndexFormatError(f"{self._path}: bad header JSON") from exc
+        cursor += header_length
+        self.coding = str(header["coding"])
+        if self.coding not in CODINGS:
+            raise IndexFormatError(f"{self._path}: unknown coding {self.coding!r}")
+        self._identifiers = list(header["identifiers"])
+        self._descriptions = list(header.get("descriptions", []))
+        if cursor + 8 > len(view):
+            raise IndexFormatError(f"{self._path}: truncated record count")
+        (count,) = struct.unpack_from("<Q", view, cursor)
+        cursor += 8
+        if count != len(self._identifiers):
+            raise IndexFormatError(
+                f"{self._path}: header lists {len(self._identifiers)} "
+                f"identifiers but store holds {count} records"
+            )
+        if cursor + 8 * (count + 1) > len(view):
+            raise IndexFormatError(f"{self._path}: truncated offset table")
+        # Copy the (small) offset table out of the map so closing is safe.
+        self._offsets = np.frombuffer(
+            view, dtype="<u8", count=count + 1, offset=cursor
+        ).copy()
+        self._payload_start = cursor + (count + 1) * 8
+        if self._payload_start + int(self._offsets[-1]) > len(view):
+            raise IndexFormatError(f"{self._path}: truncated payload")
+
+    def close(self) -> None:
+        """Release the mapping and file handle."""
+        if getattr(self, "_map", None) is not None:
+            self._map.close()
+            self._map = None  # type: ignore[assignment]
+        if getattr(self, "_handle", None) is not None:
+            self._handle.close()
+            self._handle = None  # type: ignore[assignment]
+
+    def __enter__(self) -> "SequenceStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return len(self._identifiers)
+
+    def identifier(self, ordinal: int) -> str:
+        self._check(ordinal)
+        return self._identifiers[ordinal]
+
+    def _payload(self, ordinal: int) -> bytes:
+        start = self._payload_start + int(self._offsets[ordinal])
+        end = self._payload_start + int(self._offsets[ordinal + 1])
+        return bytes(self._map[start:end])
+
+    def codes(self, ordinal: int) -> np.ndarray:
+        self._check(ordinal)
+        payload = self._payload(ordinal)
+        if self.coding == "direct":
+            return decode_sequence(payload)
+        return np.frombuffer(payload, dtype=np.uint8).copy()
+
+    def record(self, ordinal: int) -> Sequence:
+        self._check(ordinal)
+        description = (
+            self._descriptions[ordinal] if self._descriptions else ""
+        )
+        return Sequence(
+            self._identifiers[ordinal], self.codes(ordinal), description
+        )
+
+    @property
+    def payload_bytes(self) -> int:
+        """Total coded payload size (excludes headers and offsets)."""
+        return int(self._offsets[-1])
+
+
+def read_store(path: str | Path) -> SequenceStore:
+    """Open an on-disk sequence store for reading."""
+    return SequenceStore(path)

@@ -1,0 +1,51 @@
+"""Search engines: partitioned (coarse + fine) and exhaustive baselines."""
+
+from repro.search.blast_like import BlastLikeSearcher
+from repro.search.coarse import (
+    CoarseRanker,
+    CoarseScorer,
+    CountScorer,
+    DiagonalScorer,
+    IdfScorer,
+    NormalisedScorer,
+    make_scorer,
+)
+from repro.search.engine import FINE_MODES, PartitionedSearchEngine
+from repro.search.exhaustive import ExhaustiveSearcher
+from repro.search.fasta_like import FastaLikeSearcher
+from repro.search.fine import FineSearcher
+from repro.search.frames import (
+    FrameCandidate,
+    FrameFineSearcher,
+    FrameRanker,
+)
+from repro.search.results import (
+    CoarseCandidate,
+    SearchHit,
+    SearchReport,
+)
+from repro.search.seeds import SeedTable, query_seed_groups
+
+__all__ = [
+    "FINE_MODES",
+    "BlastLikeSearcher",
+    "CoarseCandidate",
+    "CoarseRanker",
+    "CoarseScorer",
+    "CountScorer",
+    "DiagonalScorer",
+    "ExhaustiveSearcher",
+    "FastaLikeSearcher",
+    "FineSearcher",
+    "FrameCandidate",
+    "FrameFineSearcher",
+    "FrameRanker",
+    "IdfScorer",
+    "NormalisedScorer",
+    "PartitionedSearchEngine",
+    "SearchHit",
+    "SearchReport",
+    "SeedTable",
+    "make_scorer",
+    "query_seed_groups",
+]

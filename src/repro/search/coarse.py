@@ -1,0 +1,422 @@
+"""Coarse search: rank the collection by index evidence alone.
+
+The coarse phase extracts the query's intervals, fetches each one's
+posting list, and accumulates per-sequence scores without touching a
+single residue.  Its output is an ordered candidate list for the fine
+phase — the heart of the paper's partitioned evaluation.
+
+Three accumulator strategies are provided (the A3 ablation):
+
+* ``count`` — per interval, each sequence gains ``min(query count,
+  sequence count)`` — the number of *matching* interval occurrences;
+* ``normalised`` — the count score scaled by sequence length, removing
+  the long-sequence advantage of chance hits;
+* ``diagonal`` — FASTA-style: hits are binned by alignment diagonal and
+  a sequence scores its best single band, which rewards *collinear*
+  runs of matching intervals rather than scattered ones.  This needs
+  the occurrence offsets, i.e. an index built with positions.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import SearchError
+from repro.index.builder import IndexReader
+from repro.index.intervals import IntervalExtractor
+from repro.search.results import CoarseCandidate
+
+
+class CoarseScorer(ABC):
+    """Strategy: turn index evidence into per-sequence scores."""
+
+    name: str = ""
+
+    @abstractmethod
+    def score(
+        self,
+        index: IndexReader,
+        query_ids: np.ndarray,
+        query_counts: np.ndarray,
+        query_positions: list[np.ndarray],
+    ) -> np.ndarray:
+        """Float score per collection sequence (higher = more similar).
+
+        Args:
+            index: the interval index.
+            query_ids: distinct interval ids in the query.
+            query_counts: occurrences of each id in the query.
+            query_positions: query offsets of each id's occurrences.
+        """
+
+
+class CountScorer(CoarseScorer):
+    """Number of matching interval occurrences."""
+
+    name = "count"
+
+    def score(
+        self,
+        index: IndexReader,
+        query_ids: np.ndarray,
+        query_counts: np.ndarray,
+        query_positions: list[np.ndarray],
+    ) -> np.ndarray:
+        scores = np.zeros(index.collection.num_sequences, dtype=np.float64)
+        for interval_id, query_count in zip(query_ids, query_counts):
+            decoded = index.docs_counts(int(interval_id))
+            if decoded is None:
+                continue
+            docs, counts = decoded
+            np.add.at(scores, docs, np.minimum(counts, int(query_count)))
+        return scores
+
+
+class IdfScorer(CoarseScorer):
+    """Count score with inverse-document-frequency weighting.
+
+    Text-retrieval style: an interval appearing in few sequences is
+    strong evidence, one appearing everywhere is nearly none, so each
+    matching occurrence contributes ``log(1 + N / df)`` instead of 1.
+    """
+
+    name = "idf"
+
+    def score(
+        self,
+        index: IndexReader,
+        query_ids: np.ndarray,
+        query_counts: np.ndarray,
+        query_positions: list[np.ndarray],
+    ) -> np.ndarray:
+        num_sequences = index.collection.num_sequences
+        scores = np.zeros(num_sequences, dtype=np.float64)
+        for interval_id, query_count in zip(query_ids, query_counts):
+            entry = index.lookup_entry(int(interval_id))
+            if entry is None:
+                continue
+            decoded = index.docs_counts(int(interval_id))
+            assert decoded is not None
+            docs, counts = decoded
+            weight = np.log1p(num_sequences / max(entry.df, 1))
+            np.add.at(
+                scores, docs,
+                weight * np.minimum(counts, int(query_count)),
+            )
+        return scores
+
+
+class NormalisedScorer(CoarseScorer):
+    """Count score divided by sequence length (per-base hit density).
+
+    Scaled by the mean sequence length so magnitudes stay comparable
+    with the raw count score.
+    """
+
+    name = "normalised"
+
+    def score(
+        self,
+        index: IndexReader,
+        query_ids: np.ndarray,
+        query_counts: np.ndarray,
+        query_positions: list[np.ndarray],
+    ) -> np.ndarray:
+        raw = CountScorer().score(
+            index, query_ids, query_counts, query_positions
+        )
+        lengths = np.maximum(index.collection.lengths, 1).astype(np.float64)
+        return raw * (index.collection.context().mean_length / lengths)
+
+
+class DiagonalScorer(CoarseScorer):
+    """Best single diagonal band of matching intervals (FASTA-style).
+
+    Args:
+        band_width: diagonals are binned into bands this wide, so small
+            indels stay within one band.
+
+    Raises:
+        SearchError: at scoring time if the index has no offsets.
+    """
+
+    name = "diagonal"
+
+    def __init__(self, band_width: int = 16) -> None:
+        if band_width < 1:
+            raise SearchError(f"band_width must be >= 1, got {band_width}")
+        self.band_width = band_width
+
+    def score(
+        self,
+        index: IndexReader,
+        query_ids: np.ndarray,
+        query_counts: np.ndarray,
+        query_positions: list[np.ndarray],
+    ) -> np.ndarray:
+        if not index.params.include_positions:
+            raise SearchError(
+                "diagonal coarse scoring needs an index built with positions"
+            )
+        doc_chunks: list[np.ndarray] = []
+        diagonal_chunks: list[np.ndarray] = []
+        for slot, interval_id in enumerate(query_ids):
+            entry = index.lookup_entry(int(interval_id))
+            if entry is None:
+                continue
+            postings = index.postings(int(interval_id))
+            offsets = query_positions[slot]
+            for posting in postings:
+                # Every (query offset, sequence offset) pair is a hit.
+                diagonals = (
+                    posting.positions[None, :] - offsets[:, None]
+                ).reshape(-1)
+                doc_chunks.append(
+                    np.full(diagonals.shape[0], posting.sequence, np.int64)
+                )
+                diagonal_chunks.append(diagonals)
+
+        scores = np.zeros(index.collection.num_sequences, dtype=np.float64)
+        if not doc_chunks:
+            return scores
+        docs = np.concatenate(doc_chunks)
+        bands = np.concatenate(diagonal_chunks) // self.band_width
+        # Count hits per (sequence, band), then keep each sequence's best.
+        keys = docs * (2 ** 32) + (bands + 2 ** 30)
+        unique_keys, hit_counts = np.unique(keys, return_counts=True)
+        key_docs = unique_keys >> 32
+        np.maximum.at(scores, key_docs, hit_counts.astype(np.float64))
+        return scores
+
+
+_SCORERS: dict[str, type[CoarseScorer]] = {
+    CountScorer.name: CountScorer,
+    IdfScorer.name: IdfScorer,
+    NormalisedScorer.name: NormalisedScorer,
+    DiagonalScorer.name: DiagonalScorer,
+}
+
+
+def make_scorer(name: str, **kwargs) -> CoarseScorer:
+    """Instantiate a coarse scorer by name.
+
+    Raises:
+        SearchError: if the name is unknown.
+    """
+    try:
+        return _SCORERS[name](**kwargs)
+    except KeyError:
+        raise SearchError(
+            f"unknown coarse scorer {name!r}; known: {sorted(_SCORERS)}"
+        ) from None
+
+
+class CoarseRanker:
+    """Runs the coarse phase: query intervals in, ranked candidates out.
+
+    Args:
+        index: the interval index to search.
+        scorer: a :class:`CoarseScorer` or a registered scorer name.
+        max_df_fraction: skip query intervals indexed in more than this
+            fraction of the collection — the query-time analogue of
+            index stopping (frequent intervals cost the most decode
+            time and discriminate the least).  ``None`` skips nothing.
+        expand_query_wildcards: expand query windows containing up to
+            this many wildcards into their concrete intervals (0 keeps
+            the default drop-the-window behaviour).
+        max_accumulators: bound the number of sequences tracked during
+            accumulation (Moffat & Zobel's limited-accumulator ranking,
+            used by the paper's engine family to cap coarse-phase
+            memory).  Query intervals are processed rarest first; once
+            the bound is hit the ``accumulator_policy`` applies.
+            ``None`` tracks everything.
+        accumulator_policy: ``"continue"`` keeps updating existing
+            accumulators but creates no new ones; ``"quit"`` stops
+            processing further intervals entirely.
+
+    Raises:
+        SearchError: if ``max_df_fraction`` is out of (0, 1],
+            ``expand_query_wildcards`` is negative,
+            ``max_accumulators`` < 1, or the policy is unknown.
+    """
+
+    ACCUMULATOR_POLICIES = ("continue", "quit")
+
+    def __init__(
+        self,
+        index: IndexReader,
+        scorer: CoarseScorer | str = "count",
+        max_df_fraction: float | None = None,
+        expand_query_wildcards: int = 0,
+        max_accumulators: int | None = None,
+        accumulator_policy: str = "continue",
+    ) -> None:
+        if max_df_fraction is not None and not 0.0 < max_df_fraction <= 1.0:
+            raise SearchError(
+                f"max_df_fraction must lie in (0, 1], got {max_df_fraction}"
+            )
+        if expand_query_wildcards < 0:
+            raise SearchError(
+                "expand_query_wildcards must be >= 0, got "
+                f"{expand_query_wildcards}"
+            )
+        if max_accumulators is not None and max_accumulators < 1:
+            raise SearchError(
+                f"max_accumulators must be >= 1, got {max_accumulators}"
+            )
+        if accumulator_policy not in self.ACCUMULATOR_POLICIES:
+            raise SearchError(
+                f"unknown accumulator_policy {accumulator_policy!r}; "
+                f"expected one of {self.ACCUMULATOR_POLICIES}"
+            )
+        self.index = index
+        self.scorer = make_scorer(scorer) if isinstance(scorer, str) else scorer
+        self.max_df_fraction = max_df_fraction
+        self.expand_query_wildcards = expand_query_wildcards
+        self.max_accumulators = max_accumulators
+        self.accumulator_policy = accumulator_policy
+        if max_accumulators is not None and not isinstance(
+            self.scorer, CountScorer
+        ):
+            raise SearchError(
+                "limited accumulators are defined for the count scorer "
+                f"only, not {type(self.scorer).__name__}"
+            )
+        # Query intervals are always extracted at stride 1: a sparsely
+        # indexed collection (stride > 1) is still hit as long as *some*
+        # query window aligns with an indexed window.
+        self._extractor = IntervalExtractor(
+            index.params.interval_length, stride=1
+        )
+
+    def _frequency_filter(
+        self,
+        unique_ids: np.ndarray,
+        counts: np.ndarray,
+        groups: list[np.ndarray],
+    ) -> tuple[np.ndarray, np.ndarray, list[np.ndarray]]:
+        if self.max_df_fraction is None or not unique_ids.shape[0]:
+            return unique_ids, counts, groups
+        limit = self.max_df_fraction * self.index.collection.num_sequences
+        keep = []
+        for slot, interval in enumerate(unique_ids):
+            entry = self.index.lookup_entry(int(interval))
+            if entry is None or entry.df <= limit:
+                keep.append(slot)
+        if len(keep) == unique_ids.shape[0]:
+            return unique_ids, counts, groups
+        keep_array = np.array(keep, dtype=np.int64)
+        return (
+            unique_ids[keep_array],
+            counts[keep_array],
+            [groups[slot] for slot in keep],
+        )
+
+    def query_intervals(
+        self, query_codes: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, list[np.ndarray]]:
+        """Distinct query interval ids, their counts, and offset groups."""
+        if self.expand_query_wildcards:
+            ids, positions = self._extractor.extract_expanded(
+                query_codes, max_wildcards=self.expand_query_wildcards
+            )
+        else:
+            ids, positions = self._extractor.extract(query_codes)
+        if not ids.shape[0]:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy(), []
+        order = np.argsort(ids, kind="stable")
+        ids = ids[order]
+        positions = positions[order]
+        unique_ids, starts, counts = np.unique(
+            ids, return_index=True, return_counts=True
+        )
+        groups = [
+            positions[int(start) : int(start) + int(count)]
+            for start, count in zip(starts, counts)
+        ]
+        return unique_ids, counts.astype(np.int64), groups
+
+    def _limited_scores(
+        self, unique_ids: np.ndarray, counts: np.ndarray
+    ) -> np.ndarray:
+        """Count accumulation under a bounded accumulator table.
+
+        Intervals are processed rarest first so the discriminating
+        evidence claims the accumulators before the bound bites; after
+        that, ``continue`` updates existing accumulators only and
+        ``quit`` stops outright.
+        """
+        limit = self.max_accumulators
+        assert limit is not None
+        with_df = []
+        for interval, query_count in zip(unique_ids, counts):
+            entry = self.index.lookup_entry(int(interval))
+            if entry is not None:
+                with_df.append((entry.df, int(interval), int(query_count)))
+        with_df.sort()
+
+        accumulators: dict[int, float] = {}
+        full = False
+        for _, interval, query_count in with_df:
+            if full and self.accumulator_policy == "quit":
+                break
+            decoded = self.index.docs_counts(interval)
+            assert decoded is not None
+            docs, doc_counts = decoded
+            contributions = np.minimum(doc_counts, query_count)
+            for doc, contribution in zip(
+                docs.tolist(), contributions.tolist()
+            ):
+                if doc in accumulators:
+                    accumulators[doc] += contribution
+                elif not full:
+                    accumulators[doc] = float(contribution)
+                    if len(accumulators) >= limit:
+                        full = True
+
+        scores = np.zeros(self.index.collection.num_sequences, dtype=np.float64)
+        if accumulators:
+            ordinals = np.fromiter(accumulators, dtype=np.int64,
+                                   count=len(accumulators))
+            scores[ordinals] = np.fromiter(
+                accumulators.values(), dtype=np.float64,
+                count=len(accumulators),
+            )
+        return scores
+
+    def rank(
+        self, query_codes: np.ndarray, cutoff: int
+    ) -> list[CoarseCandidate]:
+        """The ``cutoff`` best-scoring sequences, best first.
+
+        Sequences with a zero score are never returned, so the result
+        may be shorter than ``cutoff``.
+
+        Raises:
+            SearchError: if ``cutoff`` is not positive.
+        """
+        if cutoff < 1:
+            raise SearchError(f"cutoff must be >= 1, got {cutoff}")
+        unique_ids, counts, groups = self._frequency_filter(
+            *self.query_intervals(query_codes)
+        )
+        if not unique_ids.shape[0]:
+            return []
+        if self.max_accumulators is not None:
+            scores = self._limited_scores(unique_ids, counts)
+        else:
+            scores = self.scorer.score(self.index, unique_ids, counts, groups)
+        positive = np.flatnonzero(scores > 0)
+        if not positive.shape[0]:
+            return []
+        take = min(cutoff, positive.shape[0])
+        # Full deterministic order (score desc, ordinal asc) so tied
+        # candidates at the cutoff never depend on partitioning internals.
+        order = np.lexsort((positive, -scores[positive]))
+        return [
+            CoarseCandidate(int(ordinal), float(scores[ordinal]))
+            for ordinal in positive[order][:take]
+        ]

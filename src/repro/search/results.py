@@ -1,0 +1,70 @@
+"""Result types shared by every search engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CoarseCandidate:
+    """A sequence selected by the coarse (index) phase."""
+
+    ordinal: int
+    coarse_score: float
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """A ranked answer: one collection sequence with its scores.
+
+    Attributes:
+        ordinal: the sequence's position in the collection.
+        identifier: the sequence's name.
+        score: fine (local alignment) score; the ranking key.
+        coarse_score: the index-phase score that selected the sequence
+            (0.0 for engines without a coarse phase).
+    """
+
+    ordinal: int
+    identifier: str
+    score: int
+    coarse_score: float = 0.0
+    #: ``"+"`` when the query matched as given, ``"-"`` when its
+    #: reverse complement matched better (both-strand search only).
+    strand: str = "+"
+    #: Expected chance alignments at this score over the collection;
+    #: ``None`` unless the engine was given Gumbel parameters.
+    evalue: float | None = None
+
+
+@dataclass(frozen=True)
+class SearchReport:
+    """Everything one query evaluation produced.
+
+    Attributes:
+        query_identifier: the query's name.
+        hits: ranked answers, best first.
+        candidates_examined: sequences the fine phase aligned (equals
+            the collection size for exhaustive engines).
+        coarse_seconds / fine_seconds: wall-clock split of the two
+            phases (coarse is 0.0 for exhaustive engines).
+    """
+
+    query_identifier: str
+    hits: list[SearchHit] = field(default_factory=list)
+    candidates_examined: int = 0
+    coarse_seconds: float = 0.0
+    fine_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        """Total query evaluation time."""
+        return self.coarse_seconds + self.fine_seconds
+
+    def ordinals(self) -> list[int]:
+        """Answer ordinals in rank order."""
+        return [hit.ordinal for hit in self.hits]
+
+    def best(self) -> SearchHit | None:
+        """The top answer, or None when there are no hits."""
+        return self.hits[0] if self.hits else None

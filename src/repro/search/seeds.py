@@ -1,0 +1,77 @@
+"""Precomputed per-sequence seed tables for the scanning baselines.
+
+The FASTA- and BLAST-like baselines repeatedly join a query's k-mers
+against each collection sequence.  A :class:`SeedTable` extracts every
+sequence's k-mers once, sorted by interval id with co-sorted offsets,
+so each join is a pair of binary searches.  This is per-sequence state,
+not an inverted index: queries still visit every sequence, which is
+what makes these baselines exhaustive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.index.intervals import IntervalExtractor
+from repro.index.store import SequenceSource
+
+
+class SeedTable:
+    """Sorted k-mer arrays for every sequence in a collection."""
+
+    def __init__(self, source: SequenceSource, seed_length: int) -> None:
+        self.seed_length = seed_length
+        extractor = IntervalExtractor(seed_length)
+        self._ids: list[np.ndarray] = []
+        self._positions: list[np.ndarray] = []
+        for ordinal in range(len(source)):
+            ids, positions = extractor.extract(source.codes(ordinal))
+            order = np.argsort(ids, kind="stable")
+            self._ids.append(ids[order])
+            self._positions.append(positions[order])
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def positions_of(self, ordinal: int, interval_id: int) -> np.ndarray:
+        """Offsets of one interval in one sequence (possibly empty)."""
+        ids = self._ids[ordinal]
+        lo = int(np.searchsorted(ids, interval_id, side="left"))
+        hi = int(np.searchsorted(ids, interval_id, side="right"))
+        return self._positions[ordinal][lo:hi]
+
+    def shared_with(
+        self, ordinal: int, query_ids: np.ndarray
+    ) -> list[tuple[int, np.ndarray]]:
+        """(query-slot, sequence offsets) for every shared interval id."""
+        ids = self._ids[ordinal]
+        if not ids.shape[0] or not query_ids.shape[0]:
+            return []
+        lows = np.searchsorted(ids, query_ids, side="left")
+        highs = np.searchsorted(ids, query_ids, side="right")
+        positions = self._positions[ordinal]
+        return [
+            (slot, positions[int(lows[slot]) : int(highs[slot])])
+            for slot in np.flatnonzero(highs > lows)
+        ]
+
+
+def query_seed_groups(
+    query_codes: np.ndarray, seed_length: int
+) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Distinct query seed ids and their offset groups."""
+    extractor = IntervalExtractor(seed_length)
+    ids, positions = extractor.extract(query_codes)
+    if not ids.shape[0]:
+        return np.empty(0, dtype=np.int64), []
+    order = np.argsort(ids, kind="stable")
+    ids = ids[order]
+    positions = positions[order]
+    unique_ids, starts, counts = np.unique(
+        ids, return_index=True, return_counts=True
+    )
+    groups = [
+        positions[int(start) : int(start) + int(count)]
+        for start, count in zip(starts, counts)
+    ]
+    return unique_ids, groups

@@ -1,0 +1,40 @@
+"""Sequence model: alphabet, records, FASTA I/O, and a mutation model."""
+
+from repro.sequences.alphabet import (
+    BASES,
+    IUPAC_ALPHABET,
+    NUM_BASES,
+    WILDCARD_MIN_CODE,
+    complement,
+    decode,
+    encode,
+    is_wildcard,
+    reverse_complement,
+)
+from repro.sequences.fasta import (
+    format_fasta,
+    read_fasta,
+    read_fasta_text,
+    write_fasta,
+)
+from repro.sequences.mutate import MutationModel, divergence
+from repro.sequences.record import Sequence
+
+__all__ = [
+    "BASES",
+    "IUPAC_ALPHABET",
+    "NUM_BASES",
+    "WILDCARD_MIN_CODE",
+    "MutationModel",
+    "Sequence",
+    "complement",
+    "decode",
+    "divergence",
+    "encode",
+    "format_fasta",
+    "is_wildcard",
+    "read_fasta",
+    "read_fasta_text",
+    "reverse_complement",
+    "write_fasta",
+]

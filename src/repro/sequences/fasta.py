@@ -1,0 +1,133 @@
+"""FASTA reading and writing.
+
+The reader is tolerant of the variation found in real collections — blank
+lines, lower-case residues, arbitrary line widths — but strict about
+structure: data before the first header, empty records, and non-IUPAC
+characters all raise :class:`~repro.errors.FastaFormatError`.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import IO, Iterable, Iterator
+
+from repro.errors import AlphabetError, FastaFormatError
+from repro.sequences import alphabet
+from repro.sequences.record import Sequence
+
+
+def _open_text(source: str | Path | IO[str]) -> tuple[IO[str], bool]:
+    if isinstance(source, (str, Path)):
+        return open(source, "r", encoding="ascii"), True
+    return source, False
+
+
+def parse_header(line: str) -> tuple[str, str]:
+    """Split a ``>`` header line into (identifier, description).
+
+    Raises:
+        FastaFormatError: if the header has no identifier token.
+    """
+    body = line[1:].strip()
+    if not body:
+        raise FastaFormatError("FASTA header with no identifier")
+    identifier, _, description = body.partition(" ")
+    return identifier, description.strip()
+
+
+def read_fasta(source: str | Path | IO[str]) -> Iterator[Sequence]:
+    """Yield :class:`Sequence` records from a FASTA file or stream.
+
+    Raises:
+        FastaFormatError: on structural problems (data before the first
+            header, a record with no residues, invalid characters).
+    """
+    stream, owned = _open_text(source)
+    try:
+        identifier: str | None = None
+        description = ""
+        chunks: list[str] = []
+
+        def finish() -> Sequence:
+            assert identifier is not None
+            body = "".join(chunks)
+            if not body:
+                raise FastaFormatError(f"record {identifier!r} has no residues")
+            try:
+                codes = alphabet.encode(body)
+            except AlphabetError as exc:
+                raise FastaFormatError(
+                    f"record {identifier!r}: {exc}"
+                ) from exc
+            return Sequence(identifier, codes, description)
+
+        for line_number, raw in enumerate(stream, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith(">"):
+                if identifier is not None:
+                    yield finish()
+                identifier, description = parse_header(line)
+                chunks = []
+            elif line.startswith(";"):
+                continue  # classic FASTA comment line
+            else:
+                if identifier is None:
+                    raise FastaFormatError(
+                        f"line {line_number}: sequence data before first header"
+                    )
+                chunks.append(line)
+        if identifier is not None:
+            yield finish()
+    finally:
+        if owned:
+            stream.close()
+
+
+def read_fasta_text(text: str) -> list[Sequence]:
+    """Parse FASTA records from an in-memory string."""
+    return list(read_fasta(io.StringIO(text)))
+
+
+def write_fasta(
+    sequences: Iterable[Sequence],
+    target: str | Path | IO[str],
+    line_width: int = 70,
+) -> int:
+    """Write records in FASTA format; returns the number written.
+
+    Raises:
+        ValueError: if ``line_width`` is not positive.
+    """
+    if line_width <= 0:
+        raise ValueError("line_width must be positive")
+    stream, owned = (
+        (open(target, "w", encoding="ascii"), True)
+        if isinstance(target, (str, Path))
+        else (target, False)
+    )
+    try:
+        count = 0
+        for record in sequences:
+            header = record.identifier
+            if record.description:
+                header = f"{header} {record.description}"
+            stream.write(f">{header}\n")
+            text = record.text
+            for start in range(0, len(text), line_width):
+                stream.write(text[start : start + line_width])
+                stream.write("\n")
+            count += 1
+        return count
+    finally:
+        if owned:
+            stream.close()
+
+
+def format_fasta(sequences: Iterable[Sequence], line_width: int = 70) -> str:
+    """Render records as a FASTA string."""
+    buffer = io.StringIO()
+    write_fasta(sequences, buffer, line_width=line_width)
+    return buffer.getvalue()

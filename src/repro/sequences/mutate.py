@@ -1,0 +1,100 @@
+"""A simple sequence-evolution model: substitutions, insertions, deletions.
+
+The synthetic workloads (see :mod:`repro.workloads`) derive homologous
+families by repeatedly applying this model to an ancestor sequence, which
+gives every query a known set of true relatives — the ground truth the
+paper obtained from exhaustive-search oracles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.sequences.alphabet import NUM_BASES
+
+
+@dataclass(frozen=True)
+class MutationModel:
+    """Per-position mutation probabilities.
+
+    Attributes:
+        substitution_rate: probability a position is substituted by a
+            uniformly chosen *different* base.
+        insertion_rate: probability a random base is inserted before a
+            position.
+        deletion_rate: probability a position is deleted.
+    """
+
+    substitution_rate: float = 0.05
+    insertion_rate: float = 0.01
+    deletion_rate: float = 0.01
+
+    def __post_init__(self) -> None:
+        rates = (self.substitution_rate, self.insertion_rate, self.deletion_rate)
+        if any(rate < 0.0 or rate > 1.0 for rate in rates):
+            raise WorkloadError(f"mutation rates must lie in [0, 1]: {rates}")
+
+    def mutate(self, codes: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Apply one round of mutation and return the mutated copy.
+
+        Wildcard codes, if present, are carried through untouched by the
+        substitution step (they are already "uncertain" residues) but may
+        still be deleted or have bases inserted around them.
+        """
+        codes = np.asarray(codes, dtype=np.uint8)
+        length = codes.shape[0]
+        if length == 0:
+            return codes.copy()
+
+        mutated = codes.copy()
+        if self.substitution_rate > 0.0:
+            hit = rng.random(length) < self.substitution_rate
+            hit &= mutated < NUM_BASES
+            count = int(np.count_nonzero(hit))
+            if count:
+                # Adding 1..3 modulo 4 always lands on a *different* base.
+                shift = rng.integers(1, NUM_BASES, size=count, dtype=np.uint8)
+                mutated[hit] = (mutated[hit] + shift) % NUM_BASES
+
+        if self.deletion_rate == 0.0 and self.insertion_rate == 0.0:
+            return mutated
+
+        keep = rng.random(length) >= self.deletion_rate
+        pieces: list[np.ndarray] = []
+        if self.insertion_rate > 0.0:
+            insert_before = rng.random(length + 1) < self.insertion_rate
+            insertion_points = np.flatnonzero(insert_before)
+            inserted = rng.integers(
+                0, NUM_BASES, size=insertion_points.shape[0], dtype=np.uint8
+            )
+            cursor = 0
+            for point, base in zip(insertion_points, inserted):
+                segment = mutated[cursor:point][keep[cursor:point]]
+                pieces.append(segment)
+                pieces.append(np.array([base], dtype=np.uint8))
+                cursor = point
+            pieces.append(mutated[cursor:][keep[cursor:]])
+            return np.concatenate(pieces) if pieces else mutated[keep]
+        return mutated[keep]
+
+    def expected_identity(self) -> float:
+        """Rough expected per-position identity after one application."""
+        survive = (1.0 - self.deletion_rate) * (1.0 - self.insertion_rate)
+        return survive * (1.0 - self.substitution_rate)
+
+
+def divergence(first: np.ndarray, second: np.ndarray) -> float:
+    """Hamming divergence between equal-length prefixes of two code arrays.
+
+    A coarse observable for tests: fraction of differing positions over
+    the shared prefix length (alignment-free, so indels inflate it).
+    """
+    first = np.asarray(first)
+    second = np.asarray(second)
+    shared = min(first.shape[0], second.shape[0])
+    if shared == 0:
+        return 1.0 if first.shape[0] != second.shape[0] else 0.0
+    return float(np.count_nonzero(first[:shared] != second[:shared])) / float(shared)

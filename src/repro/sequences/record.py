@@ -1,0 +1,107 @@
+"""The :class:`Sequence` record: an identified nucleotide sequence.
+
+A record couples an identifier and free-text description with the coded
+representation of its residues (see :mod:`repro.sequences.alphabet`).  The
+coded array is the working representation everywhere in the library; the
+string form is materialised only on demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sequences import alphabet
+
+
+@dataclass(frozen=True)
+class Sequence:
+    """An identified nucleotide sequence.
+
+    Attributes:
+        identifier: short unique name (the FASTA header token).
+        codes: ``uint8`` array of IUPAC codes; never mutated after creation.
+        description: optional free text following the identifier.
+    """
+
+    identifier: str
+    codes: np.ndarray = field(repr=False)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        codes = np.ascontiguousarray(self.codes, dtype=np.uint8)
+        codes.setflags(write=False)
+        object.__setattr__(self, "codes", codes)
+
+    @classmethod
+    def from_text(
+        cls, identifier: str, text: str, description: str = ""
+    ) -> "Sequence":
+        """Build a record from a nucleotide string.
+
+        Raises:
+            AlphabetError: if ``text`` contains non-IUPAC characters.
+        """
+        return cls(identifier, alphabet.encode(text), description)
+
+    @property
+    def text(self) -> str:
+        """The sequence as an upper-case IUPAC string."""
+        return alphabet.decode(self.codes)
+
+    def __len__(self) -> int:
+        return int(self.codes.shape[0])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Sequence):
+            return NotImplemented
+        return (
+            self.identifier == other.identifier
+            and self.description == other.description
+            and np.array_equal(self.codes, other.codes)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.identifier, self.codes.tobytes()))
+
+    def slice(self, start: int, stop: int) -> "Sequence":
+        """A sub-sequence record covering ``[start, stop)``.
+
+        The identifier is suffixed with the coordinate range so sliced
+        records remain distinguishable.
+        """
+        return Sequence(
+            f"{self.identifier}[{start}:{stop}]",
+            self.codes[start:stop].copy(),
+            self.description,
+        )
+
+    def reverse_complement(self) -> "Sequence":
+        """The reverse-complement record (identifier suffixed ``/rc``)."""
+        return Sequence(
+            f"{self.identifier}/rc",
+            alphabet.reverse_complement(self.codes),
+            self.description,
+        )
+
+    def wildcard_count(self) -> int:
+        """Number of wildcard (non-ACGT) positions."""
+        return int(np.count_nonzero(alphabet.is_wildcard(self.codes)))
+
+    def base_composition(self) -> dict[str, int]:
+        """Count of each of the 15 IUPAC characters present."""
+        counts = np.bincount(self.codes, minlength=len(alphabet.IUPAC_ALPHABET))
+        return {
+            char: int(counts[code])
+            for code, char in enumerate(alphabet.IUPAC_ALPHABET)
+            if counts[code]
+        }
+
+    def gc_fraction(self) -> float:
+        """Fraction of concrete bases that are G or C (wildcards excluded)."""
+        bases = self.codes[~alphabet.is_wildcard(self.codes)]
+        if not bases.size:
+            return 0.0
+        gc = np.count_nonzero((bases == 1) | (bases == 2))
+        return float(gc) / float(bases.size)

@@ -1,0 +1,21 @@
+"""Synthetic collections and query workloads with known relevance."""
+
+from repro.workloads.queries import (
+    QueryCase,
+    make_background_queries,
+    make_family_queries,
+)
+from repro.workloads.synthetic import (
+    SyntheticCollection,
+    WorkloadSpec,
+    generate_collection,
+)
+
+__all__ = [
+    "QueryCase",
+    "SyntheticCollection",
+    "WorkloadSpec",
+    "generate_collection",
+    "make_background_queries",
+    "make_family_queries",
+]

@@ -1,0 +1,134 @@
+"""Query workloads over synthetic collections.
+
+A query is a (possibly further mutated) window cut from a collection
+sequence.  Family queries come with perfect relevance judgements — the
+other members of the source sequence's family — which is the workload
+behind the recall experiments (E5, E7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.sequences.mutate import MutationModel
+from repro.sequences.record import Sequence
+from repro.workloads.synthetic import SyntheticCollection
+
+
+@dataclass(frozen=True)
+class QueryCase:
+    """One query with its known relevant answers.
+
+    Attributes:
+        query: the query record.
+        relevant: collection ordinals that are true relatives (always
+            includes the source sequence itself).
+        source_ordinal: the sequence the query window was cut from.
+    """
+
+    query: Sequence
+    relevant: frozenset[int]
+    source_ordinal: int
+
+
+def _cut_window(
+    codes: np.ndarray, window: int, rng: np.random.Generator
+) -> np.ndarray:
+    if codes.shape[0] <= window:
+        return codes.copy()
+    start = int(rng.integers(0, codes.shape[0] - window + 1))
+    return codes[start : start + window].copy()
+
+
+def make_family_queries(
+    collection: SyntheticCollection,
+    num_queries: int,
+    query_length: int = 200,
+    extra_mutation: MutationModel | None = None,
+    seed: int = 7,
+) -> list[QueryCase]:
+    """Queries cut from family members, relevant = the whole family.
+
+    Args:
+        collection: a collection with planted families.
+        num_queries: how many query cases to produce.
+        query_length: window size cut from the source sequence.
+        extra_mutation: additional divergence applied to the window
+            (models a query that is itself an imperfect relative).
+        seed: RNG seed.
+
+    Raises:
+        WorkloadError: if the collection has no families or the counts
+            are non-positive.
+    """
+    if num_queries < 1:
+        raise WorkloadError(f"num_queries must be >= 1, got {num_queries}")
+    if query_length < 1:
+        raise WorkloadError(f"query_length must be >= 1, got {query_length}")
+    if not collection.families:
+        raise WorkloadError("collection has no planted families")
+    rng = np.random.default_rng(seed)
+    cases = []
+    for number in range(num_queries):
+        family_number = int(rng.integers(0, len(collection.families)))
+        members = collection.families[family_number]
+        source = int(members[int(rng.integers(0, len(members)))])
+        window = _cut_window(
+            collection.sequences[source].codes, query_length, rng
+        )
+        if extra_mutation is not None:
+            window = extra_mutation.mutate(window, rng)
+        cases.append(
+            QueryCase(
+                query=Sequence(f"q{number:04d}_fam{family_number:03d}", window),
+                relevant=frozenset(members),
+                source_ordinal=source,
+            )
+        )
+    return cases
+
+
+def make_background_queries(
+    collection: SyntheticCollection,
+    num_queries: int,
+    query_length: int = 200,
+    seed: int = 11,
+) -> list[QueryCase]:
+    """Queries cut from background sequences (relevant = source only).
+
+    Raises:
+        WorkloadError: if the collection has no background sequences or
+            counts are non-positive.
+    """
+    if num_queries < 1:
+        raise WorkloadError(f"num_queries must be >= 1, got {num_queries}")
+    if query_length < 1:
+        raise WorkloadError(f"query_length must be >= 1, got {query_length}")
+    family_ordinals = {
+        ordinal for members in collection.families for ordinal in members
+    }
+    background = [
+        ordinal
+        for ordinal in range(len(collection.sequences))
+        if ordinal not in family_ordinals
+    ]
+    if not background:
+        raise WorkloadError("collection has no background sequences")
+    rng = np.random.default_rng(seed)
+    cases = []
+    for number in range(num_queries):
+        source = int(background[int(rng.integers(0, len(background)))])
+        window = _cut_window(
+            collection.sequences[source].codes, query_length, rng
+        )
+        cases.append(
+            QueryCase(
+                query=Sequence(f"q{number:04d}_bg", window),
+                relevant=frozenset({source}),
+                source_ordinal=source,
+            )
+        )
+    return cases

@@ -1,0 +1,174 @@
+"""Synthetic GenBank-like collections with planted homologous families.
+
+DESIGN.md records the substitution this module implements: the paper
+evaluated on GenBank subsets, unavailable here, so collections are
+generated with the two statistical properties the index is sensitive
+to — controllable base composition, and families of homologous
+sequences produced by a mutation model.  Because family membership is
+known exactly, every query has a perfect relevance judgement; the
+paper approximated the same thing with exhaustive-search oracles, which
+:mod:`repro.eval.ground_truth` also provides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.sequences.alphabet import IUPAC_ALPHABET, NUM_BASES
+from repro.sequences.mutate import MutationModel
+from repro.sequences.record import Sequence
+
+#: Code for 'N', the wildcard injected at ``wildcard_rate``.
+_N_CODE = IUPAC_ALPHABET.index("N")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Shape of a synthetic collection.
+
+    Attributes:
+        num_families: homologous families to plant.
+        family_size: sequences per family (>= 1).
+        num_background: unrelated random sequences.
+        mean_length: mean sequence length.
+        length_spread: relative spread of lengths (0 = fixed length).
+        mutation: the evolution model deriving family members from the
+            family ancestor.
+        gc_content: probability a generated base is G or C.
+        wildcard_rate: probability a position is replaced by ``N``.
+        seed: RNG seed; identical specs generate identical collections.
+    """
+
+    num_families: int = 20
+    family_size: int = 5
+    num_background: int = 400
+    mean_length: int = 1000
+    length_spread: float = 0.25
+    mutation: MutationModel = field(
+        default_factory=lambda: MutationModel(0.10, 0.02, 0.02)
+    )
+    gc_content: float = 0.5
+    wildcard_rate: float = 0.0
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_families < 0 or self.num_background < 0:
+            raise WorkloadError("family/background counts must be >= 0")
+        if self.num_families and self.family_size < 1:
+            raise WorkloadError("family_size must be >= 1")
+        if self.mean_length < 1:
+            raise WorkloadError("mean_length must be >= 1")
+        if not 0.0 <= self.length_spread < 1.0:
+            raise WorkloadError("length_spread must lie in [0, 1)")
+        if not 0.0 < self.gc_content < 1.0:
+            raise WorkloadError("gc_content must lie in (0, 1)")
+        if not 0.0 <= self.wildcard_rate < 1.0:
+            raise WorkloadError("wildcard_rate must lie in [0, 1)")
+        if self.num_families * self.family_size + self.num_background == 0:
+            raise WorkloadError("spec generates an empty collection")
+
+    @property
+    def num_sequences(self) -> int:
+        return self.num_families * self.family_size + self.num_background
+
+    @property
+    def expected_bases(self) -> int:
+        return self.num_sequences * self.mean_length
+
+
+@dataclass(frozen=True)
+class SyntheticCollection:
+    """A generated collection plus its planted family structure.
+
+    Attributes:
+        sequences: the collection, ordinally addressed.
+        families: per family, the ordinals of its members (shuffled
+            across the collection, as homologs are in GenBank).
+        spec: the spec that produced it.
+    """
+
+    sequences: tuple[Sequence, ...]
+    families: tuple[tuple[int, ...], ...]
+    spec: WorkloadSpec
+
+    def family_of(self, ordinal: int) -> int | None:
+        """The family an ordinal belongs to, or None for background."""
+        for family_number, members in enumerate(self.families):
+            if ordinal in members:
+                return family_number
+        return None
+
+    def family_members(self, family_number: int) -> frozenset[int]:
+        """Ordinals of one family.
+
+        Raises:
+            WorkloadError: if the family number is out of range.
+        """
+        if not 0 <= family_number < len(self.families):
+            raise WorkloadError(f"no family {family_number}")
+        return frozenset(self.families[family_number])
+
+    @property
+    def total_bases(self) -> int:
+        return sum(len(record) for record in self.sequences)
+
+
+def _draw_length(spec: WorkloadSpec, rng: np.random.Generator) -> int:
+    if spec.length_spread == 0.0:
+        return spec.mean_length
+    low = spec.mean_length * (1.0 - spec.length_spread)
+    high = spec.mean_length * (1.0 + spec.length_spread)
+    return max(1, int(rng.uniform(low, high)))
+
+
+def _random_codes(
+    length: int, spec: WorkloadSpec, rng: np.random.Generator
+) -> np.ndarray:
+    at_half = (1.0 - spec.gc_content) / 2.0
+    gc_half = spec.gc_content / 2.0
+    probabilities = [at_half, gc_half, gc_half, at_half]  # A C G T
+    codes = rng.choice(NUM_BASES, size=length, p=probabilities).astype(np.uint8)
+    if spec.wildcard_rate > 0.0:
+        codes[rng.random(length) < spec.wildcard_rate] = _N_CODE
+    return codes
+
+
+def generate_collection(spec: WorkloadSpec) -> SyntheticCollection:
+    """Generate the collection a spec describes (deterministic in seed)."""
+    rng = np.random.default_rng(spec.seed)
+    members_codes: list[np.ndarray] = []
+    member_family: list[int | None] = []
+
+    for family_number in range(spec.num_families):
+        ancestor = _random_codes(_draw_length(spec, rng), spec, rng)
+        for _ in range(spec.family_size):
+            members_codes.append(spec.mutation.mutate(ancestor, rng))
+            member_family.append(family_number)
+    for _ in range(spec.num_background):
+        members_codes.append(_random_codes(_draw_length(spec, rng), spec, rng))
+        member_family.append(None)
+
+    order = rng.permutation(len(members_codes))
+    sequences: list[Sequence] = []
+    family_lists: list[list[int]] = [[] for _ in range(spec.num_families)]
+    for ordinal, original in enumerate(order):
+        family_number = member_family[int(original)]
+        if family_number is None:
+            identifier = f"bg{int(original):05d}"
+        else:
+            identifier = (
+                f"fam{family_number:03d}m"
+                f"{int(original) % spec.family_size:02d}"
+            )
+            family_lists[family_number].append(ordinal)
+        sequences.append(
+            Sequence(identifier, members_codes[int(original)])
+        )
+    return SyntheticCollection(
+        tuple(sequences),
+        tuple(tuple(sorted(members)) for members in family_lists),
+        spec,
+    )

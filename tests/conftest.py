@@ -1,0 +1,74 @@
+"""Shared fixtures: small deterministic collections and engines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.index.builder import IndexParameters, build_index
+
+# One profile for the whole suite: wall-clock deadlines are flaky on
+# shared machines and several codecs/DP kernels have legitimately
+# value-dependent cost.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=50,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+from repro.index.store import MemorySequenceSource
+from repro.sequences.record import Sequence
+from repro.workloads.queries import make_family_queries
+from repro.workloads.synthetic import WorkloadSpec, generate_collection
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20260705)
+
+
+def random_sequence(
+    rng: np.random.Generator, identifier: str, length: int
+) -> Sequence:
+    """A uniform-random base sequence record."""
+    return Sequence(
+        identifier, rng.integers(0, 4, size=length, dtype=np.uint8)
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_collection(rng) -> list[Sequence]:
+    """Ten random 120-base sequences (fast unit-test material)."""
+    return [random_sequence(rng, f"tiny{i}", 120) for i in range(10)]
+
+
+@pytest.fixture(scope="session")
+def small_workload():
+    """A planted-family collection with queries: the integration substrate."""
+    spec = WorkloadSpec(
+        num_families=6,
+        family_size=4,
+        num_background=76,
+        mean_length=400,
+        seed=17,
+    )
+    collection = generate_collection(spec)
+    queries = make_family_queries(collection, 6, query_length=150, seed=23)
+    return collection, queries
+
+
+@pytest.fixture(scope="session")
+def small_index(small_workload):
+    """A length-8 interval index over the small workload collection."""
+    collection, _ = small_workload
+    return build_index(
+        list(collection.sequences), IndexParameters(interval_length=8)
+    )
+
+
+@pytest.fixture(scope="session")
+def small_source(small_workload) -> MemorySequenceSource:
+    collection, _ = small_workload
+    return MemorySequenceSource(list(collection.sequences))

@@ -1,0 +1,82 @@
+"""Tests for the public API surface: exports, error taxonomy, version."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_version_is_a_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    @pytest.mark.parametrize(
+        "subpackage",
+        ["sequences", "compression", "index", "align", "search", "eval",
+         "workloads"],
+    )
+    def test_subpackage_all_names_resolve(self, subpackage):
+        import importlib
+
+        module = importlib.import_module(f"repro.{subpackage}")
+        for name in module.__all__:
+            assert getattr(module, name) is not None, f"{subpackage}.{name}"
+
+    def test_quickstart_docstring_names_exist(self):
+        # The module docstring's quickstart uses these names.
+        for name in (
+            "PartitionedSearchEngine",
+            "build_index",
+            "MemorySequenceSource",
+            "Sequence",
+        ):
+            assert name in repro.__all__
+
+
+class TestErrorTaxonomy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.AlphabetError,
+            errors.FastaFormatError,
+            errors.CodecError,
+            errors.CodecValueError,
+            errors.BitStreamError,
+            errors.IndexError_,
+            errors.IndexParameterError,
+            errors.IndexFormatError,
+            errors.IndexLookupError,
+            errors.AlignmentError,
+            errors.SearchError,
+            errors.WorkloadError,
+        ],
+    )
+    def test_everything_derives_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_codec_sub_hierarchy(self):
+        assert issubclass(errors.CodecValueError, errors.CodecError)
+        assert issubclass(errors.BitStreamError, errors.CodecError)
+
+    def test_index_sub_hierarchy(self):
+        for exc in (
+            errors.IndexParameterError,
+            errors.IndexFormatError,
+            errors.IndexLookupError,
+        ):
+            assert issubclass(exc, errors.IndexError_)
+
+    def test_catching_the_base_class_works_end_to_end(self):
+        from repro import ReproError, Sequence
+
+        with pytest.raises(ReproError):
+            Sequence.from_text("x", "not dna!")
+
+    def test_repro_error_is_not_a_builtin_alias(self):
+        assert errors.ReproError is not Exception
+        assert errors.IndexError_ is not IndexError

@@ -1,0 +1,89 @@
+"""Unit and property tests for banded local alignment."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align.banded import banded_local_score
+from repro.align.reference import smith_waterman_score
+from repro.align.scoring import ScoringScheme
+from repro.errors import AlignmentError
+from repro.sequences import alphabet
+
+short_codes = st.text(alphabet="ACGT", min_size=1, max_size=30).map(
+    alphabet.encode
+)
+
+
+class TestValidation:
+    def test_negative_half_width(self):
+        scheme = ScoringScheme()
+        with pytest.raises(AlignmentError):
+            banded_local_score(
+                alphabet.encode("AC"), alphabet.encode("AC"), 0, -1, scheme
+            )
+
+    def test_empty_inputs_score_zero(self):
+        scheme = ScoringScheme()
+        empty = np.empty(0, dtype=np.uint8)
+        assert banded_local_score(empty, alphabet.encode("AC"), 0, 4, scheme) == 0
+        assert banded_local_score(alphabet.encode("AC"), empty, 0, 4, scheme) == 0
+
+
+class TestAgainstFullDP:
+    @given(query=short_codes, target=short_codes)
+    @settings(max_examples=80, deadline=None)
+    def test_full_width_band_equals_smith_waterman(self, query, target):
+        """A band covering the whole matrix is unrestricted SW."""
+        scheme = ScoringScheme()
+        half_width = query.shape[0] + target.shape[0]
+        assert banded_local_score(
+            query, target, 0, half_width, scheme
+        ) == smith_waterman_score(query, target, scheme)
+
+    @given(query=short_codes, target=short_codes,
+           half_width=st.integers(min_value=0, max_value=10),
+           diagonal=st.integers(min_value=-10, max_value=10))
+    @settings(max_examples=80, deadline=None)
+    def test_band_never_exceeds_full_dp(self, query, target, half_width, diagonal):
+        scheme = ScoringScheme()
+        banded = banded_local_score(query, target, diagonal, half_width, scheme)
+        assert 0 <= banded <= smith_waterman_score(query, target, scheme)
+
+    @given(query=short_codes,
+           half_width=st.integers(min_value=0, max_value=4))
+    @settings(max_examples=40, deadline=None)
+    def test_identity_on_centre_diagonal(self, query, half_width):
+        """A perfect match lies on diagonal 0 and survives any band."""
+        scheme = ScoringScheme()
+        assert (
+            banded_local_score(query, query, 0, half_width, scheme)
+            == query.shape[0] * scheme.match
+        )
+
+
+class TestDiagonalTargeting:
+    def test_shifted_match_needs_matching_diagonal(self):
+        scheme = ScoringScheme()
+        query = alphabet.encode("ACGTACGTAC")
+        target = np.concatenate(
+            [alphabet.encode("TTTTTTTTTT"), query]
+        )  # match at diagonal +10
+        on_target = banded_local_score(query, target, 10, 2, scheme)
+        off_target = banded_local_score(query, target, 0, 2, scheme)
+        assert on_target == 10
+        assert off_target < on_target
+
+    def test_band_outside_matrix_scores_zero(self):
+        scheme = ScoringScheme()
+        query = alphabet.encode("ACGT")
+        target = alphabet.encode("ACGT")
+        assert banded_local_score(query, target, 100, 2, scheme) == 0
+
+    def test_indel_within_band_width(self):
+        scheme = ScoringScheme()
+        query = alphabet.encode("ACGTACGTACGTACGT")
+        target = alphabet.encode("ACGTACGTTACGTACGT")  # one insertion
+        wide = banded_local_score(query, target, 0, 3, scheme)
+        assert wide >= 16 * scheme.match + scheme.gap

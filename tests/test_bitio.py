@@ -1,0 +1,163 @@
+"""Unit tests for bit-level stream I/O."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.compression.bitio import BitReader, BitWriter
+from repro.errors import BitStreamError, CodecValueError
+
+
+class TestWriter:
+    def test_single_byte(self):
+        writer = BitWriter()
+        writer.write_bits(0b10110010, 8)
+        assert writer.getvalue() == bytes([0b10110010])
+
+    def test_partial_byte_padded_with_zeros(self):
+        writer = BitWriter()
+        writer.write_bits(0b101, 3)
+        assert writer.getvalue() == bytes([0b10100000])
+
+    def test_bit_length_tracks_written_bits(self):
+        writer = BitWriter()
+        writer.write_bits(1, 5)
+        writer.write_bits(0, 9)
+        assert writer.bit_length == 14
+
+    def test_value_too_wide_raises(self):
+        writer = BitWriter()
+        with pytest.raises(CodecValueError):
+            writer.write_bits(4, 2)
+
+    def test_negative_width_raises(self):
+        with pytest.raises(CodecValueError):
+            BitWriter().write_bits(0, -1)
+
+    def test_negative_value_raises(self):
+        with pytest.raises(CodecValueError):
+            BitWriter().write_bits(-1, 4)
+
+    def test_unary_layout(self):
+        writer = BitWriter()
+        writer.write_unary(3)  # 1110
+        assert writer.getvalue() == bytes([0b11100000])
+
+    def test_huge_unary_value(self):
+        writer = BitWriter()
+        writer.write_unary(100)
+        reader = BitReader(writer.getvalue())
+        assert reader.read_unary() == 100
+
+    def test_write_bytes_requires_alignment(self):
+        writer = BitWriter()
+        writer.write_bits(1, 1)
+        with pytest.raises(BitStreamError):
+            writer.write_bytes(b"x")
+
+    def test_align_then_write_bytes(self):
+        writer = BitWriter()
+        writer.write_bits(1, 1)
+        writer.align()
+        writer.write_bytes(b"\xff")
+        assert writer.getvalue() == bytes([0b10000000, 0xFF])
+
+
+class TestReader:
+    def test_read_bits(self):
+        reader = BitReader(bytes([0b10110010]))
+        assert reader.read_bits(3) == 0b101
+        assert reader.read_bits(5) == 0b10010
+
+    def test_read_zero_bits(self):
+        assert BitReader(b"").read_bits(0) == 0
+
+    def test_exhaustion_raises(self):
+        reader = BitReader(bytes([0xFF]))
+        reader.read_bits(8)
+        with pytest.raises(BitStreamError):
+            reader.read_bits(1)
+
+    def test_unary_across_byte_boundary(self):
+        writer = BitWriter()
+        writer.write_bits(0b1111111, 7)  # 7 ones
+        writer.write_bits(0b10, 2)  # one more 1, then the 0
+        reader = BitReader(writer.getvalue())
+        assert reader.read_unary() == 8
+
+    def test_aligned_bytes_view(self):
+        writer = BitWriter()
+        writer.write_bits(0xAB, 8)
+        writer.write_bytes(bytes([1, 2, 3]))
+        reader = BitReader(writer.getvalue())
+        assert reader.read_bits(8) == 0xAB
+        view = reader.read_aligned_bytes(3)
+        assert view.tolist() == [1, 2, 3]
+        assert isinstance(view, np.ndarray)
+
+    def test_aligned_bytes_mid_byte_raises(self):
+        reader = BitReader(bytes([0xFF, 0x00]))
+        reader.read_bits(3)
+        with pytest.raises(BitStreamError):
+            reader.read_aligned_bytes(1)
+
+    def test_aligned_bytes_after_align(self):
+        reader = BitReader(bytes([0xFF, 0x42]))
+        reader.read_bits(3)
+        reader.align()
+        assert reader.read_aligned_bytes(1).tolist() == [0x42]
+
+    def test_aligned_bytes_exhaustion(self):
+        with pytest.raises(BitStreamError):
+            BitReader(b"a").read_aligned_bytes(2)
+
+    def test_bits_remaining(self):
+        reader = BitReader(bytes(4))
+        reader.read_bits(5)
+        assert reader.bits_remaining == 27
+
+
+class TestRoundTrip:
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=2**20), st.just(21)),
+            max_size=100,
+        )
+    )
+    def test_fixed_width_roundtrip(self, pairs):
+        writer = BitWriter()
+        for value, width in pairs:
+            writer.write_bits(value, width)
+        reader = BitReader(writer.getvalue())
+        for value, width in pairs:
+            assert reader.read_bits(width) == value
+
+    @given(st.lists(st.integers(min_value=0, max_value=300), max_size=60))
+    def test_unary_roundtrip(self, values):
+        writer = BitWriter()
+        for value in values:
+            writer.write_unary(value)
+        reader = BitReader(writer.getvalue())
+        for value in values:
+            assert reader.read_unary() == value
+
+    @given(st.data())
+    def test_mixed_widths_roundtrip(self, data):
+        pairs = data.draw(
+            st.lists(
+                st.integers(min_value=1, max_value=48).flatmap(
+                    lambda width: st.tuples(
+                        st.integers(min_value=0, max_value=(1 << width) - 1),
+                        st.just(width),
+                    )
+                ),
+                max_size=60,
+            )
+        )
+        writer = BitWriter()
+        for value, width in pairs:
+            writer.write_bits(value, width)
+        reader = BitReader(writer.getvalue())
+        for value, width in pairs:
+            assert reader.read_bits(width) == value

@@ -1,0 +1,93 @@
+"""Unit tests for the BLAST-style baseline searcher."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SearchError
+from repro.search.blast_like import BlastLikeSearcher
+from repro.sequences.record import Sequence
+
+
+@pytest.fixture(scope="module")
+def records():
+    rng = np.random.default_rng(71)
+    made = [
+        Sequence(f"bl{slot}", rng.integers(0, 4, 250, dtype=np.uint8))
+        for slot in range(20)
+    ]
+    relative = made[14].codes.copy()
+    relative[100:200] = made[2].codes[100:200]
+    made[14] = Sequence("bl14", relative)
+    return made
+
+
+@pytest.fixture(scope="module")
+def searcher(records):
+    return BlastLikeSearcher(records, seed_length=11, hsp_threshold=16)
+
+
+class TestValidation:
+    def test_empty_collection(self):
+        with pytest.raises(SearchError):
+            BlastLikeSearcher([])
+
+    def test_max_extensions_positive(self, records):
+        with pytest.raises(SearchError):
+            BlastLikeSearcher(records, max_extensions=0)
+
+    def test_short_query_rejected(self, searcher):
+        with pytest.raises(SearchError, match="seed"):
+            searcher.search(Sequence.from_text("q", "ACGTACGT"))
+
+
+class TestSearch:
+    def test_finds_source_sequence(self, searcher, records):
+        query = records[6].codes[40:160]
+        report = searcher.search(query, top_k=5)
+        assert report.best().ordinal == 6
+
+    def test_finds_planted_relative(self, searcher, records):
+        query = records[2].codes[110:190]
+        report = searcher.search(query, top_k=5)
+        assert {hit.ordinal for hit in report.hits[:2]} == {2, 14}
+
+    def test_unrelated_sequences_pruned_by_seeding(self, searcher, records):
+        """With w=11 exact seeds, random unrelated sequences rarely pass:
+        the answer list must be much shorter than the collection."""
+        query = records[8].codes[:120]
+        report = searcher.search(query, top_k=20)
+        assert len(report.hits) < len(records) // 2
+
+    def test_hsp_threshold_respected(self, records):
+        lenient = BlastLikeSearcher(records, hsp_threshold=11)
+        strict = BlastLikeSearcher(records, hsp_threshold=100)
+        query = records[4].codes[:150]
+        assert len(strict.search(query, top_k=20).hits) <= len(
+            lenient.search(query, top_k=20).hits
+        )
+
+    def test_coarse_score_is_hsp_score(self, searcher, records):
+        query = records[3].codes[20:140]
+        best = searcher.search(query, top_k=1).best()
+        assert best.coarse_score >= 16  # cleared the HSP threshold
+
+    def test_visits_whole_collection(self, searcher, records):
+        report = searcher.search(records[0].codes[:100])
+        assert report.candidates_examined == len(records)
+
+    def test_results_sorted(self, searcher, records):
+        report = searcher.search(records[2].codes[100:200], top_k=10)
+        scores = [hit.score for hit in report.hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_batch(self, searcher, records):
+        reports = searcher.search_batch(
+            [records[0].slice(0, 80), records[1].slice(0, 80)], top_k=2
+        )
+        assert len(reports) == 2
+
+    def test_extension_cap_does_not_lose_strong_answer(self, records):
+        capped = BlastLikeSearcher(records, max_extensions=2)
+        query = records[10].codes[50:170]
+        report = capped.search(query, top_k=3)
+        assert report.best().ordinal == 10

@@ -1,0 +1,156 @@
+"""Unit tests for coarse (index-phase) ranking."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SearchError
+from repro.index.builder import IndexParameters, build_index
+from repro.search.coarse import (
+    CoarseRanker,
+    CountScorer,
+    DiagonalScorer,
+    NormalisedScorer,
+    make_scorer,
+)
+from repro.sequences.record import Sequence
+
+
+def seq(identifier: str, text: str) -> Sequence:
+    return Sequence.from_text(identifier, text)
+
+
+@pytest.fixture(scope="module")
+def collection():
+    rng = np.random.default_rng(31)
+    records = [
+        Sequence(f"r{slot}", rng.integers(0, 4, 300, dtype=np.uint8))
+        for slot in range(30)
+    ]
+    # Plant: sequence 7 contains the query verbatim; sequence 12 contains
+    # a shuffled (non-collinear) version of the query's intervals.
+    query = rng.integers(0, 4, 60, dtype=np.uint8)
+    planted = records[7].codes.copy()
+    planted[100:160] = query
+    records[7] = Sequence("r7", planted)
+    scrambled = records[12].codes.copy()
+    pieces = [query[start : start + 10] for start in range(0, 60, 10)]
+    for slot, piece in enumerate(reversed(pieces)):
+        scrambled[30 * slot : 30 * slot + 10] = piece
+    records[12] = Sequence("r12", scrambled)
+    return records, query
+
+
+@pytest.fixture(scope="module")
+def index(collection):
+    records, _ = collection
+    return build_index(records, IndexParameters(interval_length=8))
+
+
+class TestMakeScorer:
+    def test_known_names(self):
+        assert isinstance(make_scorer("count"), CountScorer)
+        assert isinstance(make_scorer("normalised"), NormalisedScorer)
+        assert isinstance(make_scorer("diagonal"), DiagonalScorer)
+
+    def test_unknown_name(self):
+        with pytest.raises(SearchError):
+            make_scorer("pagerank")
+
+    def test_diagonal_band_width_validation(self):
+        with pytest.raises(SearchError):
+            DiagonalScorer(band_width=0)
+
+
+class TestRanking:
+    def test_planted_sequence_ranks_first(self, index, collection):
+        _, query = collection
+        ranker = CoarseRanker(index, "count")
+        candidates = ranker.rank(query, cutoff=5)
+        assert candidates[0].ordinal == 7
+        assert candidates[0].coarse_score >= 50
+
+    def test_cutoff_limits_candidates(self, index, collection):
+        _, query = collection
+        ranker = CoarseRanker(index)
+        assert len(ranker.rank(query, cutoff=3)) <= 3
+
+    def test_cutoff_validation(self, index, collection):
+        _, query = collection
+        with pytest.raises(SearchError):
+            CoarseRanker(index).rank(query, cutoff=0)
+
+    def test_scores_sorted_descending(self, index, collection):
+        _, query = collection
+        candidates = CoarseRanker(index).rank(query, cutoff=20)
+        scores = [candidate.coarse_score for candidate in candidates]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_zero_scores_excluded(self, index):
+        # A query of poly-N extracts no intervals at all.
+        ranker = CoarseRanker(index)
+        no_hits = ranker.rank(np.full(50, 14, dtype=np.uint8), cutoff=10)
+        assert no_hits == []
+
+    def test_query_shorter_than_interval(self, index):
+        ranker = CoarseRanker(index)
+        assert ranker.rank(np.zeros(3, dtype=np.uint8), cutoff=10) == []
+
+    def test_count_scorer_caps_by_query_multiplicity(self):
+        # Target has AAAA many times; query contains it once: the score
+        # contribution is capped at the query's count.
+        records = [seq("many", "A" * 50), seq("once", "AAAATTTT")]
+        index = build_index(records, IndexParameters(interval_length=4))
+        ranker = CoarseRanker(index, "count")
+        candidates = ranker.rank(seq("q", "AAAACCCC").codes, cutoff=5)
+        by_ordinal = {c.ordinal: c.coarse_score for c in candidates}
+        assert by_ordinal[0] == 1.0
+        assert by_ordinal[1] == 1.0
+
+
+class TestDiagonalVsCount:
+    def test_diagonal_scorer_prefers_collinear_hits(self, index, collection):
+        """The scrambled sequence shares intervals but not a diagonal,
+        so the diagonal scorer separates it from the true match much
+        more sharply than raw counts do."""
+        _, query = collection
+        count_scores = {
+            c.ordinal: c.coarse_score
+            for c in CoarseRanker(index, "count").rank(query, cutoff=30)
+        }
+        diagonal_scores = {
+            c.ordinal: c.coarse_score
+            for c in CoarseRanker(index, DiagonalScorer(band_width=8)).rank(
+                query, cutoff=30
+            )
+        }
+        count_margin = count_scores[7] / max(count_scores.get(12, 1.0), 1.0)
+        diagonal_margin = diagonal_scores[7] / max(
+            diagonal_scores.get(12, 1.0), 1.0
+        )
+        assert diagonal_margin > count_margin
+
+    def test_diagonal_scorer_requires_positions(self, collection):
+        records, query = collection
+        bare = build_index(
+            records,
+            IndexParameters(interval_length=8, include_positions=False),
+        )
+        ranker = CoarseRanker(bare, "diagonal")
+        with pytest.raises(SearchError, match="positions"):
+            ranker.rank(query, cutoff=5)
+
+
+class TestNormalisedScorer:
+    def test_long_sequences_are_penalised(self):
+        # Same planted motif; the long sequence accumulates the same raw
+        # count but must score lower after normalisation.
+        motif = "ACGTACGTACGTACGT"
+        records = [
+            seq("short", motif + "T" * 10),
+            seq("long", motif + "T" * 600),
+        ]
+        index = build_index(records, IndexParameters(interval_length=8))
+        ranker = CoarseRanker(index, "normalised")
+        candidates = ranker.rank(seq("q", motif).codes, cutoff=5)
+        by_ordinal = {c.ordinal: c.coarse_score for c in candidates}
+        assert by_ordinal[0] > by_ordinal[1]

@@ -1,0 +1,128 @@
+"""Robustness fuzzing: corrupt on-disk artefacts must fail *cleanly*.
+
+A truncated or bit-flipped index may raise a repro error (preferred) or
+— for corruption inside codec payloads that still parses structurally —
+decode to wrong values; what it must never do is crash with an
+unrelated exception type, hang, or read out of bounds.  These tests pin
+the failure envelope.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.direct import decode_sequence, encode_sequence
+from repro.errors import ReproError
+from repro.index.builder import IndexParameters, build_index
+from repro.index.storage import DiskIndex, write_index
+from repro.index.store import SequenceStore, write_store
+from repro.sequences.record import Sequence
+
+#: Exceptions a corrupted artefact is allowed to surface: the library's
+#: own taxonomy, plus the bounded set raised by the stdlib parsers the
+#: formats delegate to (struct/json/unicode decoding).
+ALLOWED = (ReproError, ValueError, KeyError, TypeError, EOFError,
+           UnicodeDecodeError, OverflowError, MemoryError)
+
+
+@pytest.fixture(scope="module")
+def artefacts(tmp_path_factory):
+    rng = np.random.default_rng(141)
+    records = [
+        Sequence(f"fz{slot}", rng.integers(0, 4, 150, dtype=np.uint8))
+        for slot in range(8)
+    ]
+    workdir = tmp_path_factory.mktemp("fuzz")
+    index_path = workdir / "x.rpix"
+    store_path = workdir / "x.rpsq"
+    write_index(build_index(records, IndexParameters(interval_length=6)),
+                index_path)
+    write_store(records, store_path)
+    return index_path.read_bytes(), store_path.read_bytes(), workdir
+
+
+class TestIndexCorruption:
+    @given(
+        position=st.integers(min_value=0, max_value=10**6),
+        flip=st.integers(min_value=1, max_value=255),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_single_byte_flip_never_crashes_unexpectedly(
+        self, artefacts, position, flip
+    ):
+        index_bytes, _, workdir = artefacts
+        data = bytearray(index_bytes)
+        data[position % len(data)] ^= flip
+        path = workdir / "flip.rpix"
+        path.write_bytes(bytes(data))
+        try:
+            with DiskIndex(path) as index:
+                for interval in list(index.interval_ids())[:20]:
+                    index.docs_counts(interval)
+        except ALLOWED:
+            pass
+
+    @given(cut=st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_truncation_never_crashes_unexpectedly(self, artefacts, cut):
+        index_bytes, _, workdir = artefacts
+        path = workdir / "cut.rpix"
+        path.write_bytes(index_bytes[: cut % len(index_bytes)])
+        try:
+            with DiskIndex(path) as index:
+                list(index.interval_ids())
+        except ALLOWED:
+            pass
+
+
+class TestStoreCorruption:
+    @given(
+        position=st.integers(min_value=0, max_value=10**6),
+        flip=st.integers(min_value=1, max_value=255),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_single_byte_flip_never_crashes_unexpectedly(
+        self, artefacts, position, flip
+    ):
+        _, store_bytes, workdir = artefacts
+        data = bytearray(store_bytes)
+        data[position % len(data)] ^= flip
+        path = workdir / "flip.rpsq"
+        path.write_bytes(bytes(data))
+        try:
+            with SequenceStore(path) as store:
+                for ordinal in range(len(store)):
+                    store.codes(ordinal)
+        except ALLOWED:
+            pass
+
+
+class TestDirectCodingCorruption:
+    @given(
+        payload=st.binary(min_size=1, max_size=60),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_random_bytes_never_crash_unexpectedly(self, payload):
+        try:
+            decode_sequence(payload)
+        except ALLOWED:
+            pass
+
+    @given(
+        text=st.text(alphabet="ACGTN", min_size=1, max_size=60),
+        position=st.integers(min_value=0, max_value=10**4),
+        flip=st.integers(min_value=1, max_value=255),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_flipped_payload_never_crashes_unexpectedly(
+        self, text, position, flip
+    ):
+        from repro.sequences import alphabet
+
+        payload = bytearray(encode_sequence(alphabet.encode(text)))
+        payload[position % len(payload)] ^= flip
+        try:
+            decode_sequence(bytes(payload))
+        except ALLOWED:
+            pass

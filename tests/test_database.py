@@ -1,0 +1,156 @@
+"""Unit tests for the Database facade."""
+
+import numpy as np
+import pytest
+
+from repro.align.scoring import ScoringScheme
+from repro.database import Database
+from repro.errors import IndexFormatError, SearchError
+from repro.index.builder import IndexParameters
+from repro.sequences.record import Sequence
+
+
+@pytest.fixture(scope="module")
+def records():
+    rng = np.random.default_rng(161)
+    made = [
+        Sequence(f"db{slot}", rng.integers(0, 4, 300, dtype=np.uint8))
+        for slot in range(30)
+    ]
+    relative = made[20].codes.copy()
+    relative[50:200] = made[4].codes[50:200]
+    made[20] = Sequence("db20", relative)
+    return made
+
+
+@pytest.fixture(scope="module")
+def database(records, tmp_path_factory):
+    path = tmp_path_factory.mktemp("dbs") / "demo.db"
+    db = Database.create(records, path)
+    yield db
+    db.close()
+
+
+class TestLifecycle:
+    def test_create_writes_manifest_and_files(self, database):
+        assert (database.path / "manifest.json").exists()
+        assert (database.path / "intervals.rpix").exists()
+        assert (database.path / "sequences.rpsq").exists()
+        assert database.manifest["sequences"] == 30
+
+    def test_double_create_rejected(self, records, database):
+        with pytest.raises(IndexFormatError, match="already holds"):
+            Database.create(records, database.path)
+
+    def test_open_missing_directory(self, tmp_path):
+        with pytest.raises(IndexFormatError, match="manifest"):
+            Database.open(tmp_path / "nowhere")
+
+    def test_bad_manifest_rejected(self, records, tmp_path):
+        path = tmp_path / "broken.db"
+        Database.create(records, path).close()
+        (path / "manifest.json").write_text("{not json")
+        with pytest.raises(IndexFormatError, match="bad manifest"):
+            Database.open(path)
+
+    def test_version_check(self, records, tmp_path):
+        import json
+
+        path = tmp_path / "old.db"
+        Database.create(records, path).close()
+        manifest = json.loads((path / "manifest.json").read_text())
+        manifest["version"] = 99
+        (path / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(IndexFormatError, match="version"):
+            Database.open(path)
+
+    def test_context_manager(self, records, tmp_path):
+        path = tmp_path / "cm.db"
+        Database.create(records, path).close()
+        with Database.open(path) as db:
+            assert len(db) == 30
+
+    def test_custom_params_persisted(self, records, tmp_path):
+        path = tmp_path / "k6.db"
+        db = Database.create(
+            records, path, params=IndexParameters(interval_length=6)
+        )
+        try:
+            assert db.index.params.interval_length == 6
+        finally:
+            db.close()
+        with Database.open(path) as reopened:
+            assert reopened.index.params.interval_length == 6
+
+
+class TestAccess:
+    def test_len_and_total_bases(self, database, records):
+        assert len(database) == len(records)
+        assert database.total_bases == sum(len(r) for r in records)
+
+    def test_record_roundtrip(self, database, records):
+        assert database.record(7) == records[7]
+
+    def test_records_iterates_in_order(self, database, records):
+        assert list(database.records()) == records
+
+    def test_describe_mentions_key_numbers(self, database):
+        text = database.describe()
+        assert "30 sequences" in text
+        assert "direct coding" in text
+
+
+class TestSearch:
+    def test_basic_search(self, database, records):
+        query = records[11].slice(50, 220)
+        report = database.search(query, top_k=5)
+        assert report.best().ordinal == 11
+
+    def test_finds_planted_relative(self, database, records):
+        query = records[4].slice(60, 190)
+        report = database.search(query, top_k=5)
+        assert {hit.ordinal for hit in report.hits[:2]} == {4, 20}
+
+    def test_engine_is_cached_per_configuration(self, database):
+        assert database.engine(coarse_cutoff=10) is database.engine(
+            coarse_cutoff=10
+        )
+        assert database.engine(coarse_cutoff=10) is not database.engine(
+            coarse_cutoff=20
+        )
+
+    def test_evalue_engine(self, database, records):
+        report = database.search(
+            records[2].slice(0, 200), top_k=3, with_evalues=True
+        )
+        assert report.best().evalue is not None
+        assert report.best().evalue < 1e-10
+
+    def test_both_strands_through_facade(self, database, records):
+        query = records[9].slice(40, 200).reverse_complement()
+        report = database.search(query, top_k=3, both_strands=True)
+        assert report.best().ordinal == 9
+        assert report.best().strand == "-"
+
+    def test_frames_mode_through_facade(self, database, records):
+        query = records[15].slice(30, 230)
+        report = database.search(query, top_k=3, fine_mode="frames")
+        assert report.best().ordinal == 15
+
+    def test_alignment_retrieval(self, database, records):
+        query = records[5].slice(10, 160)
+        alignment = database.alignment(query, 5)
+        assert alignment.score == 150
+        assert alignment.identity == 1.0
+
+    def test_alignment_ordinal_validation(self, database, records):
+        with pytest.raises(SearchError):
+            database.alignment(records[0].slice(0, 50), 999)
+
+    def test_custom_scheme_search(self, database, records):
+        scheme = ScoringScheme(match=2, mismatch=-2, gap=-5)
+        report = database.search(
+            records[8].slice(0, 150), top_k=3, scheme=scheme
+        )
+        assert report.best().ordinal == 8
+        assert report.best().score == 300

@@ -1,0 +1,99 @@
+"""Unit tests for the opt-in postings decode cache."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IndexParameterError
+from repro.index.builder import IndexParameters, build_index
+from repro.index.storage import read_index, write_index
+from repro.sequences.record import Sequence
+
+
+@pytest.fixture()
+def index():
+    rng = np.random.default_rng(151)
+    records = [
+        Sequence(f"dc{slot}", rng.integers(0, 4, 200, dtype=np.uint8))
+        for slot in range(15)
+    ]
+    return build_index(records, IndexParameters(interval_length=6))
+
+
+class TestDecodeCache:
+    def test_validation(self, index):
+        with pytest.raises(IndexParameterError):
+            index.enable_decode_cache(0)
+
+    def test_cached_results_equal_uncached(self, index):
+        intervals = list(index.interval_ids())[:50]
+        plain = {i: index.docs_counts(i) for i in intervals}
+        index.enable_decode_cache(100)
+        warm = {i: index.docs_counts(i) for i in intervals}
+        again = {i: index.docs_counts(i) for i in intervals}
+        for interval in intervals:
+            assert plain[interval][0].tolist() == warm[interval][0].tolist()
+            assert again[interval][1].tolist() == warm[interval][1].tolist()
+
+    def test_cache_hits_return_same_object(self, index):
+        index.enable_decode_cache(10)
+        interval = next(iter(index.interval_ids()))
+        first = index.docs_counts(interval)
+        second = index.docs_counts(interval)
+        assert first is second
+
+    def test_eviction_respects_limit(self, index):
+        index.enable_decode_cache(3)
+        intervals = list(index.interval_ids())[:10]
+        for interval in intervals:
+            index.docs_counts(interval)
+        assert len(index._decode_cache) == 3
+
+    def test_lru_keeps_recently_used(self, index):
+        index.enable_decode_cache(2)
+        intervals = list(index.interval_ids())[:3]
+        index.docs_counts(intervals[0])
+        index.docs_counts(intervals[1])
+        index.docs_counts(intervals[0])  # touch 0 so 1 is evicted next
+        index.docs_counts(intervals[2])
+        assert intervals[0] in index._decode_cache
+        assert intervals[1] not in index._decode_cache
+
+    def test_disable_drops_cache(self, index):
+        index.enable_decode_cache(10)
+        index.docs_counts(next(iter(index.interval_ids())))
+        index.disable_decode_cache()
+        assert getattr(index, "_decode_cache") is None
+
+    def test_missing_interval_not_cached(self, index):
+        index.enable_decode_cache(10)
+        assert index.docs_counts(4**6 + 5) is None
+        assert len(index._decode_cache) == 0
+
+    def test_works_on_disk_index(self, index, tmp_path):
+        path = tmp_path / "c.rpix"
+        write_index(index, path)
+        with read_index(path) as disk:
+            disk.enable_decode_cache(50)
+            interval = next(iter(disk.interval_ids()))
+            first = disk.docs_counts(interval)
+            assert disk.docs_counts(interval) is first
+
+    def test_cached_search_results_unchanged(self, index):
+        from repro.index.store import MemorySequenceSource
+        from repro.search.engine import PartitionedSearchEngine
+
+        rng = np.random.default_rng(151)
+        records = [
+            Sequence(f"dc{slot}", rng.integers(0, 4, 200, dtype=np.uint8))
+            for slot in range(15)
+        ]
+        source = MemorySequenceSource(records)
+        engine = PartitionedSearchEngine(index, source, coarse_cutoff=10)
+        query = records[6].codes[:120]
+        cold = engine.search(query, top_k=5)
+        index.enable_decode_cache(1000)
+        engine.search(query, top_k=5)  # warm the cache
+        warm = engine.search(query, top_k=5)
+        assert [(h.ordinal, h.score) for h in cold.hits] == [
+            (h.ordinal, h.score) for h in warm.hits
+        ]

@@ -1,0 +1,93 @@
+"""Unit tests for ungapped seed extension."""
+
+import numpy as np
+import pytest
+
+from repro.align.extension import extend_seed
+from repro.align.scoring import ScoringScheme
+from repro.errors import AlignmentError
+from repro.sequences import alphabet
+
+SCHEME = ScoringScheme(match=1, mismatch=-1, gap=-2)
+
+
+class TestValidation:
+    def test_seed_outside_query(self):
+        with pytest.raises(AlignmentError):
+            extend_seed(
+                alphabet.encode("ACGT"), alphabet.encode("ACGTACGT"),
+                2, 0, 4, SCHEME,
+            )
+
+    def test_seed_outside_target(self):
+        with pytest.raises(AlignmentError):
+            extend_seed(
+                alphabet.encode("ACGTACGT"), alphabet.encode("ACGT"),
+                0, 2, 4, SCHEME,
+            )
+
+    def test_negative_x_drop(self):
+        with pytest.raises(AlignmentError):
+            extend_seed(
+                alphabet.encode("ACGT"), alphabet.encode("ACGT"),
+                0, 0, 4, SCHEME, x_drop=-1,
+            )
+
+
+class TestExtension:
+    def test_identical_sequences_extend_fully(self):
+        codes = alphabet.encode("ACGTACGTACGT")
+        extension = extend_seed(codes, codes, 4, 4, 4, SCHEME)
+        assert extension.score == 12
+        assert extension.query_start == 0
+        assert extension.query_end == 12
+        assert extension.diagonal == 0
+
+    def test_extension_stops_at_mismatch_wall(self):
+        query = alphabet.encode("ACGTACGT" + "AAAA")
+        target = alphabet.encode("ACGTACGT" + "TTTT")
+        extension = extend_seed(query, target, 0, 0, 8, SCHEME, x_drop=2)
+        assert extension.query_end <= 11
+        assert extension.score >= 8 - 2
+
+    def test_left_extension(self):
+        query = alphabet.encode("CCCCACGT")
+        target = alphabet.encode("CCCCACGT")
+        extension = extend_seed(query, target, 4, 4, 4, SCHEME)
+        assert extension.query_start == 0
+        assert extension.score == 8
+
+    def test_tolerates_isolated_mismatch(self):
+        # One mismatch inside a long match should be crossed when the
+        # x-drop allows it.
+        query = alphabet.encode("ACGTACGTA" + "A" + "GGGGGGGG")
+        target = alphabet.encode("ACGTACGTA" + "C" + "GGGGGGGG")
+        extension = extend_seed(query, target, 0, 0, 9, SCHEME, x_drop=5)
+        assert extension.query_end == 18
+        assert extension.score == 17 - 1
+
+    def test_small_x_drop_stops_at_mismatch(self):
+        query = alphabet.encode("ACGTACGTA" + "A" + "GGGGGGGG")
+        target = alphabet.encode("ACGTACGTA" + "C" + "GGGGGGGG")
+        extension = extend_seed(query, target, 0, 0, 9, SCHEME, x_drop=0)
+        assert extension.query_end == 9
+        assert extension.score == 9
+
+    def test_diagonal_is_offset_difference(self):
+        query = alphabet.encode("AAACGTACGT")
+        target = alphabet.encode("CGTACGT")
+        extension = extend_seed(query, target, 3, 0, 7, SCHEME)
+        assert extension.diagonal == -3
+        assert extension.score == 7
+
+    def test_wildcards_count_as_mismatches(self):
+        query = alphabet.encode("ACGTNNNN")
+        target = alphabet.encode("ACGTNNNN")
+        extension = extend_seed(query, target, 0, 0, 4, SCHEME, x_drop=1)
+        assert extension.score == 4
+        assert extension.query_end <= 6
+
+    def test_length_property(self):
+        codes = alphabet.encode("ACGTACGT")
+        extension = extend_seed(codes, codes, 2, 2, 4, SCHEME)
+        assert extension.length == extension.query_end - extension.query_start

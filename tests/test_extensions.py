@@ -1,0 +1,194 @@
+"""Unit tests for the extension features: E-value annotation, idf
+scoring, query wildcard expansion, and dynamic index append."""
+
+import numpy as np
+import pytest
+
+from repro.align.statistics import calibrate_gapped
+from repro.errors import IndexParameterError, SearchError
+from repro.index.builder import IndexParameters, build_index
+from repro.index.intervals import IntervalExtractor, interval_id
+from repro.index.merge import append_sequences
+from repro.index.store import MemorySequenceSource
+from repro.search.coarse import CoarseRanker
+from repro.search.engine import PartitionedSearchEngine
+from repro.sequences import alphabet
+from repro.sequences.record import Sequence
+
+
+@pytest.fixture(scope="module")
+def collection():
+    rng = np.random.default_rng(111)
+    return [
+        Sequence(f"x{slot}", rng.integers(0, 4, 400, dtype=np.uint8))
+        for slot in range(40)
+    ]
+
+
+@pytest.fixture(scope="module")
+def index(collection):
+    return build_index(collection, IndexParameters(interval_length=8))
+
+
+@pytest.fixture(scope="module")
+def source(collection):
+    return MemorySequenceSource(collection)
+
+
+class TestSignificanceAnnotation:
+    def test_hits_carry_evalues(self, collection, index, source):
+        from repro.align.scoring import ScoringScheme
+
+        params = calibrate_gapped(ScoringScheme(), samples=25, seed=2)
+        engine = PartitionedSearchEngine(
+            index, source, coarse_cutoff=10, significance=params
+        )
+        query = collection[5].slice(100, 260)
+        report = engine.search(query, top_k=5)
+        assert all(hit.evalue is not None for hit in report.hits)
+        # The exact self-match is overwhelmingly significant.
+        assert report.best().evalue < 1e-10
+
+    def test_evalues_ordered_inverse_to_scores(self, collection, index, source):
+        from repro.align.scoring import ScoringScheme
+
+        params = calibrate_gapped(ScoringScheme(), samples=25, seed=2)
+        engine = PartitionedSearchEngine(
+            index, source, coarse_cutoff=40, significance=params
+        )
+        report = engine.search(collection[7].slice(0, 200), top_k=10)
+        evalues = [hit.evalue for hit in report.hits]
+        assert evalues == sorted(evalues)
+
+    def test_no_parameters_no_evalues(self, collection, index, source):
+        engine = PartitionedSearchEngine(index, source, coarse_cutoff=10)
+        report = engine.search(collection[3].slice(0, 150))
+        assert all(hit.evalue is None for hit in report.hits)
+
+
+class TestIdfScorer:
+    def test_idf_downweights_ubiquitous_intervals(self):
+        # Every sequence shares a poly-A prefix; only seq 0 shares the
+        # distinctive suffix with the query.
+        rng = np.random.default_rng(5)
+        records = []
+        for slot in range(10):
+            codes = rng.integers(0, 4, 120, dtype=np.uint8)
+            codes[:30] = 0
+            records.append(Sequence(f"i{slot}", codes))
+        index = build_index(records, IndexParameters(interval_length=6))
+        query = np.concatenate(
+            [np.zeros(30, dtype=np.uint8), records[0].codes[90:120]]
+        )
+        count_rank = CoarseRanker(index, "count").rank(query, cutoff=10)
+        idf_rank = CoarseRanker(index, "idf").rank(query, cutoff=10)
+        # Under idf, sequence 0's unique suffix dominates decisively.
+        assert idf_rank[0].ordinal == 0
+        idf_margin = idf_rank[0].coarse_score / idf_rank[1].coarse_score
+        count_margin = count_rank[0].coarse_score / count_rank[1].coarse_score
+        assert idf_margin > count_margin
+
+    def test_engine_accepts_idf_by_name(self, collection, index, source):
+        engine = PartitionedSearchEngine(
+            index, source, coarse_scorer="idf", coarse_cutoff=10
+        )
+        query = collection[11].slice(50, 220)
+        assert engine.search(query).best().ordinal == 11
+
+
+class TestWildcardExpansion:
+    def test_validation(self):
+        extractor = IntervalExtractor(4)
+        with pytest.raises(IndexParameterError):
+            extractor.extract_expanded(alphabet.encode("ACGT"), max_wildcards=0)
+        with pytest.raises(IndexParameterError):
+            extractor.extract_expanded(
+                alphabet.encode("ACGT"), max_expansion=0
+            )
+
+    def test_clean_sequences_unchanged(self):
+        extractor = IntervalExtractor(4)
+        codes = alphabet.encode("ACGTACGT")
+        plain_ids, plain_positions = extractor.extract(codes)
+        expanded_ids, expanded_positions = extractor.extract_expanded(codes)
+        assert plain_ids.tolist() == expanded_ids.tolist()
+        assert plain_positions.tolist() == expanded_positions.tolist()
+
+    def test_single_n_expands_to_four(self):
+        extractor = IntervalExtractor(4)
+        ids, positions = extractor.extract_expanded(alphabet.encode("ACNT"))
+        assert positions.tolist() == [0, 0, 0, 0]
+        expected = {interval_id(f"AC{base}T") for base in "ACGT"}
+        assert set(ids.tolist()) == expected
+
+    def test_two_letter_code_expands_to_two(self):
+        extractor = IntervalExtractor(4)
+        ids, _ = extractor.extract_expanded(alphabet.encode("ACRT"))
+        assert set(ids.tolist()) == {
+            interval_id("ACAT"), interval_id("ACGT")
+        }
+
+    def test_heavily_wildcarded_window_still_skipped(self):
+        extractor = IntervalExtractor(4)
+        ids, _ = extractor.extract_expanded(
+            alphabet.encode("NNNT"), max_wildcards=1
+        )
+        assert ids.shape[0] == 0
+
+    def test_expansion_cap(self):
+        extractor = IntervalExtractor(4)
+        ids, _ = extractor.extract_expanded(
+            alphabet.encode("NNTT"), max_wildcards=2, max_expansion=5
+        )
+        assert ids.shape[0] == 5
+
+    def test_short_sequence(self):
+        extractor = IntervalExtractor(8)
+        ids, _ = extractor.extract_expanded(alphabet.encode("ACN"))
+        assert ids.shape[0] == 0
+
+    def test_wildcarded_query_reaches_the_index(self, collection, index, source):
+        codes = collection[20].codes[100:220].copy()
+        codes[::15] = alphabet.IUPAC_ALPHABET.index("N")  # sprinkle Ns
+        strict = CoarseRanker(index)
+        expanding = CoarseRanker(index, expand_query_wildcards=1)
+        strict_rank = strict.rank(codes, cutoff=1)
+        expanded_rank = expanding.rank(codes, cutoff=1)
+        assert expanded_rank[0].ordinal == 20
+        assert (
+            expanded_rank[0].coarse_score
+            > (strict_rank[0].coarse_score if strict_rank else 0.0)
+        )
+
+    def test_negative_expansion_rejected(self, index):
+        with pytest.raises(SearchError):
+            CoarseRanker(index, expand_query_wildcards=-1)
+
+
+class TestAppendSequences:
+    def test_append_equals_rebuild(self, collection):
+        params = IndexParameters(interval_length=8)
+        base = build_index(collection[:30], params)
+        grown = append_sequences(base, collection[30:])
+        rebuilt = build_index(collection, params)
+        assert grown.collection.identifiers == rebuilt.collection.identifiers
+        assert grown.vocabulary_size == rebuilt.vocabulary_size
+        for interval in list(grown.interval_ids())[:300]:
+            assert (
+                grown.lookup_entry(interval).data
+                == rebuilt.lookup_entry(interval).data
+            )
+
+    def test_append_nothing_rejected(self, index):
+        with pytest.raises(IndexParameterError):
+            append_sequences(index, [])
+
+    def test_search_after_append(self, collection):
+        params = IndexParameters(interval_length=8)
+        base = build_index(collection[:35], params)
+        grown = append_sequences(base, collection[35:])
+        engine = PartitionedSearchEngine(
+            grown, MemorySequenceSource(collection), coarse_cutoff=10
+        )
+        query = collection[38].slice(100, 260)
+        assert engine.search(query).best().ordinal == 38

@@ -1,0 +1,121 @@
+"""Unit tests for FASTA reading and writing."""
+
+import io
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import FastaFormatError
+from repro.sequences.fasta import (
+    format_fasta,
+    parse_header,
+    read_fasta,
+    read_fasta_text,
+    write_fasta,
+)
+from repro.sequences.record import Sequence
+
+
+class TestParseHeader:
+    def test_identifier_only(self):
+        assert parse_header(">seq1") == ("seq1", "")
+
+    def test_identifier_and_description(self):
+        assert parse_header(">seq1 homo sapiens mRNA") == (
+            "seq1",
+            "homo sapiens mRNA",
+        )
+
+    def test_empty_header_raises(self):
+        with pytest.raises(FastaFormatError):
+            parse_header("> ")
+
+
+class TestRead:
+    def test_multiline_record(self):
+        records = read_fasta_text(">s1\nACGT\nACGT\n")
+        assert len(records) == 1
+        assert records[0].text == "ACGTACGT"
+
+    def test_multiple_records(self):
+        records = read_fasta_text(">a\nAC\n>b desc\nGT\n")
+        assert [r.identifier for r in records] == ["a", "b"]
+        assert records[1].description == "desc"
+
+    def test_blank_lines_ignored(self):
+        records = read_fasta_text(">a\n\nAC\n\n\nGT\n")
+        assert records[0].text == "ACGT"
+
+    def test_comment_lines_ignored(self):
+        records = read_fasta_text(">a\n;legacy comment\nACGT\n")
+        assert records[0].text == "ACGT"
+
+    def test_lowercase_residues_folded(self):
+        assert read_fasta_text(">a\nacgt\n")[0].text == "ACGT"
+
+    def test_data_before_header_raises(self):
+        with pytest.raises(FastaFormatError, match="before first header"):
+            read_fasta_text("ACGT\n>a\nAC\n")
+
+    def test_empty_record_raises(self):
+        with pytest.raises(FastaFormatError, match="no residues"):
+            read_fasta_text(">a\n>b\nAC\n")
+
+    def test_trailing_empty_record_raises(self):
+        with pytest.raises(FastaFormatError, match="no residues"):
+            read_fasta_text(">a\nAC\n>b\n")
+
+    def test_invalid_character_names_record(self):
+        with pytest.raises(FastaFormatError, match="'bad'"):
+            read_fasta_text(">bad\nACQT\n")
+
+    def test_empty_input_yields_nothing(self):
+        assert read_fasta_text("") == []
+
+    def test_reads_from_stream(self):
+        stream = io.StringIO(">a\nACGT\n")
+        assert [r.identifier for r in read_fasta(stream)] == ["a"]
+
+    def test_reads_from_path(self, tmp_path):
+        path = tmp_path / "x.fasta"
+        path.write_text(">a\nACGT\n")
+        assert [r.text for r in read_fasta(path)] == ["ACGT"]
+
+
+class TestWrite:
+    def test_wraps_lines(self):
+        record = Sequence.from_text("a", "ACGT" * 5)
+        text = format_fasta([record], line_width=8)
+        assert text == ">a\nACGTACGT\nACGTACGT\nACGT\n"
+
+    def test_description_in_header(self):
+        record = Sequence.from_text("a", "ACGT", "some gene")
+        assert format_fasta([record]).startswith(">a some gene\n")
+
+    def test_invalid_line_width(self):
+        with pytest.raises(ValueError):
+            format_fasta([], line_width=0)
+
+    def test_write_returns_count(self, tmp_path):
+        records = [Sequence.from_text(f"s{i}", "ACGT") for i in range(3)]
+        assert write_fasta(records, tmp_path / "x.fasta") == 3
+
+
+identifiers = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126, exclude_characters=">; "),
+    min_size=1,
+    max_size=12,
+)
+bodies = st.text(alphabet="ACGTN", min_size=1, max_size=150)
+
+
+class TestRoundTrip:
+    @given(st.lists(st.tuples(identifiers, bodies), min_size=1, max_size=8))
+    def test_write_then_read_preserves_records(self, pairs):
+        records = [
+            Sequence.from_text(f"{identifier}_{slot}", body)
+            for slot, (identifier, body) in enumerate(pairs)
+        ]
+        parsed = read_fasta_text(format_fasta(records))
+        assert parsed == records

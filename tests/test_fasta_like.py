@@ -1,0 +1,89 @@
+"""Unit tests for the FASTA-style baseline searcher."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SearchError
+from repro.search.fasta_like import FastaLikeSearcher
+from repro.sequences.record import Sequence
+
+
+@pytest.fixture(scope="module")
+def records():
+    rng = np.random.default_rng(61)
+    made = [
+        Sequence(f"fa{slot}", rng.integers(0, 4, 250, dtype=np.uint8))
+        for slot in range(20)
+    ]
+    # Plant a strong relative of sequence 5 inside sequence 11.
+    relative = made[11].codes.copy()
+    relative[50:150] = made[5].codes[50:150]
+    made[11] = Sequence("fa11", relative)
+    return made
+
+
+@pytest.fixture(scope="module")
+def searcher(records):
+    return FastaLikeSearcher(records, seed_length=6)
+
+
+class TestValidation:
+    def test_empty_collection(self):
+        with pytest.raises(SearchError):
+            FastaLikeSearcher([])
+
+    def test_rescore_limit_positive(self, records):
+        with pytest.raises(SearchError):
+            FastaLikeSearcher(records, rescore_limit=0)
+
+    def test_short_query_rejected(self, searcher):
+        with pytest.raises(SearchError, match="seed"):
+            searcher.search(Sequence.from_text("q", "ACG"))
+
+    def test_top_k_validation(self, searcher, records):
+        with pytest.raises(SearchError):
+            searcher.search(records[0].codes[:50], top_k=0)
+
+
+class TestSearch:
+    def test_finds_source_sequence(self, searcher, records):
+        query = records[3].codes[40:140]
+        report = searcher.search(query, top_k=5)
+        assert report.best().ordinal == 3
+
+    def test_finds_planted_relative(self, searcher, records):
+        query = records[5].codes[60:140]
+        report = searcher.search(query, top_k=5)
+        assert {hit.ordinal for hit in report.hits[:2]} == {5, 11}
+
+    def test_visits_whole_collection(self, searcher, records):
+        report = searcher.search(records[0].codes[:80])
+        assert report.candidates_examined == len(records)
+
+    def test_hits_sorted_and_truncated(self, searcher, records):
+        report = searcher.search(records[7].codes[:100], top_k=4)
+        assert len(report.hits) <= 4
+        scores = [hit.score for hit in report.hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_init1_recorded_as_coarse_score(self, searcher, records):
+        query = records[2].codes[:90]
+        report = searcher.search(query, top_k=3)
+        best = report.best()
+        # A verbatim 90-base window gives 85 collinear 6-mers.
+        assert best.coarse_score >= 80
+
+    def test_query_identifier_from_record(self, searcher, records):
+        report = searcher.search(records[0].slice(0, 80))
+        assert report.query_identifier == "fa0[0:80]"
+
+    def test_batch(self, searcher, records):
+        queries = [records[0].slice(0, 60), records[1].slice(0, 60)]
+        reports = searcher.search_batch(queries, top_k=2)
+        assert len(reports) == 2
+
+    def test_rescore_limit_still_finds_best(self, records):
+        tight = FastaLikeSearcher(records, seed_length=6, rescore_limit=2)
+        query = records[9].codes[30:130]
+        report = tight.search(query, top_k=3)
+        assert report.best().ordinal == 9

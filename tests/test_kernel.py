@@ -1,0 +1,169 @@
+"""Property tests: the vectorised kernel vs. the scalar reference.
+
+These are the load-bearing correctness tests for the whole system —
+every search engine's scores flow through this kernel.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align.kernel import (
+    TargetImage,
+    best_local_score,
+    column_best_scores,
+    segment_best_scores,
+)
+from repro.align.reference import smith_waterman_score
+from repro.align.scoring import SENTINEL_CODE, ScoringScheme
+from repro.errors import AlignmentError
+from repro.sequences import alphabet
+
+codes_arrays = st.text(alphabet="ACGTN", min_size=0, max_size=60).map(
+    alphabet.encode
+)
+nonempty_codes = st.text(alphabet="ACGTN", min_size=1, max_size=60).map(
+    alphabet.encode
+)
+schemes = st.builds(
+    ScoringScheme,
+    match=st.integers(min_value=1, max_value=5),
+    mismatch=st.integers(min_value=-5, max_value=-1),
+    gap=st.integers(min_value=-6, max_value=-1),
+)
+
+
+class TestAgainstReference:
+    @given(query=codes_arrays, target=codes_arrays, scheme=schemes)
+    @settings(max_examples=200, deadline=None)
+    def test_matches_scalar_smith_waterman(self, query, target, scheme):
+        assert best_local_score(query, target, scheme) == smith_waterman_score(
+            query, target, scheme
+        )
+
+    @given(query=nonempty_codes, target=nonempty_codes)
+    @settings(max_examples=100, deadline=None)
+    def test_symmetry(self, query, target):
+        scheme = ScoringScheme()
+        assert best_local_score(query, target, scheme) == best_local_score(
+            target, query, scheme
+        )
+
+    @given(sequence=nonempty_codes)
+    def test_self_alignment_of_pure_bases(self, sequence):
+        scheme = ScoringScheme()
+        bases_only = sequence[sequence < 4]
+        expected = int(bases_only.shape[0]) * scheme.match
+        if bases_only.shape[0] == sequence.shape[0]:
+            assert best_local_score(sequence, sequence, scheme) == expected
+
+    @given(query=codes_arrays, target=codes_arrays)
+    def test_score_is_non_negative(self, query, target):
+        assert best_local_score(query, target, ScoringScheme()) >= 0
+
+    @given(query=nonempty_codes, target=nonempty_codes, extra=nonempty_codes)
+    @settings(max_examples=60, deadline=None)
+    def test_appending_target_never_decreases_score(self, query, target, extra):
+        scheme = ScoringScheme()
+        extended = np.concatenate([target, extra])
+        assert best_local_score(query, extended, scheme) >= best_local_score(
+            query, target, scheme
+        )
+
+
+class TestEdges:
+    def test_empty_query(self):
+        scheme = ScoringScheme()
+        assert best_local_score(
+            np.empty(0, np.uint8), alphabet.encode("ACGT"), scheme
+        ) == 0
+
+    def test_empty_target(self):
+        scheme = ScoringScheme()
+        assert best_local_score(
+            alphabet.encode("ACGT"), np.empty(0, np.uint8), scheme
+        ) == 0
+
+    def test_query_with_sentinel_rejected(self):
+        scheme = ScoringScheme()
+        bad = np.array([0, SENTINEL_CODE], dtype=np.uint8)
+        with pytest.raises(AlignmentError):
+            best_local_score(bad, alphabet.encode("ACGT"), scheme)
+
+    def test_column_best_shape(self):
+        scheme = ScoringScheme()
+        target = alphabet.encode("ACGTACGT")
+        profile = scheme.target_profile(target)
+        col_best = column_best_scores(alphabet.encode("ACG"), profile, scheme)
+        assert col_best.shape == (8,)
+        assert col_best.dtype == np.int32
+
+
+class TestTargetImage:
+    def test_build_requires_sequences(self):
+        with pytest.raises(AlignmentError):
+            TargetImage.build([], ScoringScheme(), 10)
+
+    def test_build_requires_positive_bound(self):
+        with pytest.raises(AlignmentError):
+            TargetImage.build([alphabet.encode("ACGT")], ScoringScheme(), 0)
+
+    def test_sentinels_separate_sequences(self):
+        scheme = ScoringScheme()
+        image = TargetImage.build(
+            [alphabet.encode("ACGT"), alphabet.encode("ACGT")], scheme, 8
+        )
+        gap_region = image.codes[4 : int(image.starts[1])]
+        assert (gap_region == SENTINEL_CODE).all()
+
+    def test_query_longer_than_bound_rejected(self):
+        scheme = ScoringScheme()
+        image = TargetImage.build([alphabet.encode("ACGT")], scheme, 4)
+        with pytest.raises(AlignmentError, match="rebuild"):
+            segment_best_scores(alphabet.encode("ACGTA"), image, scheme)
+
+    @given(
+        texts=st.lists(
+            st.text(alphabet="ACGTN", min_size=0, max_size=40),
+            min_size=1,
+            max_size=6,
+        ),
+        query=st.text(alphabet="ACGT", min_size=1, max_size=25),
+        scheme=schemes,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_segment_scores_equal_pairwise_scores(self, texts, query, scheme):
+        """The concatenated scan must equal per-sequence alignment —
+        i.e. sentinels leak nothing across boundaries."""
+        sequences = [alphabet.encode(text) for text in texts]
+        query_codes = alphabet.encode(query)
+        image = TargetImage.build(sequences, scheme, len(query))
+        scanned = segment_best_scores(query_codes, image, scheme)
+        expected = [
+            smith_waterman_score(query_codes, target, scheme)
+            for target in sequences
+        ]
+        assert scanned.tolist() == expected
+
+    def test_profile_is_cached_per_scheme(self):
+        scheme = ScoringScheme()
+        image = TargetImage.build([alphabet.encode("ACGT")], scheme, 4)
+        assert image.profile_for(scheme) is image.profile_for(scheme)
+
+    def test_empty_sequences_score_zero(self):
+        scheme = ScoringScheme()
+        image = TargetImage.build(
+            [alphabet.encode("ACGT"), np.empty(0, np.uint8)], scheme, 4
+        )
+        scores = segment_best_scores(alphabet.encode("ACGT"), image, scheme)
+        assert scores.tolist() == [4, 0]
+
+
+class TestLongTargets:
+    def test_megabase_scan_runs_and_finds_planted_match(self):
+        rng = np.random.default_rng(3)
+        target = rng.integers(0, 4, 300_000, dtype=np.uint8)
+        query = target[150_000:150_200].copy()
+        scheme = ScoringScheme()
+        assert best_local_score(query, target, scheme) == 200

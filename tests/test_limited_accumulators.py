@@ -1,0 +1,171 @@
+"""Unit tests for bounded-accumulator coarse ranking and disk merging."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IndexParameterError, SearchError
+from repro.index.builder import IndexParameters, build_index
+from repro.index.merge import merge_index_files
+from repro.index.storage import read_index, write_index
+from repro.search.coarse import CoarseRanker
+from repro.sequences.record import Sequence
+
+
+@pytest.fixture(scope="module")
+def records():
+    rng = np.random.default_rng(131)
+    return [
+        Sequence(f"la{slot}", rng.integers(0, 4, 250, dtype=np.uint8))
+        for slot in range(25)
+    ]
+
+
+@pytest.fixture(scope="module")
+def index(records):
+    return build_index(records, IndexParameters(interval_length=7))
+
+
+class TestLimitedAccumulators:
+    def test_validation(self, index):
+        with pytest.raises(SearchError):
+            CoarseRanker(index, max_accumulators=0)
+        with pytest.raises(SearchError):
+            CoarseRanker(index, max_accumulators=5, accumulator_policy="maybe")
+        with pytest.raises(SearchError, match="count scorer"):
+            CoarseRanker(index, scorer="diagonal", max_accumulators=5)
+
+    def test_unbounded_limit_matches_plain_ranking(self, index, records):
+        query = records[4].codes[:120]
+        plain = CoarseRanker(index).rank(query, 10)
+        bounded = CoarseRanker(
+            index, max_accumulators=len(records) * 10
+        ).rank(query, 10)
+        assert [(c.ordinal, c.coarse_score) for c in plain] == [
+            (c.ordinal, c.coarse_score) for c in bounded
+        ]
+
+    def test_tight_bound_keeps_the_strong_answer(self, index, records):
+        query = records[9].codes[30:170]
+        for policy in ("continue", "quit"):
+            ranked = CoarseRanker(
+                index, max_accumulators=4, accumulator_policy=policy
+            ).rank(query, 3)
+            assert ranked[0].ordinal == 9, policy
+
+    def test_bound_limits_candidate_count(self, index, records):
+        query = records[2].codes[:150]
+        ranked = CoarseRanker(index, max_accumulators=6).rank(query, 100)
+        assert len(ranked) <= 6
+
+    def test_quit_scores_bounded_by_continue(self, index, records):
+        """Quit stops earlier, so no sequence can score higher under it."""
+        query = records[14].codes[:150]
+        continue_scores = {
+            c.ordinal: c.coarse_score
+            for c in CoarseRanker(
+                index, max_accumulators=6, accumulator_policy="continue"
+            ).rank(query, 100)
+        }
+        quit_scores = {
+            c.ordinal: c.coarse_score
+            for c in CoarseRanker(
+                index, max_accumulators=6, accumulator_policy="quit"
+            ).rank(query, 100)
+        }
+        for ordinal, score in quit_scores.items():
+            assert score <= continue_scores.get(ordinal, score)
+
+    def test_rarest_first_processing_prefers_discriminating_evidence(self):
+        # Collection where one interval is ubiquitous and one is unique.
+        rng = np.random.default_rng(9)
+        records = []
+        for slot in range(12):
+            codes = rng.integers(0, 4, 100, dtype=np.uint8)
+            codes[:20] = 0  # shared poly-A block
+            records.append(Sequence(f"q{slot}", codes))
+        index = build_index(records, IndexParameters(interval_length=5))
+        # Query = poly-A + sequence 3's unique suffix.
+        query = np.concatenate(
+            [np.zeros(20, dtype=np.uint8), records[3].codes[60:100]]
+        )
+        ranked = CoarseRanker(index, max_accumulators=3).rank(query, 3)
+        assert ranked[0].ordinal == 3
+
+
+class TestDiskMerge:
+    def test_merged_file_equals_direct_build(self, records, tmp_path):
+        params = IndexParameters(interval_length=7)
+        first = tmp_path / "a.rpix"
+        second = tmp_path / "b.rpix"
+        output = tmp_path / "m.rpix"
+        write_index(build_index(records[:10], params), first)
+        write_index(build_index(records[10:], params), second)
+        written = merge_index_files([str(first), str(second)], str(output))
+        assert output.stat().st_size == written
+        direct = build_index(records, params)
+        with read_index(output) as merged:
+            assert merged.vocabulary_size == direct.vocabulary_size
+            assert merged.collection.identifiers == (
+                direct.collection.identifiers
+            )
+            for interval in direct.interval_ids():
+                ours = merged.lookup_entry(interval)
+                theirs = direct.lookup_entry(interval)
+                assert (ours.df, ours.cf, ours.data) == (
+                    theirs.df, theirs.cf, theirs.data,
+                )
+
+    def test_three_way_disk_merge_searchable(self, records, tmp_path):
+        from repro.index.store import MemorySequenceSource
+        from repro.search.engine import PartitionedSearchEngine
+
+        params = IndexParameters(interval_length=7)
+        paths = []
+        for slot, chunk in enumerate(
+            (records[:8], records[8:16], records[16:])
+        ):
+            path = tmp_path / f"part{slot}.rpix"
+            write_index(build_index(chunk, params), path)
+            paths.append(str(path))
+        output = tmp_path / "all.rpix"
+        merge_index_files(paths, str(output))
+        with read_index(output) as merged:
+            engine = PartitionedSearchEngine(
+                merged, MemorySequenceSource(records), coarse_cutoff=10
+            )
+            query = records[19].codes[50:200]
+            assert engine.search(query).best().ordinal == 19
+
+    def test_empty_path_list_rejected(self, tmp_path):
+        with pytest.raises(IndexParameterError):
+            merge_index_files([], str(tmp_path / "out.rpix"))
+
+    def test_parameter_mismatch_rejected(self, records, tmp_path):
+        first = tmp_path / "a.rpix"
+        second = tmp_path / "b.rpix"
+        write_index(
+            build_index(records[:5], IndexParameters(interval_length=6)), first
+        )
+        write_index(
+            build_index(records[5:], IndexParameters(interval_length=8)), second
+        )
+        with pytest.raises(IndexParameterError):
+            merge_index_files(
+                [str(first), str(second)], str(tmp_path / "out.rpix")
+            )
+
+    def test_positions_free_disk_merge(self, records, tmp_path):
+        params = IndexParameters(interval_length=7, include_positions=False)
+        first = tmp_path / "a.rpix"
+        second = tmp_path / "b.rpix"
+        write_index(build_index(records[:10], params), first)
+        write_index(build_index(records[10:], params), second)
+        output = tmp_path / "m.rpix"
+        merge_index_files([str(first), str(second)], str(output))
+        direct = build_index(records, params)
+        with read_index(output) as merged:
+            for interval in list(direct.interval_ids())[:200]:
+                assert (
+                    merged.lookup_entry(interval).data
+                    == direct.lookup_entry(interval).data
+                )

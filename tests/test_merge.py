@@ -1,0 +1,119 @@
+"""Unit and property tests for chunked index construction and merging."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import IndexParameterError
+from repro.index.builder import IndexParameters, build_index
+from repro.index.merge import build_index_chunked, merge_indexes
+from repro.sequences.record import Sequence
+
+
+def random_records(seed: int, count: int, length: int = 150) -> list[Sequence]:
+    rng = np.random.default_rng(seed)
+    return [
+        Sequence(f"m{seed}_{slot}", rng.integers(0, 4, length, dtype=np.uint8))
+        for slot in range(count)
+    ]
+
+
+def assert_identical(first, second) -> None:
+    assert first.params == second.params
+    assert first.collection.identifiers == second.collection.identifiers
+    assert np.array_equal(first.collection.lengths, second.collection.lengths)
+    assert first.vocabulary_size == second.vocabulary_size
+    for interval in first.interval_ids():
+        this = first.lookup_entry(interval)
+        that = second.lookup_entry(interval)
+        assert that is not None, interval
+        assert (this.df, this.cf, this.data) == (that.df, that.cf, that.data)
+
+
+class TestMerge:
+    def test_empty_merge_rejected(self):
+        with pytest.raises(IndexParameterError):
+            merge_indexes([])
+
+    def test_parameter_mismatch_rejected(self):
+        records = random_records(1, 4)
+        first = build_index(records, IndexParameters(interval_length=6))
+        second = build_index(records, IndexParameters(interval_length=8))
+        with pytest.raises(IndexParameterError, match="different parameters"):
+            merge_indexes([first, second])
+
+    def test_merge_of_one_is_identity(self):
+        records = random_records(2, 5)
+        index = build_index(records, IndexParameters(interval_length=6))
+        assert_identical(merge_indexes([index]), index)
+
+    def test_two_way_merge_equals_direct_build(self):
+        first_half = random_records(3, 7)
+        second_half = random_records(4, 5)
+        params = IndexParameters(interval_length=7)
+        merged = merge_indexes(
+            [build_index(first_half, params), build_index(second_half, params)]
+        )
+        direct = build_index(first_half + second_half, params)
+        assert_identical(merged, direct)
+
+    def test_three_way_merge_with_uneven_parts(self):
+        parts_records = [random_records(s, n) for s, n in ((5, 3), (6, 9), (7, 1))]
+        params = IndexParameters(interval_length=6)
+        merged = merge_indexes([build_index(r, params) for r in parts_records])
+        direct = build_index(sum(parts_records, []), params)
+        assert_identical(merged, direct)
+
+    def test_merge_without_positions(self):
+        params = IndexParameters(interval_length=6, include_positions=False)
+        first = random_records(8, 4)
+        second = random_records(9, 4)
+        merged = merge_indexes(
+            [build_index(first, params), build_index(second, params)]
+        )
+        direct = build_index(first + second, params)
+        assert_identical(merged, direct)
+
+
+class TestChunkedBuild:
+    def test_chunk_size_validation(self):
+        with pytest.raises(IndexParameterError):
+            build_index_chunked(random_records(1, 3), chunk_size=0)
+
+    def test_empty_collection_rejected(self):
+        with pytest.raises(IndexParameterError):
+            build_index_chunked([])
+
+    def test_accepts_lazy_iterables(self):
+        records = random_records(10, 6)
+        index = build_index_chunked(
+            iter(records), IndexParameters(interval_length=6), chunk_size=2
+        )
+        assert index.collection.num_sequences == 6
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        count=st.integers(min_value=1, max_value=12),
+        chunk_size=st.integers(min_value=1, max_value=13),
+    )
+    def test_chunked_equals_direct_for_any_chunking(self, count, chunk_size):
+        records = random_records(11, count, length=60)
+        params = IndexParameters(interval_length=5)
+        chunked = build_index_chunked(records, params, chunk_size=chunk_size)
+        direct = build_index(records, params)
+        assert_identical(chunked, direct)
+
+    def test_search_on_merged_index(self):
+        from repro.index.store import MemorySequenceSource
+        from repro.search.engine import PartitionedSearchEngine
+
+        records = random_records(12, 30, length=200)
+        index = build_index_chunked(
+            records, IndexParameters(interval_length=8), chunk_size=7
+        )
+        engine = PartitionedSearchEngine(
+            index, MemorySequenceSource(records), coarse_cutoff=10
+        )
+        query = records[17].codes[40:160]
+        assert engine.search(query).best().ordinal == 17

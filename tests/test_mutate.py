@@ -1,0 +1,105 @@
+"""Unit tests for the mutation model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sequences.mutate import MutationModel, divergence
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(99)
+
+
+class TestValidation:
+    def test_rates_must_be_probabilities(self):
+        with pytest.raises(WorkloadError):
+            MutationModel(substitution_rate=1.5)
+        with pytest.raises(WorkloadError):
+            MutationModel(deletion_rate=-0.1)
+
+    def test_expected_identity_decreases_with_rates(self):
+        mild = MutationModel(0.01, 0.0, 0.0)
+        harsh = MutationModel(0.4, 0.05, 0.05)
+        assert mild.expected_identity() > harsh.expected_identity()
+
+
+class TestSubstitutionOnly:
+    def test_zero_rates_copy_input(self, rng):
+        model = MutationModel(0.0, 0.0, 0.0)
+        codes = rng.integers(0, 4, 100, dtype=np.uint8)
+        mutated = model.mutate(codes, rng)
+        assert np.array_equal(mutated, codes)
+        assert mutated is not codes
+
+    def test_length_preserved_without_indels(self, rng):
+        model = MutationModel(0.3, 0.0, 0.0)
+        codes = rng.integers(0, 4, 500, dtype=np.uint8)
+        assert model.mutate(codes, rng).shape == codes.shape
+
+    def test_substitutions_always_change_the_base(self, rng):
+        model = MutationModel(1.0, 0.0, 0.0)
+        codes = rng.integers(0, 4, 300, dtype=np.uint8)
+        mutated = model.mutate(codes, rng)
+        assert not (mutated == codes).any()
+        assert (mutated < 4).all()
+
+    def test_substitution_rate_is_respected(self, rng):
+        model = MutationModel(0.25, 0.0, 0.0)
+        codes = rng.integers(0, 4, 20_000, dtype=np.uint8)
+        changed = np.count_nonzero(model.mutate(codes, rng) != codes)
+        assert 0.2 < changed / codes.shape[0] < 0.3
+
+    def test_wildcards_are_not_substituted(self, rng):
+        model = MutationModel(1.0, 0.0, 0.0)
+        codes = np.full(50, 14, dtype=np.uint8)  # all N
+        assert np.array_equal(model.mutate(codes, rng), codes)
+
+
+class TestIndels:
+    def test_deletions_shorten(self, rng):
+        model = MutationModel(0.0, 0.0, 0.5)
+        codes = rng.integers(0, 4, 2000, dtype=np.uint8)
+        mutated = model.mutate(codes, rng)
+        assert 700 < mutated.shape[0] < 1300
+
+    def test_insertions_lengthen(self, rng):
+        model = MutationModel(0.0, 0.5, 0.0)
+        codes = rng.integers(0, 4, 2000, dtype=np.uint8)
+        mutated = model.mutate(codes, rng)
+        assert mutated.shape[0] > 2400
+
+    def test_empty_input(self, rng):
+        model = MutationModel(0.5, 0.5, 0.5)
+        assert model.mutate(np.empty(0, dtype=np.uint8), rng).shape == (0,)
+
+    def test_output_is_valid_codes(self, rng):
+        model = MutationModel(0.2, 0.1, 0.1)
+        codes = rng.integers(0, 4, 1000, dtype=np.uint8)
+        mutated = model.mutate(codes, rng)
+        assert (mutated < 4).all()
+
+    def test_determinism_per_generator_state(self):
+        model = MutationModel(0.2, 0.05, 0.05)
+        codes = np.arange(200, dtype=np.uint8) % 4
+        first = model.mutate(codes, np.random.default_rng(5))
+        second = model.mutate(codes, np.random.default_rng(5))
+        assert np.array_equal(first, second)
+
+
+class TestDivergence:
+    def test_identical_sequences(self):
+        codes = np.array([0, 1, 2, 3], dtype=np.uint8)
+        assert divergence(codes, codes) == 0.0
+
+    def test_completely_different(self):
+        first = np.zeros(10, dtype=np.uint8)
+        second = np.ones(10, dtype=np.uint8)
+        assert divergence(first, second) == 1.0
+
+    def test_empty_vs_nonempty(self):
+        assert divergence(np.empty(0, np.uint8), np.ones(3, np.uint8)) == 1.0
+
+    def test_both_empty(self):
+        assert divergence(np.empty(0, np.uint8), np.empty(0, np.uint8)) == 0.0

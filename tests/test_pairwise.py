@@ -1,0 +1,119 @@
+"""Unit and property tests for traceback alignment."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align.pairwise import MAX_TRACEBACK_CELLS, Alignment, local_align
+from repro.align.reference import smith_waterman_score
+from repro.align.scoring import ScoringScheme
+from repro.errors import AlignmentError
+from repro.sequences import alphabet
+
+short_codes = st.text(alphabet="ACGTN", min_size=0, max_size=40).map(
+    alphabet.encode
+)
+
+
+def check_alignment_consistency(
+    alignment: Alignment,
+    query: np.ndarray,
+    target: np.ndarray,
+    scheme: ScoringScheme,
+) -> None:
+    """The aligned strings must re-derive the reported score and spans."""
+    gapless_query = alignment.aligned_query.replace("-", "")
+    gapless_target = alignment.aligned_target.replace("-", "")
+    assert gapless_query == alphabet.decode(
+        query[alignment.query_start : alignment.query_end]
+    )
+    assert gapless_target == alphabet.decode(
+        target[alignment.target_start : alignment.target_end]
+    )
+    score = 0
+    for first, second in zip(alignment.aligned_query, alignment.aligned_target):
+        if first == "-" or second == "-":
+            score += scheme.gap
+        else:
+            score += scheme.score_pair(
+                alphabet.IUPAC_ALPHABET.index(first),
+                alphabet.IUPAC_ALPHABET.index(second),
+            )
+    assert score == alignment.score
+
+
+class TestKnownAlignments:
+    def test_perfect_match(self):
+        codes = alphabet.encode("GATTACA")
+        alignment = local_align(codes, codes)
+        assert alignment.score == 7
+        assert alignment.aligned_query == "GATTACA"
+        assert alignment.identity == 1.0
+        assert alignment.gaps == 0
+
+    def test_substring_match(self):
+        query = alphabet.encode("ACGT")
+        target = alphabet.encode("TTACGTTT")
+        alignment = local_align(query, target)
+        assert alignment.score == 4
+        assert alignment.target_start == 2
+        assert alignment.target_end == 6
+
+    def test_gap_in_alignment(self):
+        scheme = ScoringScheme(match=2, mismatch=-3, gap=-1)
+        query = alphabet.encode("ACGTACGT")
+        target = alphabet.encode("ACGTTACGT")  # one inserted T
+        alignment = local_align(query, target, scheme)
+        assert alignment.score == 2 * 8 - 1
+        assert alignment.gaps == 1
+
+    def test_no_similarity_gives_empty_alignment(self):
+        alignment = local_align(
+            alphabet.encode("AAAA"), alphabet.encode("TTTT")
+        )
+        assert alignment.score == 0
+        assert alignment.length == 0
+        assert alignment.identity == 0.0
+
+    def test_midline(self):
+        query = alphabet.encode("ACGT")
+        target = alphabet.encode("AGGT")
+        alignment = local_align(query, target)
+        if alignment.length == 4:
+            assert alignment.midline() == "| ||"
+
+    def test_pretty_contains_coordinates(self):
+        codes = alphabet.encode("ACGTACGT")
+        text = local_align(codes, codes).pretty()
+        assert "score=8" in text
+        assert "Q ACGTACGT" in text
+
+
+class TestAgainstReference:
+    @given(query=short_codes, target=short_codes)
+    @settings(max_examples=120, deadline=None)
+    def test_score_matches_reference(self, query, target):
+        scheme = ScoringScheme()
+        alignment = local_align(query, target, scheme)
+        assert alignment.score == smith_waterman_score(query, target, scheme)
+
+    @given(query=short_codes, target=short_codes)
+    @settings(max_examples=120, deadline=None)
+    def test_traceback_is_self_consistent(self, query, target):
+        scheme = ScoringScheme(match=2, mismatch=-1, gap=-3)
+        alignment = local_align(query, target, scheme)
+        check_alignment_consistency(alignment, query, target, scheme)
+
+
+class TestLimits:
+    def test_oversized_matrix_rejected(self):
+        scheme = ScoringScheme()
+        side = int(MAX_TRACEBACK_CELLS**0.5) + 10
+        big = np.zeros(side, dtype=np.uint8)
+        with pytest.raises(AlignmentError, match="cells"):
+            local_align(big, big, scheme)
+
+    def test_empty_inputs(self):
+        alignment = local_align(np.empty(0, np.uint8), alphabet.encode("ACGT"))
+        assert alignment.score == 0

@@ -1,0 +1,159 @@
+"""Unit and property tests for compressed posting lists."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import CodecError
+from repro.index.postings import PostingEntry, PostingsCodec, PostingsContext
+
+CONTEXT = PostingsContext(num_sequences=100, total_length=50_000)
+
+
+def make_entries(spec: list[tuple[int, list[int]]]) -> list[PostingEntry]:
+    return [
+        PostingEntry(doc, np.array(positions, dtype=np.int64))
+        for doc, positions in spec
+    ]
+
+
+@st.composite
+def posting_lists(draw):
+    """Strategy: a valid (sorted docs, sorted positive positions) list."""
+    num_docs = draw(st.integers(min_value=1, max_value=12))
+    docs = sorted(
+        draw(
+            st.sets(
+                st.integers(min_value=0, max_value=99),
+                min_size=num_docs,
+                max_size=num_docs,
+            )
+        )
+    )
+    spec = []
+    for doc in docs:
+        positions = sorted(
+            draw(
+                st.sets(
+                    st.integers(min_value=0, max_value=499),
+                    min_size=1,
+                    max_size=8,
+                )
+            )
+        )
+        spec.append((doc, positions))
+    return spec
+
+
+class TestRoundTrip:
+    @given(posting_lists())
+    def test_full_roundtrip_default_codecs(self, spec):
+        codec = PostingsCodec()
+        entries = make_entries(spec)
+        df = len(entries)
+        cf = sum(entry.count for entry in entries)
+        decoded = codec.decode(codec.encode(entries, CONTEXT), df, cf, CONTEXT)
+        assert [(e.sequence, e.positions.tolist()) for e in decoded] == spec
+
+    @given(posting_lists())
+    def test_section_a_matches_full_decode(self, spec):
+        codec = PostingsCodec()
+        entries = make_entries(spec)
+        data = codec.encode(entries, CONTEXT)
+        docs, counts = codec.decode_docs_counts(data, len(entries), CONTEXT)
+        assert docs.tolist() == [doc for doc, _ in spec]
+        assert counts.tolist() == [len(positions) for _, positions in spec]
+
+    @pytest.mark.parametrize(
+        "doc_codec,count_codec,position_codec",
+        [
+            ("golomb", "gamma", "golomb"),
+            ("gamma", "gamma", "gamma"),
+            ("delta", "delta", "delta"),
+            ("vbyte", "vbyte", "vbyte"),
+            ("rice", "gamma", "rice"),
+        ],
+    )
+    def test_roundtrip_across_codec_choices(
+        self, doc_codec, count_codec, position_codec
+    ):
+        codec = PostingsCodec(doc_codec, count_codec, position_codec)
+        spec = [(0, [0, 7, 8]), (3, [499]), (99, [1, 2, 3, 4])]
+        entries = make_entries(spec)
+        decoded = codec.decode(codec.encode(entries, CONTEXT), 3, 8, CONTEXT)
+        assert [(e.sequence, e.positions.tolist()) for e in decoded] == spec
+
+    def test_docs_only_mode(self):
+        codec = PostingsCodec(include_positions=False)
+        entries = make_entries([(1, [5, 9]), (4, [0])])
+        data = codec.encode(entries, CONTEXT)
+        docs, counts = codec.decode_docs_counts(data, 2, CONTEXT)
+        assert docs.tolist() == [1, 4]
+        assert counts.tolist() == [2, 1]
+        with pytest.raises(CodecError, match="no occurrence offsets"):
+            codec.decode(data, 2, 3, CONTEXT)
+
+    def test_docs_only_is_smaller(self):
+        entries = make_entries([(d, list(range(0, 40, 5))) for d in range(0, 50, 5)])
+        with_positions = PostingsCodec().encode(entries, CONTEXT)
+        without = PostingsCodec(include_positions=False).encode(entries, CONTEXT)
+        assert len(without) < len(with_positions)
+
+
+class TestValidation:
+    def test_unsorted_entries_rejected(self):
+        codec = PostingsCodec()
+        entries = make_entries([(5, [1]), (2, [1])])
+        with pytest.raises(CodecError, match="sorted"):
+            codec.encode(entries, CONTEXT)
+
+    def test_duplicate_docs_rejected(self):
+        codec = PostingsCodec()
+        entries = make_entries([(5, [1]), (5, [2])])
+        with pytest.raises(CodecError, match="sorted"):
+            codec.encode(entries, CONTEXT)
+
+    def test_empty_positions_rejected(self):
+        codec = PostingsCodec()
+        entries = [PostingEntry(0, np.empty(0, dtype=np.int64))]
+        with pytest.raises(CodecError, match="zero occurrences"):
+            codec.encode(entries, CONTEXT)
+
+    def test_unknown_codec_name(self):
+        with pytest.raises(CodecError):
+            PostingsCodec(doc_codec="lzw")
+
+    def test_empty_list_roundtrip(self):
+        codec = PostingsCodec()
+        data = codec.encode([], CONTEXT)
+        docs, counts = codec.decode_docs_counts(data, 0, CONTEXT)
+        assert docs.shape == (0,)
+        assert counts.shape == (0,)
+
+
+class TestDescription:
+    def test_describe_roundtrip(self):
+        original = PostingsCodec("vbyte", "delta", "rice", include_positions=False)
+        rebuilt = PostingsCodec.from_description(original.describe())
+        assert rebuilt.describe() == original.describe()
+
+    def test_decoder_derives_same_golomb_parameters(self):
+        """Encode and decode are separate codec instances (as when the
+        index is reloaded from disk): parameters must be derivable."""
+        spec = [(d, [d * 3, d * 3 + 1]) for d in range(0, 60, 3)]
+        entries = make_entries(spec)
+        encoder = PostingsCodec()
+        data = encoder.encode(entries, CONTEXT)
+        decoder = PostingsCodec.from_description(encoder.describe())
+        decoded = decoder.decode(data, len(spec), sum(len(p) for _, p in spec), CONTEXT)
+        assert [(e.sequence, e.positions.tolist()) for e in decoded] == spec
+
+
+class TestContext:
+    def test_mean_length(self):
+        assert PostingsContext(10, 1000).mean_length == 100.0
+
+    def test_mean_length_floor(self):
+        assert PostingsContext(0, 0).mean_length == 1.0
+        assert PostingsContext(10, 1).mean_length == 1.0

@@ -1,0 +1,96 @@
+"""Unit tests for query workloads."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sequences.mutate import MutationModel
+from repro.workloads.queries import (
+    make_background_queries,
+    make_family_queries,
+)
+from repro.workloads.synthetic import WorkloadSpec, generate_collection
+
+
+@pytest.fixture(scope="module")
+def collection():
+    return generate_collection(
+        WorkloadSpec(num_families=4, family_size=3, num_background=20,
+                     mean_length=400, seed=3)
+    )
+
+
+class TestFamilyQueries:
+    def test_counts_and_lengths(self, collection):
+        cases = make_family_queries(collection, 10, query_length=120, seed=1)
+        assert len(cases) == 10
+        assert all(len(case.query) <= 120 for case in cases)
+
+    def test_relevant_is_source_family(self, collection):
+        for case in make_family_queries(collection, 8, seed=2):
+            family = collection.family_of(case.source_ordinal)
+            assert family is not None
+            assert case.relevant == collection.family_members(family)
+            assert case.source_ordinal in case.relevant
+
+    def test_query_window_is_verbatim_without_extra_mutation(self, collection):
+        case = make_family_queries(collection, 1, query_length=100, seed=4)[0]
+        source_text = collection.sequences[case.source_ordinal].text
+        assert case.query.text in source_text
+
+    def test_extra_mutation_diverges_query(self, collection):
+        mutated = make_family_queries(
+            collection, 1, query_length=100,
+            extra_mutation=MutationModel(0.3, 0.0, 0.0), seed=4,
+        )[0]
+        source_text = collection.sequences[mutated.source_ordinal].text
+        assert mutated.query.text not in source_text
+
+    def test_window_longer_than_sequence_takes_whole(self, collection):
+        cases = make_family_queries(collection, 3, query_length=10**6, seed=5)
+        for case in cases:
+            assert len(case.query) == len(
+                collection.sequences[case.source_ordinal]
+            )
+
+    def test_identifier_names_family(self, collection):
+        case = make_family_queries(collection, 1, seed=6)[0]
+        family = collection.family_of(case.source_ordinal)
+        assert f"fam{family:03d}" in case.query.identifier
+
+    def test_determinism(self, collection):
+        first = make_family_queries(collection, 5, seed=7)
+        second = make_family_queries(collection, 5, seed=7)
+        assert [c.query for c in first] == [c.query for c in second]
+
+    def test_validation(self, collection):
+        with pytest.raises(WorkloadError):
+            make_family_queries(collection, 0)
+        with pytest.raises(WorkloadError):
+            make_family_queries(collection, 1, query_length=0)
+
+    def test_requires_families(self):
+        bare = generate_collection(
+            WorkloadSpec(num_families=0, num_background=5,
+                         mean_length=100, seed=1)
+        )
+        with pytest.raises(WorkloadError, match="families"):
+            make_family_queries(bare, 1)
+
+
+class TestBackgroundQueries:
+    def test_relevant_is_source_only(self, collection):
+        for case in make_background_queries(collection, 6, seed=8):
+            assert case.relevant == {case.source_ordinal}
+            assert collection.family_of(case.source_ordinal) is None
+
+    def test_requires_background(self):
+        families_only = generate_collection(
+            WorkloadSpec(num_families=2, family_size=2, num_background=0,
+                         mean_length=100, seed=1)
+        )
+        with pytest.raises(WorkloadError, match="background"):
+            make_background_queries(families_only, 1)
+
+    def test_validation(self, collection):
+        with pytest.raises(WorkloadError):
+            make_background_queries(collection, 0)

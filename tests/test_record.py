@@ -1,0 +1,74 @@
+"""Unit tests for the Sequence record."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AlphabetError
+from repro.sequences.record import Sequence
+
+
+class TestConstruction:
+    def test_from_text(self):
+        record = Sequence.from_text("s1", "ACGT", "a demo")
+        assert record.identifier == "s1"
+        assert record.description == "a demo"
+        assert record.text == "ACGT"
+        assert len(record) == 4
+
+    def test_from_text_rejects_bad_characters(self):
+        with pytest.raises(AlphabetError):
+            Sequence.from_text("s1", "ACGU")
+
+    def test_codes_are_read_only(self):
+        record = Sequence.from_text("s1", "ACGT")
+        with pytest.raises(ValueError):
+            record.codes[0] = 3
+
+    def test_codes_are_copied_to_uint8(self):
+        record = Sequence("s1", np.array([0, 1, 2, 3], dtype=np.int64))
+        assert record.codes.dtype == np.uint8
+
+
+class TestEquality:
+    def test_equal_records(self):
+        assert Sequence.from_text("a", "ACGT") == Sequence.from_text("a", "ACGT")
+
+    def test_different_sequence_not_equal(self):
+        assert Sequence.from_text("a", "ACGT") != Sequence.from_text("a", "ACGA")
+
+    def test_different_identifier_not_equal(self):
+        assert Sequence.from_text("a", "ACGT") != Sequence.from_text("b", "ACGT")
+
+    def test_hashable(self):
+        records = {Sequence.from_text("a", "ACGT"), Sequence.from_text("a", "ACGT")}
+        assert len(records) == 1
+
+    def test_not_equal_to_other_types(self):
+        assert Sequence.from_text("a", "ACGT") != "ACGT"
+
+
+class TestDerivedViews:
+    def test_slice_keeps_coordinates_in_identifier(self):
+        record = Sequence.from_text("s1", "ACGTACGT")
+        part = record.slice(2, 6)
+        assert part.text == "GTAC"
+        assert part.identifier == "s1[2:6]"
+
+    def test_reverse_complement(self):
+        record = Sequence.from_text("s1", "AACG")
+        assert record.reverse_complement().text == "CGTT"
+        assert record.reverse_complement().identifier == "s1/rc"
+
+    def test_wildcard_count(self):
+        assert Sequence.from_text("s1", "ANNGT").wildcard_count() == 2
+
+    def test_base_composition_skips_absent_characters(self):
+        composition = Sequence.from_text("s1", "AACGN").base_composition()
+        assert composition == {"A": 2, "C": 1, "G": 1, "N": 1}
+
+    def test_gc_fraction_excludes_wildcards(self):
+        record = Sequence.from_text("s1", "GCNN")
+        assert record.gc_fraction() == 1.0
+
+    def test_gc_fraction_of_empty(self):
+        assert Sequence.from_text("s1", "N").gc_fraction() == 0.0

@@ -1,0 +1,101 @@
+"""Unit tests for the scalar reference aligners."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align.reference import gotoh_score, smith_waterman_score
+from repro.align.scoring import AffineScoringScheme, ScoringScheme
+from repro.sequences import alphabet
+
+short_codes = st.text(alphabet="ACGT", min_size=0, max_size=25).map(
+    alphabet.encode
+)
+
+
+class TestSmithWaterman:
+    def test_identical_sequences(self):
+        codes = alphabet.encode("ACGTACGT")
+        assert smith_waterman_score(codes, codes, ScoringScheme()) == 8
+
+    def test_no_common_substring(self):
+        assert (
+            smith_waterman_score(
+                alphabet.encode("AAAA"), alphabet.encode("TTTT"), ScoringScheme()
+            )
+            == 0
+        )
+
+    def test_known_value_with_gap(self):
+        # ACGT vs ACT: align ACGT/AC-T -> 3 matches + 1 gap = 3*1 - 2 = 1,
+        # or the ungapped AC (2). Optimum depends on penalties.
+        scheme = ScoringScheme(match=1, mismatch=-1, gap=-2)
+        score = smith_waterman_score(
+            alphabet.encode("ACGT"), alphabet.encode("ACT"), scheme
+        )
+        assert score == 2
+
+    def test_cheap_gap_changes_answer(self):
+        scheme = ScoringScheme(match=2, mismatch=-2, gap=-1)
+        score = smith_waterman_score(
+            alphabet.encode("ACGT"), alphabet.encode("ACT"), scheme
+        )
+        assert score == 5  # ACGT / AC-T: 3 matches (6) - 1 gap
+
+    def test_local_ignores_bad_flanks(self):
+        scheme = ScoringScheme()
+        query = alphabet.encode("TTTTACGTACGTTTTT")
+        target = alphabet.encode("GGGGACGTACGGGGG")
+        assert smith_waterman_score(query, target, scheme) >= 7
+
+
+class TestGotoh:
+    def test_equals_linear_when_affine_is_flat(self):
+        """With open == extend the affine model is the linear model."""
+        linear = ScoringScheme(match=1, mismatch=-1, gap=-2)
+        affine = AffineScoringScheme(
+            match=1, mismatch=-1, gap_open=-2, gap_extend=-2
+        )
+        for first, second in [
+            ("ACGTACGT", "ACGGT"),
+            ("TTTT", "TTAT"),
+            ("GATTACA", "GATCACA"),
+        ]:
+            a = alphabet.encode(first)
+            b = alphabet.encode(second)
+            assert gotoh_score(a, b, affine) == smith_waterman_score(a, b, linear)
+
+    @given(first=short_codes, second=short_codes)
+    @settings(max_examples=60, deadline=None)
+    def test_flat_affine_equals_linear_property(self, first, second):
+        linear = ScoringScheme(match=2, mismatch=-3, gap=-4)
+        affine = AffineScoringScheme(2, -3, gap_open=-4, gap_extend=-4)
+        assert gotoh_score(first, second, affine) == smith_waterman_score(
+            first, second, linear
+        )
+
+    def test_long_gaps_cheaper_under_affine(self):
+        """One long gap should beat the linear model's per-base cost.
+
+        Two 12-base exact segments separated by a 6-base insertion in
+        the target: affine bridges (cost 4 + 5*1 = 9 < 12 gained), the
+        linear model at -3/base does not (cost 18 > 12) and must settle
+        for a single segment.
+        """
+        affine = AffineScoringScheme(1, -1, gap_open=-4, gap_extend=-1)
+        linear = ScoringScheme(1, -1, gap=-3)
+        first = "ACGTACGTACGT"
+        second = "TGCATGCATGCA"
+        query = alphabet.encode(first + second)
+        target = alphabet.encode(first + "CCCCCC" + second)
+        affine_score = gotoh_score(query, target, affine)
+        linear_score = smith_waterman_score(query, target, linear)
+        assert linear_score == 12
+        assert affine_score == 24 - 9
+        assert affine_score > linear_score
+
+    @given(first=short_codes, second=short_codes)
+    @settings(max_examples=60, deadline=None)
+    def test_affine_never_negative(self, first, second):
+        affine = AffineScoringScheme()
+        assert gotoh_score(first, second, affine) >= 0

@@ -1,0 +1,117 @@
+"""Unit tests for alignment scoring schemes."""
+
+import numpy as np
+import pytest
+
+from repro.align.scoring import (
+    SENTINEL_CODE,
+    SENTINEL_SCORE,
+    AffineScoringScheme,
+    ScoringScheme,
+)
+from repro.errors import AlignmentError
+from repro.sequences import alphabet
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        scheme = ScoringScheme()
+        assert scheme.match == 1
+        assert scheme.mismatch == -1
+        assert scheme.gap == -2
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"match": 0},
+            {"match": -1},
+            {"mismatch": 0},
+            {"mismatch": 1},
+            {"gap": 0},
+            {"gap": 1},
+        ],
+    )
+    def test_bad_linear_parameters(self, kwargs):
+        with pytest.raises(AlignmentError):
+            ScoringScheme(**kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"match": 0}, {"mismatch": 0}, {"gap_open": 0}, {"gap_extend": 1}],
+    )
+    def test_bad_affine_parameters(self, kwargs):
+        with pytest.raises(AlignmentError):
+            AffineScoringScheme(**kwargs)
+
+
+class TestPairScores:
+    def test_matching_bases(self):
+        scheme = ScoringScheme(match=2)
+        assert scheme.score_pair(0, 0) == 2
+        assert scheme.score_pair(3, 3) == 2
+
+    def test_mismatching_bases(self):
+        scheme = ScoringScheme(mismatch=-3)
+        assert scheme.score_pair(0, 1) == -3
+
+    def test_wildcards_never_match(self):
+        scheme = ScoringScheme()
+        n_code = alphabet.IUPAC_ALPHABET.index("N")
+        assert scheme.score_pair(n_code, n_code) == scheme.mismatch
+        assert scheme.score_pair(0, n_code) == scheme.mismatch
+
+    def test_sentinel_is_deadly(self):
+        scheme = ScoringScheme()
+        assert scheme.score_pair(SENTINEL_CODE, 0) == SENTINEL_SCORE
+        assert scheme.score_pair(0, SENTINEL_CODE) == SENTINEL_SCORE
+
+    def test_affine_pair_scores_match_linear_rule(self):
+        affine = AffineScoringScheme(match=2, mismatch=-2)
+        assert affine.score_pair(1, 1) == 2
+        assert affine.score_pair(1, 2) == -2
+        assert affine.score_pair(SENTINEL_CODE, 1) == SENTINEL_SCORE
+
+
+class TestProfile:
+    def test_profile_rows_agree_with_score_pair(self):
+        scheme = ScoringScheme(match=3, mismatch=-2)
+        target = alphabet.encode("ACGTN")
+        profile = scheme.target_profile(target)
+        for query_code in range(4):
+            for column, target_code in enumerate(target):
+                assert profile[query_code, column] == scheme.score_pair(
+                    query_code, int(target_code)
+                )
+
+    def test_wildcard_query_row(self):
+        scheme = ScoringScheme()
+        profile = scheme.target_profile(alphabet.encode("ACGT"))
+        wildcard_row = scheme.profile_row(profile, 14)
+        assert (wildcard_row == scheme.mismatch).all()
+
+    def test_sentinel_columns(self):
+        scheme = ScoringScheme()
+        target = np.array([0, SENTINEL_CODE, 1], dtype=np.uint8)
+        profile = scheme.target_profile(target)
+        assert (profile[:, 1] == SENTINEL_SCORE).all()
+
+    def test_profile_row_rejects_sentinel_query(self):
+        scheme = ScoringScheme()
+        profile = scheme.target_profile(alphabet.encode("ACGT"))
+        with pytest.raises(AlignmentError):
+            scheme.profile_row(profile, SENTINEL_CODE)
+
+
+class TestSentinelRun:
+    def test_run_blocks_maximum_score_bridge(self):
+        scheme = ScoringScheme(match=1, gap=-2)
+        run = scheme.sentinel_run_length(100)
+        # Crossing the run costs more than any alignment could earn.
+        assert run * abs(scheme.gap) > scheme.max_alignment_score(100)
+
+    def test_run_scales_with_query_length(self):
+        scheme = ScoringScheme()
+        assert scheme.sentinel_run_length(1000) > scheme.sentinel_run_length(10)
+
+    def test_max_alignment_score(self):
+        assert ScoringScheme(match=2).max_alignment_score(50) == 100

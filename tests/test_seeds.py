@@ -1,0 +1,71 @@
+"""Unit tests for the shared seed tables."""
+
+import numpy as np
+import pytest
+
+from repro.index.intervals import IntervalExtractor, interval_id
+from repro.index.store import MemorySequenceSource
+from repro.search.seeds import SeedTable, query_seed_groups
+from repro.sequences.record import Sequence
+
+
+@pytest.fixture(scope="module")
+def source():
+    records = [
+        Sequence.from_text("a", "ACGTACGTAA"),
+        Sequence.from_text("b", "TTTTACGTTT"),
+        Sequence.from_text("c", "GGGG"),
+    ]
+    return MemorySequenceSource(records)
+
+
+class TestSeedTable:
+    def test_positions_of_known_kmer(self, source):
+        table = SeedTable(source, seed_length=4)
+        acgt = interval_id("ACGT")
+        assert table.positions_of(0, acgt).tolist() == [0, 4]
+        assert table.positions_of(1, acgt).tolist() == [4]
+        assert table.positions_of(2, acgt).tolist() == []
+
+    def test_shared_with_returns_slot_and_offsets(self, source):
+        table = SeedTable(source, seed_length=4)
+        query_ids, groups = query_seed_groups(
+            Sequence.from_text("q", "ACGTAC").codes, 4
+        )
+        shared = dict(table.shared_with(0, query_ids))
+        acgt_slot = int(np.searchsorted(query_ids, interval_id("ACGT")))
+        assert shared[acgt_slot].tolist() == [0, 4]
+
+    def test_shared_with_empty_query(self, source):
+        table = SeedTable(source, seed_length=4)
+        assert table.shared_with(0, np.empty(0, dtype=np.int64)) == []
+
+    def test_table_covers_all_sequences(self, source):
+        table = SeedTable(source, seed_length=4)
+        assert len(table) == 3
+
+    def test_short_sequence_has_no_seeds(self, source):
+        table = SeedTable(source, seed_length=6)
+        assert table.positions_of(2, 0).tolist() == []
+
+
+class TestQuerySeedGroups:
+    def test_groups_match_extractor(self):
+        codes = Sequence.from_text("q", "AAAACGTAAAA").codes
+        ids, groups = query_seed_groups(codes, 4)
+        extractor = IntervalExtractor(4)
+        raw_ids, raw_positions = extractor.extract(codes)
+        for packed, group in zip(ids, groups):
+            expected = raw_positions[raw_ids == packed]
+            assert group.tolist() == expected.tolist()
+
+    def test_repeated_kmers_grouped(self):
+        codes = Sequence.from_text("q", "ACGTACGT").codes
+        ids, groups = query_seed_groups(codes, 4)
+        slot = int(np.searchsorted(ids, interval_id("ACGT")))
+        assert groups[slot].tolist() == [0, 4]
+
+    def test_empty_query(self):
+        ids, groups = query_seed_groups(np.empty(0, dtype=np.uint8), 4)
+        assert ids.shape == (0,)
+        assert groups == []

@@ -1,0 +1,68 @@
+"""Unit tests for index statistics."""
+
+import numpy as np
+import pytest
+
+from repro.index.builder import IndexParameters, build_index
+from repro.index.statistics import (
+    UNCOMPRESSED_DOC_BYTES,
+    UNCOMPRESSED_POSITION_BYTES,
+    collect_statistics,
+)
+from repro.sequences.record import Sequence
+
+
+@pytest.fixture(scope="module")
+def index():
+    rng = np.random.default_rng(5)
+    records = [
+        Sequence(f"s{slot}", rng.integers(0, 4, 300, dtype=np.uint8))
+        for slot in range(10)
+    ]
+    return build_index(records, IndexParameters(interval_length=5))
+
+
+class TestAggregates:
+    def test_counts_match_index(self, index):
+        stats = collect_statistics(index)
+        assert stats.vocabulary_size == index.vocabulary_size
+        assert stats.pointer_count == index.pointer_count
+        assert stats.compressed_bytes == index.compressed_bytes
+        assert stats.collection_sequences == 10
+        assert stats.collection_bases == 3000
+
+    def test_occurrences_cover_every_window(self, index):
+        stats = collect_statistics(index)
+        # 10 sequences of 300 bases, k=5, no wildcards: 296 windows each.
+        assert stats.occurrence_count == 10 * 296
+
+    def test_bits_per_pointer_positive_and_finite(self, index):
+        stats = collect_statistics(index)
+        assert 0 < stats.bits_per_pointer < 256
+
+    def test_compression_beats_flat_records(self, index):
+        stats = collect_statistics(index)
+        expected_flat = (
+            stats.pointer_count * UNCOMPRESSED_DOC_BYTES
+            + stats.occurrence_count * UNCOMPRESSED_POSITION_BYTES
+        )
+        assert stats.uncompressed_bytes == expected_flat
+        assert stats.compression_ratio > 1.0
+
+    def test_df_quantiles_are_ordered(self, index):
+        stats = collect_statistics(index)
+        median, ninety, ninety_nine = stats.df_quantiles
+        assert 1 <= median <= ninety <= ninety_nine
+
+    def test_interval_length_recorded(self, index):
+        stats = collect_statistics(index)
+        assert stats.interval_length == 5
+        assert stats.stride == 1
+
+    def test_ratio_properties_of_empty_stats(self):
+        from repro.index.statistics import IndexStatistics
+
+        stats = IndexStatistics(4, 1, 0, 0, 0, 0, 0, 0, (0, 0, 0))
+        assert stats.bits_per_pointer == 0.0
+        assert stats.compression_ratio == 0.0
+        assert stats.index_to_collection_ratio == 0.0

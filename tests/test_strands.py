@@ -1,0 +1,124 @@
+"""Unit tests for both-strand search and query-time frequency skipping."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SearchError
+from repro.index.builder import IndexParameters, build_index
+from repro.index.store import MemorySequenceSource
+from repro.search.coarse import CoarseRanker
+from repro.search.engine import PartitionedSearchEngine
+from repro.sequences.record import Sequence
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(101)
+    records = [
+        Sequence(f"st{slot}", rng.integers(0, 4, 400, dtype=np.uint8))
+        for slot in range(30)
+    ]
+    index = build_index(records, IndexParameters(interval_length=8))
+    source = MemorySequenceSource(records)
+    return records, index, source
+
+
+class TestBothStrands:
+    def test_forward_query_still_found(self, setup):
+        records, index, source = setup
+        engine = PartitionedSearchEngine(
+            index, source, coarse_cutoff=10, both_strands=True
+        )
+        query = records[4].slice(100, 260)
+        report = engine.search(query, top_k=3)
+        assert report.best().ordinal == 4
+        assert report.best().strand == "+"
+
+    def test_reverse_complement_query_found_on_minus_strand(self, setup):
+        records, index, source = setup
+        engine = PartitionedSearchEngine(
+            index, source, coarse_cutoff=10, both_strands=True
+        )
+        query = records[9].slice(50, 210).reverse_complement()
+        report = engine.search(query, top_k=3)
+        assert report.best().ordinal == 9
+        assert report.best().strand == "-"
+        assert report.best().score == 160
+
+    def test_single_strand_engine_misses_reverse_query(self, setup):
+        records, index, source = setup
+        engine = PartitionedSearchEngine(index, source, coarse_cutoff=10)
+        query = records[9].slice(50, 210).reverse_complement()
+        report = engine.search(query, top_k=3)
+        best = report.best()
+        assert best is None or best.score < 80
+
+    def test_palindrome_free_merge_keeps_best_orientation(self, setup):
+        records, index, source = setup
+        engine = PartitionedSearchEngine(
+            index, source, coarse_cutoff=30, both_strands=True
+        )
+        query = records[2].slice(0, 150)
+        report = engine.search(query, top_k=10)
+        # No ordinal may appear twice after the strand merge.
+        ordinals = report.ordinals()
+        assert len(ordinals) == len(set(ordinals))
+
+    def test_both_strand_timing_accumulates(self, setup):
+        records, index, source = setup
+        single = PartitionedSearchEngine(index, source, coarse_cutoff=10)
+        double = PartitionedSearchEngine(
+            index, source, coarse_cutoff=10, both_strands=True
+        )
+        query = records[1].slice(0, 200)
+        single_report = single.search(query)
+        double_report = double.search(query)
+        assert double_report.total_seconds > single_report.total_seconds * 1.2
+
+    def test_frames_mode_with_both_strands(self, setup):
+        records, index, source = setup
+        engine = PartitionedSearchEngine(
+            index, source, coarse_cutoff=10,
+            fine_mode="frames", both_strands=True,
+        )
+        query = records[7].slice(120, 280).reverse_complement()
+        report = engine.search(query, top_k=3)
+        assert report.best().ordinal == 7
+        assert report.best().strand == "-"
+
+
+class TestQueryTimeFrequencySkipping:
+    def test_fraction_validation(self, setup):
+        _, index, _ = setup
+        with pytest.raises(SearchError):
+            CoarseRanker(index, max_df_fraction=0.0)
+        with pytest.raises(SearchError):
+            CoarseRanker(index, max_df_fraction=1.5)
+
+    def test_skipping_everything_returns_nothing(self, setup):
+        records, index, _ = setup
+        # Build a pathological index where one interval is everywhere.
+        poly = [
+            Sequence(f"p{slot}", np.zeros(60, dtype=np.uint8))
+            for slot in range(10)
+        ]
+        poly_index = build_index(poly, IndexParameters(interval_length=4))
+        ranker = CoarseRanker(poly_index, max_df_fraction=0.5)
+        assert ranker.rank(np.zeros(30, dtype=np.uint8), cutoff=5) == []
+
+    def test_rare_intervals_unaffected(self, setup):
+        records, index, _ = setup
+        permissive = CoarseRanker(index)
+        strict = CoarseRanker(index, max_df_fraction=0.9)
+        query = records[3].codes[:120]
+        assert [c.ordinal for c in strict.rank(query, 5)] == [
+            c.ordinal for c in permissive.rank(query, 5)
+        ]
+
+    def test_skipping_reduces_candidate_scores(self, setup):
+        records, index, _ = setup
+        query = records[5].codes[:120]
+        permissive = CoarseRanker(index).rank(query, 1)
+        strict = CoarseRanker(index, max_df_fraction=0.05).rank(query, 1)
+        if strict:
+            assert strict[0].coarse_score <= permissive[0].coarse_score

@@ -1,0 +1,159 @@
+"""Unit tests for synthetic collection generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sequences.mutate import MutationModel
+from repro.workloads.synthetic import WorkloadSpec, generate_collection
+
+
+class TestSpecValidation:
+    def test_defaults_valid(self):
+        spec = WorkloadSpec()
+        assert spec.num_sequences == 500
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_families": -1},
+            {"num_families": 1, "family_size": 0},
+            {"mean_length": 0},
+            {"length_spread": 1.0},
+            {"gc_content": 0.0},
+            {"gc_content": 1.0},
+            {"wildcard_rate": 1.0},
+            {"num_families": 0, "num_background": 0},
+        ],
+    )
+    def test_invalid_specs(self, kwargs):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(**kwargs)
+
+    def test_expected_bases(self):
+        spec = WorkloadSpec(num_families=2, family_size=3,
+                            num_background=4, mean_length=100)
+        assert spec.expected_bases == 1000
+
+
+class TestGeneration:
+    @pytest.fixture(scope="class")
+    def collection(self):
+        return generate_collection(
+            WorkloadSpec(
+                num_families=5,
+                family_size=4,
+                num_background=30,
+                mean_length=300,
+                seed=9,
+            )
+        )
+
+    def test_counts(self, collection):
+        assert len(collection.sequences) == 50
+        assert len(collection.families) == 5
+        assert all(len(members) == 4 for members in collection.families)
+
+    def test_families_partition_correctly(self, collection):
+        family_members = [o for fam in collection.families for o in fam]
+        assert len(family_members) == len(set(family_members)) == 20
+
+    def test_family_of(self, collection):
+        for family_number, members in enumerate(collection.families):
+            for ordinal in members:
+                assert collection.family_of(ordinal) == family_number
+        background = next(
+            o for o in range(50) if collection.family_of(o) is None
+        )
+        assert collection.sequences[background].identifier.startswith("bg")
+
+    def test_family_members_lookup(self, collection):
+        assert collection.family_members(0) == frozenset(collection.families[0])
+        with pytest.raises(WorkloadError):
+            collection.family_members(99)
+
+    def test_family_identifiers_name_their_family(self, collection):
+        for family_number, members in enumerate(collection.families):
+            for ordinal in members:
+                identifier = collection.sequences[ordinal].identifier
+                assert identifier.startswith(f"fam{family_number:03d}")
+
+    def test_family_members_are_similar(self, collection):
+        from repro.align.kernel import best_local_score
+        from repro.align.scoring import ScoringScheme
+
+        scheme = ScoringScheme()
+        members = collection.families[0]
+        first = collection.sequences[members[0]].codes
+        second = collection.sequences[members[1]].codes
+        related = best_local_score(first, second, scheme)
+        background = collection.sequences[
+            next(o for o in range(50) if collection.family_of(o) is None)
+        ].codes
+        unrelated = best_local_score(first, background, scheme)
+        assert related > 2 * unrelated
+
+    def test_determinism(self):
+        spec = WorkloadSpec(num_families=2, family_size=2,
+                            num_background=5, mean_length=100, seed=4)
+        first = generate_collection(spec)
+        second = generate_collection(spec)
+        assert first.sequences == second.sequences
+        assert first.families == second.families
+
+    def test_different_seeds_differ(self):
+        base = dict(num_families=2, family_size=2, num_background=5,
+                    mean_length=100)
+        first = generate_collection(WorkloadSpec(seed=1, **base))
+        second = generate_collection(WorkloadSpec(seed=2, **base))
+        assert first.sequences != second.sequences
+
+
+class TestComposition:
+    def test_gc_content_respected(self):
+        collection = generate_collection(
+            WorkloadSpec(num_families=0, num_background=20,
+                         mean_length=2000, gc_content=0.7, seed=2)
+        )
+        gc = np.mean([record.gc_fraction() for record in collection.sequences])
+        assert 0.65 < gc < 0.75
+
+    def test_wildcard_rate_respected(self):
+        collection = generate_collection(
+            WorkloadSpec(num_families=0, num_background=20,
+                         mean_length=2000, wildcard_rate=0.01, seed=2)
+        )
+        total = sum(len(record) for record in collection.sequences)
+        wild = sum(record.wildcard_count() for record in collection.sequences)
+        assert 0.005 < wild / total < 0.02
+
+    def test_length_spread(self):
+        collection = generate_collection(
+            WorkloadSpec(num_families=0, num_background=50,
+                         mean_length=1000, length_spread=0.5, seed=2)
+        )
+        lengths = [len(record) for record in collection.sequences]
+        assert min(lengths) < 800
+        assert max(lengths) > 1200
+
+    def test_fixed_length(self):
+        collection = generate_collection(
+            WorkloadSpec(num_families=0, num_background=5,
+                         mean_length=500, length_spread=0.0, seed=2)
+        )
+        assert all(len(record) == 500 for record in collection.sequences)
+
+    def test_no_indel_mutation_keeps_family_lengths(self):
+        collection = generate_collection(
+            WorkloadSpec(
+                num_families=3,
+                family_size=3,
+                num_background=0,
+                mean_length=400,
+                mutation=MutationModel(0.1, 0.0, 0.0),
+                seed=5,
+            )
+        )
+        for members in collection.families:
+            lengths = {len(collection.sequences[o]) for o in members}
+            assert len(lengths) == 1

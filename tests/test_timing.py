@@ -1,0 +1,45 @@
+"""Unit tests for timing helpers."""
+
+import time
+
+from repro.eval.timing import Timer, TimingSummary
+
+
+class TestTimer:
+    def test_measures_elapsed_time(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert 0.005 < timer.seconds < 1.0
+
+    def test_reusable(self):
+        timer = Timer()
+        with timer:
+            pass
+        first = timer.seconds
+        with timer:
+            time.sleep(0.01)
+        assert timer.seconds >= first
+
+
+class TestTimingSummary:
+    def test_accumulates(self):
+        summary = TimingSummary("demo")
+        summary.add(0.1)
+        summary.add(0.3)
+        assert summary.total == 0.4
+        assert summary.mean == 0.2
+        assert summary.median == 0.2
+
+    def test_empty_summary(self):
+        summary = TimingSummary("empty")
+        assert summary.total == 0.0
+        assert summary.mean == 0.0
+        assert summary.median == 0.0
+
+    def test_describe_contains_label_and_counts(self):
+        summary = TimingSummary("scan")
+        summary.add(0.25)
+        text = summary.describe()
+        assert "scan" in text
+        assert "n=1" in text
+        assert "250.0ms" in text

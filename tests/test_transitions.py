@@ -1,0 +1,122 @@
+"""Unit and property tests for transition-aware scoring."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align.banded import banded_local_score
+from repro.align.extension import extend_seed
+from repro.align.kernel import best_local_score
+from repro.align.pairwise import local_align
+from repro.align.reference import smith_waterman_score
+from repro.align.scoring import ScoringScheme
+from repro.errors import AlignmentError
+from repro.sequences import alphabet
+
+TRANSITION_SCHEME = ScoringScheme(match=2, mismatch=-3, gap=-4, transition=-1)
+
+short_codes = st.text(alphabet="ACGTN", min_size=1, max_size=40).map(
+    alphabet.encode
+)
+
+
+class TestValidation:
+    def test_transition_must_sit_between_mismatch_and_match(self):
+        with pytest.raises(AlignmentError):
+            ScoringScheme(match=1, mismatch=-1, transition=1)
+        with pytest.raises(AlignmentError):
+            ScoringScheme(match=1, mismatch=-1, transition=-2)
+
+    def test_transition_equal_to_mismatch_allowed(self):
+        scheme = ScoringScheme(match=1, mismatch=-1, transition=-1)
+        assert scheme.score_pair(0, 2) == -1
+
+
+class TestPairScores:
+    def test_transitions_recognised(self):
+        # A<->G and C<->T are transitions.
+        assert TRANSITION_SCHEME.score_pair(0, 2) == -1
+        assert TRANSITION_SCHEME.score_pair(2, 0) == -1
+        assert TRANSITION_SCHEME.score_pair(1, 3) == -1
+        assert TRANSITION_SCHEME.score_pair(3, 1) == -1
+
+    def test_transversions_get_full_mismatch(self):
+        for first, second in [(0, 1), (0, 3), (2, 1), (2, 3)]:
+            assert TRANSITION_SCHEME.score_pair(first, second) == -3
+            assert TRANSITION_SCHEME.score_pair(second, first) == -3
+
+    def test_matches_unaffected(self):
+        for code in range(4):
+            assert TRANSITION_SCHEME.score_pair(code, code) == 2
+
+    def test_wildcards_still_full_mismatch(self):
+        n_code = alphabet.IUPAC_ALPHABET.index("N")
+        assert TRANSITION_SCHEME.score_pair(0, n_code) == -3
+
+    def test_profile_agrees_with_score_pair(self):
+        target = alphabet.encode("ACGTN")
+        profile = TRANSITION_SCHEME.target_profile(target)
+        for query_code in range(4):
+            for column, target_code in enumerate(target):
+                assert profile[query_code, column] == (
+                    TRANSITION_SCHEME.score_pair(query_code, int(target_code))
+                )
+
+
+class TestConsistencyAcrossAligners:
+    @given(query=short_codes, target=short_codes)
+    @settings(max_examples=80, deadline=None)
+    def test_kernel_matches_reference(self, query, target):
+        assert best_local_score(
+            query, target, TRANSITION_SCHEME
+        ) == smith_waterman_score(query, target, TRANSITION_SCHEME)
+
+    @given(query=short_codes, target=short_codes)
+    @settings(max_examples=40, deadline=None)
+    def test_traceback_score_matches(self, query, target):
+        alignment = local_align(query, target, TRANSITION_SCHEME)
+        assert alignment.score == smith_waterman_score(
+            query, target, TRANSITION_SCHEME
+        )
+
+    @given(query=short_codes, target=short_codes)
+    @settings(max_examples=40, deadline=None)
+    def test_full_band_matches(self, query, target):
+        half_width = query.shape[0] + target.shape[0]
+        assert banded_local_score(
+            query, target, 0, half_width, TRANSITION_SCHEME
+        ) == smith_waterman_score(query, target, TRANSITION_SCHEME)
+
+    def test_extension_scores_transition_mildly(self):
+        query = alphabet.encode("ACGTACGT" + "A" + "ACGTACGT")
+        target = alphabet.encode("ACGTACGT" + "G" + "ACGTACGT")  # transition
+        extension = extend_seed(
+            query, target, 0, 0, 8, TRANSITION_SCHEME, x_drop=10
+        )
+        assert extension.score == 16 * 2 - 1
+
+
+class TestBehaviour:
+    def test_transition_rich_pair_scores_higher(self):
+        """A sequence differing only by transitions outscores one
+        differing by transversions under the transition scheme."""
+        query = alphabet.encode("ACGTACGTACGT")
+        by_transitions = alphabet.encode("GCGTGCGTGCGT")  # A->G at 0,4,8
+        by_transversions = alphabet.encode("CCGTCCGTCCGT")  # A->C at 0,4,8
+        transition_score = best_local_score(
+            query, by_transitions, TRANSITION_SCHEME
+        )
+        transversion_score = best_local_score(
+            query, by_transversions, TRANSITION_SCHEME
+        )
+        assert transition_score > transversion_score
+
+    def test_plain_scheme_treats_both_alike(self):
+        plain = ScoringScheme(match=2, mismatch=-3, gap=-4)
+        query = alphabet.encode("ACGTACGTACGT")
+        by_transitions = alphabet.encode("GCGTGCGTGCGT")
+        by_transversions = alphabet.encode("CCGTCCGTCCGT")
+        assert best_local_score(query, by_transitions, plain) == (
+            best_local_score(query, by_transversions, plain)
+        )

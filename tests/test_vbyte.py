@@ -1,0 +1,58 @@
+"""Focused tests for the variable-byte codec's fast byte paths."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.compression.bitio import BitReader, BitWriter
+from repro.compression.vbyte import VByteCodec
+from repro.errors import BitStreamError
+
+
+@pytest.fixture
+def codec():
+    return VByteCodec()
+
+
+class TestLayout:
+    def test_single_byte_values(self, codec):
+        assert codec.encode_array([0]) == bytes([0x00])
+        assert codec.encode_array([127]) == bytes([0x7F])
+
+    def test_two_byte_boundary(self, codec):
+        assert codec.encode_array([128]) == bytes([0x80, 0x01])
+
+    def test_code_length_steps_every_seven_bits(self, codec):
+        assert codec.code_length(127) == 8
+        assert codec.code_length(128) == 16
+        assert codec.code_length(2**14 - 1) == 16
+        assert codec.code_length(2**14) == 24
+
+
+class TestFastPaths:
+    @given(st.lists(st.integers(min_value=0, max_value=2**40), max_size=100))
+    def test_byte_path_roundtrip(self, values):
+        codec = VByteCodec()
+        assert codec.decode_array(codec.encode_array(values), len(values)) == values
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**20), max_size=40))
+    def test_byte_path_matches_bit_path(self, values):
+        codec = VByteCodec()
+        writer = BitWriter()
+        for value in values:
+            codec.encode_value(writer, value)
+        assert writer.getvalue() == codec.encode_array(values)
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**20), max_size=40))
+    def test_bit_reader_decodes_byte_encoding(self, values):
+        codec = VByteCodec()
+        reader = BitReader(codec.encode_array(values))
+        assert [codec.decode_value(reader) for _ in values] == values
+
+    def test_short_stream_raises(self, codec):
+        with pytest.raises(BitStreamError):
+            codec.decode_array(codec.encode_array([1, 2]), 3)
+
+    def test_decode_stops_at_count(self, codec):
+        data = codec.encode_array([1, 2, 3])
+        assert codec.decode_array(data, 2) == [1, 2]
