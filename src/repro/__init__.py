@@ -29,8 +29,8 @@ from repro.align import (
     best_local_score,
     local_align,
 )
-from repro.database import Database
-from repro.errors import ReproError
+from repro.database import Database, VerificationReport
+from repro.errors import CorruptionError, ReproError, StorageError
 from repro.index import (
     DiskIndex,
     IndexParameters,
@@ -64,7 +64,10 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Alignment",
+    "CorruptionError",
     "Database",
+    "StorageError",
+    "VerificationReport",
     "BlastLikeSearcher",
     "DiskIndex",
     "ExhaustiveSearcher",

@@ -7,6 +7,8 @@ Subcommands mirror the life cycle of the paper's system::
     repro stats     — print index size statistics
     repro search    — evaluate FASTA queries against an on-disk index
     repro align     — pretty-print the local alignment of two sequences
+    repro verify    — audit a database directory's integrity
+    repro repair    — rebuild a database's index from its store
 """
 
 from __future__ import annotations
@@ -175,6 +177,35 @@ def _cmd_db_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.database import Database
+
+    report = Database.verify(args.database)
+    for note in report.notes:
+        print(f"note: {note}")
+    for issue in report.issues:
+        print(f"PROBLEM: {issue}")
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _cmd_repair(args: argparse.Namespace) -> int:
+    from repro.database import Database
+
+    before = Database.verify(args.database)
+    if before.ok and not args.force:
+        print(f"{args.database}: already intact, nothing to repair "
+              "(use --force to rebuild anyway)")
+        return 0
+    for issue in before.issues:
+        print(f"repairing: {issue}")
+    with Database.repair(args.database) as database:
+        print(f"rebuilt index from store: {database.describe()}")
+    after = Database.verify(args.database)
+    print(after.summary())
+    return 0 if after.ok else 1
+
+
 def _cmd_oracle(args: argparse.Namespace) -> int:
     from repro.eval.metrics import ranking_overlap
     from repro.search.exhaustive import ExhaustiveSearcher
@@ -314,6 +345,22 @@ def build_parser() -> argparse.ArgumentParser:
     db_search.add_argument("--both-strands", action="store_true")
     db_search.add_argument("--evalues", action="store_true")
     db_search.set_defaults(handler=_cmd_db_search)
+
+    verify = commands.add_parser(
+        "verify", help="audit a database directory's integrity"
+    )
+    verify.add_argument("database", type=Path)
+    verify.set_defaults(handler=_cmd_verify)
+
+    repair = commands.add_parser(
+        "repair", help="rebuild a database's index from its store"
+    )
+    repair.add_argument("database", type=Path)
+    repair.add_argument(
+        "--force", action="store_true",
+        help="rebuild even when the database verifies as intact",
+    )
+    repair.set_defaults(handler=_cmd_repair)
 
     oracle = commands.add_parser(
         "oracle",

@@ -10,11 +10,21 @@ opens them memory-mapped, and hands out ready-made search engines.
     with Database.open("genbank.db") as db:
         report = db.search(query, top_k=10)
         print(db.alignment(query, report.best().ordinal).pretty())
+
+Durability: every file is written atomically (temp + fsync + rename)
+and the manifest — written last — records a CRC32 digest of the index
+and store files, so an interrupted build is never mistaken for a valid
+database and silent file damage is detectable.  :meth:`open` accepts a
+``verify`` mode and an ``on_corruption`` policy; :meth:`verify` audits
+a directory without fully opening it and :meth:`repair` rebuilds the
+index from a surviving store.
 """
 
 from __future__ import annotations
 
 import json
+import logging
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator
 
@@ -23,18 +33,80 @@ import numpy as np
 from repro.align.pairwise import Alignment, local_align
 from repro.align.scoring import ScoringScheme
 from repro.align.statistics import GumbelParameters, calibrate_gapped
-from repro.errors import IndexFormatError, SearchError
+from repro.errors import CorruptionError, IndexFormatError, SearchError
+from repro.index.atomic import file_crc32, write_text_atomic
 from repro.index.builder import IndexParameters, build_index
 from repro.index.storage import DiskIndex, write_index
 from repro.index.store import SequenceStore, write_store
-from repro.search.engine import PartitionedSearchEngine
+from repro.search.engine import CORRUPTION_POLICIES, PartitionedSearchEngine
 from repro.search.results import SearchReport
 from repro.sequences.record import Sequence
 
 _MANIFEST_NAME = "manifest.json"
 _INDEX_NAME = "intervals.rpix"
 _STORE_NAME = "sequences.rpsq"
-_MANIFEST_VERSION = 1
+_MANIFEST_VERSION = 2
+_SUPPORTED_MANIFEST_VERSIONS = (1, 2)
+
+#: Verification modes accepted by :meth:`Database.open`.
+VERIFY_MODES = ("lazy", "full")
+
+_LOG = logging.getLogger(__name__)
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of a database integrity audit.
+
+    Attributes:
+        path: the audited directory.
+        issues: detected damage — anything here means the database is
+            not fully intact.
+        notes: non-fatal observations (e.g. format v1 files that carry
+            no integrity data).
+    """
+
+    path: Path
+    issues: list[str] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    def summary(self) -> str:
+        state = "intact" if self.ok else f"{len(self.issues)} problem(s)"
+        return f"{self.path}: {state}"
+
+
+def _write_manifest(directory: Path, manifest: dict) -> None:
+    write_text_atomic(
+        directory / _MANIFEST_NAME, json.dumps(manifest, indent=2)
+    )
+
+
+def _make_manifest(
+    directory: Path,
+    records_count: int,
+    bases: int,
+    coding: str,
+    params: IndexParameters,
+    index_bytes: int,
+    store_bytes: int,
+) -> dict:
+    return {
+        "version": _MANIFEST_VERSION,
+        "sequences": records_count,
+        "bases": bases,
+        "coding": coding,
+        "params": params.describe(),
+        "index_bytes": index_bytes,
+        "store_bytes": store_bytes,
+        "checksums": {
+            _INDEX_NAME: f"{file_crc32(directory / _INDEX_NAME):08x}",
+            _STORE_NAME: f"{file_crc32(directory / _STORE_NAME):08x}",
+        },
+    }
 
 
 class Database:
@@ -42,20 +114,27 @@ class Database:
 
     Create with :meth:`create`, open with :meth:`open` (also a context
     manager).  The default engine settings can be overridden per call.
+
+    A database opened with ``on_corruption="fallback"`` whose index is
+    unreadable runs *degraded*: :attr:`index` is ``None`` and every
+    query is answered by an exhaustive scan of the sequence store.
     """
 
     def __init__(
         self,
         path: Path,
-        index: DiskIndex,
+        index: DiskIndex | None,
         store: SequenceStore,
         manifest: dict,
+        on_corruption: str = "raise",
     ) -> None:
         self.path = path
         self.index = index
         self.store = store
         self.manifest = manifest
+        self.on_corruption = on_corruption
         self._engines: dict[tuple, PartitionedSearchEngine] = {}
+        self._exhaustive = None
         self._significance: GumbelParameters | None = None
 
     # -- lifecycle -----------------------------------------------------
@@ -69,6 +148,10 @@ class Database:
         coding: str = "direct",
     ) -> "Database":
         """Build and persist a database directory, then open it.
+
+        All files are written atomically and the manifest lands last,
+        so an interrupted build leaves a directory :meth:`open` will
+        reject rather than a silently half-written database.
 
         Args:
             sequences: the collection (any iterable of records).
@@ -91,27 +174,98 @@ class Database:
         index = build_index(records, params)
         index_bytes = write_index(index, directory / _INDEX_NAME)
         store_bytes = write_store(records, directory / _STORE_NAME, coding)
-        manifest = {
-            "version": _MANIFEST_VERSION,
-            "sequences": len(records),
-            "bases": int(sum(len(record) for record in records)),
-            "coding": coding,
-            "params": params.describe(),
-            "index_bytes": index_bytes,
-            "store_bytes": store_bytes,
-        }
-        manifest_path.write_text(json.dumps(manifest, indent=2))
+        manifest = _make_manifest(
+            directory,
+            len(records),
+            int(sum(len(record) for record in records)),
+            coding,
+            params,
+            index_bytes,
+            store_bytes,
+        )
+        _write_manifest(directory, manifest)
         return cls.open(directory)
 
     @classmethod
-    def open(cls, path: str | Path) -> "Database":
+    def open(
+        cls,
+        path: str | Path,
+        verify: str = "lazy",
+        on_corruption: str = "raise",
+    ) -> "Database":
         """Open an existing database directory.
+
+        Args:
+            path: the database directory.
+            verify: ``"lazy"`` checks headers and tables eagerly and
+                each posting list / record lazily on first access (the
+                default); ``"full"`` additionally recomputes the
+                manifest's whole-file digests and every checksum before
+                returning.
+            on_corruption: default policy for engines created by this
+                database (see :class:`PartitionedSearchEngine`).  With
+                ``"fallback"``, an unreadable *index* degrades the
+                database to exhaustive scanning instead of failing.
 
         Raises:
             IndexFormatError: if the directory is not a database or its
                 files are inconsistent.
+            CorruptionError: if an integrity check fails (and the
+                policy does not degrade).
         """
+        if verify not in VERIFY_MODES:
+            raise IndexFormatError(
+                f"unknown verify mode {verify!r}; expected one of "
+                f"{VERIFY_MODES}"
+            )
+        if on_corruption not in CORRUPTION_POLICIES:
+            raise SearchError(
+                f"unknown on_corruption {on_corruption!r}; expected one of "
+                f"{CORRUPTION_POLICIES}"
+            )
         directory = Path(path)
+        manifest = cls._load_manifest(directory)
+        index: DiskIndex | None = None
+        store: SequenceStore | None = None
+        try:
+            try:
+                index = DiskIndex(directory / _INDEX_NAME)
+            except IndexFormatError as exc:
+                if on_corruption != "fallback":
+                    raise
+                _LOG.warning(
+                    "%s: index unreadable (%s); opening degraded "
+                    "(exhaustive search over the store)",
+                    directory,
+                    exc,
+                )
+            store = SequenceStore(directory / _STORE_NAME)
+            if (
+                index is not None
+                and index.collection.num_sequences != len(store)
+            ):
+                raise IndexFormatError(
+                    f"{directory}: index and store disagree about the "
+                    "collection size"
+                )
+            if verify == "full":
+                report = cls._verify_open_files(directory, manifest, index, store)
+                if not report.ok:
+                    raise CorruptionError(
+                        f"{directory}: full verification failed: "
+                        + "; ".join(report.issues)
+                    )
+            return cls(directory, index, store, manifest, on_corruption)
+        except Exception:
+            # Never leak mmaps/handles when a later step fails.
+            if index is not None:
+                index.close()
+            if store is not None:
+                store.close()
+            raise
+
+    @staticmethod
+    def _load_manifest(directory: Path) -> dict:
         manifest_path = directory / _MANIFEST_NAME
         if not manifest_path.exists():
             raise IndexFormatError(f"{directory} holds no database manifest")
@@ -119,29 +273,170 @@ class Database:
             manifest = json.loads(manifest_path.read_text())
         except ValueError as exc:
             raise IndexFormatError(f"{directory}: bad manifest") from exc
-        if manifest.get("version") != _MANIFEST_VERSION:
+        if manifest.get("version") not in _SUPPORTED_MANIFEST_VERSIONS:
             raise IndexFormatError(
                 f"{directory}: unsupported database version "
                 f"{manifest.get('version')}"
             )
-        index = DiskIndex(directory / _INDEX_NAME)
-        try:
-            store = SequenceStore(directory / _STORE_NAME)
-        except Exception:
-            index.close()
-            raise
-        if index.collection.num_sequences != len(store):
-            index.close()
-            store.close()
-            raise IndexFormatError(
-                f"{directory}: index and store disagree about the "
-                "collection size"
+        return manifest
+
+    @staticmethod
+    def _verify_open_files(
+        directory: Path,
+        manifest: dict,
+        index: DiskIndex | None,
+        store: SequenceStore,
+    ) -> VerificationReport:
+        """Digest + checksum audit of already-opened files."""
+        report = VerificationReport(directory)
+        checksums = manifest.get("checksums")
+        if checksums is None:
+            report.notes.append(
+                f"{directory}: manifest records no file digests "
+                "(database version 1)"
             )
-        return cls(directory, index, store, manifest)
+        else:
+            for name in (_INDEX_NAME, _STORE_NAME):
+                recorded = checksums.get(name)
+                if recorded is None:
+                    report.issues.append(
+                        f"{directory}: manifest has no digest for {name}"
+                    )
+                    continue
+                actual = f"{file_crc32(directory / name):08x}"
+                if actual != recorded:
+                    report.issues.append(
+                        f"{directory / name}: file digest {actual} does not "
+                        f"match manifest {recorded}"
+                    )
+        for reader in (index, store):
+            if reader is None:
+                continue
+            problems = reader.verify()
+            for problem in problems:
+                if "no integrity data" in problem:
+                    report.notes.append(problem)
+                else:
+                    report.issues.append(problem)
+        return report
+
+    @classmethod
+    def verify(cls, path: str | Path) -> VerificationReport:
+        """Audit a database directory without requiring it to open.
+
+        Checks the manifest, the whole-file digests, and every
+        checksum in both files; problems are collected rather than
+        raised, so a damaged database yields a complete report.
+        """
+        directory = Path(path)
+        report = VerificationReport(directory)
+        try:
+            manifest = cls._load_manifest(directory)
+        except IndexFormatError as exc:
+            report.issues.append(str(exc))
+            return report
+        index: DiskIndex | None = None
+        store: SequenceStore | None = None
+        try:
+            try:
+                index = DiskIndex(directory / _INDEX_NAME)
+            except (IndexFormatError, OSError) as exc:
+                report.issues.append(f"index: {exc}")
+            try:
+                store = SequenceStore(directory / _STORE_NAME)
+            except (IndexFormatError, OSError) as exc:
+                report.issues.append(f"store: {exc}")
+            if (
+                index is not None
+                and store is not None
+                and index.collection.num_sequences != len(store)
+            ):
+                report.issues.append(
+                    f"{directory}: index and store disagree about the "
+                    "collection size"
+                )
+            inner = cls._verify_open_files(directory, manifest, index, store) \
+                if store is not None else None
+            if inner is not None:
+                report.issues.extend(inner.issues)
+                report.notes.extend(inner.notes)
+        finally:
+            if index is not None:
+                index.close()
+            if store is not None:
+                store.close()
+        return report
+
+    @classmethod
+    def repair(
+        cls,
+        path: str | Path,
+        params: IndexParameters | None = None,
+    ) -> "Database":
+        """Rebuild the index (and manifest) from a surviving store.
+
+        The sequence store is fully verified first — it is the source
+        of truth, so it must be intact.  The index is then rebuilt from
+        the stored records, written atomically, and a fresh manifest
+        with up-to-date digests replaces the old one.
+
+        Args:
+            path: the database directory.
+            params: index shape; defaults to the manifest's recorded
+                parameters, then to library defaults.
+
+        Raises:
+            CorruptionError: if the store itself is damaged (nothing to
+                rebuild from).
+            IndexFormatError: if the directory holds no store at all.
+
+        Returns:
+            The repaired database, opened.
+        """
+        directory = Path(path)
+        store_path = directory / _STORE_NAME
+        if not store_path.exists():
+            raise IndexFormatError(
+                f"{directory}: no sequence store to rebuild from"
+            )
+        if params is None:
+            try:
+                manifest = cls._load_manifest(directory)
+                params = IndexParameters.from_description(manifest["params"])
+            except (IndexFormatError, KeyError, TypeError, ValueError):
+                params = IndexParameters()
+        with SequenceStore(store_path) as store:
+            problems = [
+                problem
+                for problem in store.verify()
+                if "no integrity data" not in problem
+            ]
+            if problems:
+                raise CorruptionError(
+                    f"{directory}: store is damaged, cannot repair: "
+                    + "; ".join(problems)
+                )
+            records = [store.record(ordinal) for ordinal in range(len(store))]
+            coding = store.coding
+        index = build_index(records, params)
+        index_bytes = write_index(index, directory / _INDEX_NAME)
+        store_bytes = store_path.stat().st_size
+        manifest = _make_manifest(
+            directory,
+            len(records),
+            int(sum(len(record) for record in records)),
+            coding,
+            params,
+            index_bytes,
+            store_bytes,
+        )
+        _write_manifest(directory, manifest)
+        return cls.open(directory)
 
     def close(self) -> None:
         """Release the mapped files."""
-        self.index.close()
+        if self.index is not None:
+            self.index.close()
         self.store.close()
 
     def __enter__(self) -> "Database":
@@ -152,12 +447,19 @@ class Database:
 
     # -- collection access ----------------------------------------------
 
+    @property
+    def degraded(self) -> bool:
+        """True when the index was unreadable and search is exhaustive."""
+        return self.index is None
+
     def __len__(self) -> int:
         return len(self.store)
 
     @property
     def total_bases(self) -> int:
-        return self.index.collection.total_length
+        if self.index is not None:
+            return self.index.collection.total_length
+        return int(self.manifest.get("bases", 0))
 
     def record(self, ordinal: int) -> Sequence:
         """Fetch one sequence record by ordinal."""
@@ -177,12 +479,25 @@ class Database:
         fine_mode: str = "full",
         both_strands: bool = False,
         with_evalues: bool = False,
+        on_corruption: str | None = None,
     ) -> PartitionedSearchEngine:
         """A (cached) engine over this database.
 
         ``with_evalues=True`` calibrates Gumbel parameters once per
-        scheme and attaches E-values to every hit.
+        scheme and attaches E-values to every hit.  ``on_corruption``
+        defaults to the policy the database was opened with.
+
+        Raises:
+            SearchError: in degraded mode (no index; use
+                :meth:`search`, which scans exhaustively).
         """
+        if self.index is None:
+            raise SearchError(
+                f"{self.path}: database is degraded (index unreadable); "
+                "use Database.search for exhaustive evaluation or repair "
+                "the database"
+            )
+        policy = on_corruption or self.on_corruption
         scheme = scheme or ScoringScheme()
         significance = None
         if with_evalues:
@@ -192,7 +507,10 @@ class Database:
                 self._significance = calibrate_gapped(scheme)
                 self._significance_scheme = scheme
             significance = self._significance
-        key = (coarse_cutoff, scheme, fine_mode, both_strands, with_evalues)
+        key = (
+            coarse_cutoff, scheme, fine_mode, both_strands, with_evalues,
+            policy,
+        )
         engine = self._engines.get(key)
         if engine is None:
             engine = PartitionedSearchEngine(
@@ -203,6 +521,7 @@ class Database:
                 fine_mode=fine_mode,
                 both_strands=both_strands,
                 significance=significance,
+                on_corruption=policy,
             )
             self._engines[key] = engine
         return engine
@@ -210,7 +529,21 @@ class Database:
     def search(
         self, query: Sequence | np.ndarray, top_k: int = 10, **engine_kwargs
     ) -> SearchReport:
-        """Evaluate one query with the default (or overridden) engine."""
+        """Evaluate one query with the default (or overridden) engine.
+
+        In degraded mode (unreadable index under the ``"fallback"``
+        policy) the query is answered by an exhaustive scan of the
+        sequence store and the report is marked ``degraded``.
+        """
+        if self.index is None:
+            from dataclasses import replace
+
+            from repro.search.exhaustive import ExhaustiveSearcher
+
+            if self._exhaustive is None:
+                self._exhaustive = ExhaustiveSearcher(self.store)
+            report = self._exhaustive.search(query, top_k=top_k)
+            return replace(report, degraded=True)
         return self.engine(**engine_kwargs).search(query, top_k=top_k)
 
     def alignment(
@@ -235,6 +568,12 @@ class Database:
 
     def describe(self) -> str:
         """One-paragraph human-readable summary."""
+        if self.index is None:
+            return (
+                f"Database at {self.path}: {len(self)} sequences "
+                f"(DEGRADED: index unreadable, exhaustive search only; "
+                f"run repair to rebuild the index)."
+            )
         return (
             f"Database at {self.path}: {len(self)} sequences, "
             f"{self.total_bases:,} bases; interval length "

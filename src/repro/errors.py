@@ -32,6 +32,10 @@ class BitStreamError(CodecError):
     """A bit stream ended prematurely or is otherwise corrupt."""
 
 
+class StorageError(ReproError):
+    """On-disk persistence failed (write, fsync, rename, ...)."""
+
+
 class IndexError_(ReproError):
     """Base class for inverted-index errors.
 
@@ -44,8 +48,36 @@ class IndexParameterError(IndexError_):
     """Invalid index construction parameters (interval length, stride, ...)."""
 
 
-class IndexFormatError(IndexError_):
+class IndexFormatError(IndexError_, StorageError):
     """An on-disk index file is malformed or has the wrong version."""
+
+
+class CorruptionError(IndexFormatError):
+    """An on-disk artefact failed an integrity check.
+
+    Raised when a checksum mismatch, truncation, or structural damage
+    is detected in an index, store, or manifest — eagerly at open time
+    for headers and tables, lazily on first access for posting lists
+    and sequence records.
+
+    Attributes:
+        interval_id: the damaged posting list's interval, when known.
+        ordinal: the damaged sequence record's ordinal, when known.
+        section: the damaged file section's name, when known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        interval_id: int | None = None,
+        ordinal: int | None = None,
+        section: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.interval_id = interval_id
+        self.ordinal = ordinal
+        self.section = section
 
 
 class IndexLookupError(IndexError_):

@@ -1,5 +1,11 @@
 """Interval (k-mer) inverted index: extraction, postings, storage."""
 
+from repro.index.atomic import (
+    atomic_write,
+    file_crc32,
+    write_bytes_atomic,
+    write_text_atomic,
+)
 from repro.index.blocked import DEFAULT_BLOCK_SIZE, BlockedPostings
 from repro.index.builder import (
     CollectionInfo,
@@ -57,9 +63,11 @@ __all__ = [
     "StoppingReport",
     "VocabEntry",
     "append_sequences",
+    "atomic_write",
     "build_index",
     "build_index_chunked",
     "collect_statistics",
+    "file_crc32",
     "merge_index_files",
     "merge_indexes",
     "interval_id",
@@ -68,6 +76,8 @@ __all__ = [
     "read_store",
     "stop_above_frequency",
     "stop_most_frequent",
+    "write_bytes_atomic",
     "write_index",
     "write_store",
+    "write_text_atomic",
 ]

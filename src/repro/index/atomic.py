@@ -1,0 +1,115 @@
+"""Crash-safe file persistence shared by every on-disk writer.
+
+A torn write must never leave a half-written index, store, or manifest
+visible under its final name.  Every writer in the package therefore
+funnels through :func:`atomic_write`:
+
+1. write to a temporary file in the *same directory* as the target
+   (so the final rename cannot cross filesystems);
+2. flush and ``fsync`` the temporary file;
+3. ``os.replace`` it over the target (atomic on POSIX);
+4. ``fsync`` the containing directory so the rename itself is durable.
+
+A crash at any point leaves either the old file or the new file — never
+a mixture — and the orphaned temporary is unlinked on failure.
+
+The OS entry points are bound to module attributes (``_replace``,
+``_fsync``) so the fault-injection harness
+(:mod:`repro.instrumentation.faults`) can simulate crashes at each
+stage deterministically.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import tempfile
+import zlib
+from pathlib import Path
+from typing import BinaryIO, Iterator
+
+from repro.errors import StorageError
+
+# Patchable indirection for fault injection; see module docstring.
+_replace = os.replace
+_fsync = os.fsync
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Flush a directory's metadata (the rename) to stable storage."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return  # some platforms/filesystems refuse directory handles
+    try:
+        _fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+@contextlib.contextmanager
+def atomic_write(path: str | Path) -> Iterator[BinaryIO]:
+    """Context manager yielding a binary handle that lands atomically.
+
+    The handle writes to a same-directory temporary file; on clean exit
+    the data is fsynced and renamed over ``path``, and the directory is
+    fsynced.  On any exception the temporary file is removed and the
+    target is untouched.
+
+    Raises:
+        StorageError: if the temporary file cannot be created or the
+            flush/rename sequence fails.
+    """
+    target = Path(path)
+    try:
+        fd, tmp_name = tempfile.mkstemp(
+            dir=target.parent, prefix=target.name + ".", suffix=".tmp"
+        )
+    except OSError as exc:
+        raise StorageError(
+            f"cannot create temporary file next to {target}: {exc}"
+        ) from exc
+    handle = os.fdopen(fd, "wb")
+    try:
+        yield handle
+        handle.flush()
+        _fsync(handle.fileno())
+        handle.close()
+        _replace(tmp_name, target)
+    except BaseException as exc:
+        if not handle.closed:
+            handle.close()
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_name)
+        if isinstance(exc, OSError):
+            raise StorageError(
+                f"atomic write to {target} failed: {exc}"
+            ) from exc
+        raise
+    _fsync_directory(target.parent)
+
+
+def write_bytes_atomic(path: str | Path, data: bytes) -> int:
+    """Atomically replace ``path`` with ``data``; returns bytes written."""
+    with atomic_write(path) as handle:
+        handle.write(data)
+    return len(data)
+
+
+def write_text_atomic(path: str | Path, text: str) -> int:
+    """Atomically replace ``path`` with UTF-8 ``text``."""
+    return write_bytes_atomic(path, text.encode("utf-8"))
+
+
+def file_crc32(path: str | Path, chunk_size: int = 1 << 20) -> int:
+    """CRC32 of a whole file, streamed (the manifest's file digests)."""
+    crc = 0
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(chunk_size)
+            if not chunk:
+                break
+            crc = zlib.crc32(chunk, crc)
+    return crc & 0xFFFFFFFF

@@ -139,14 +139,16 @@ def merge_index_files(
     import heapq
     import json
     import tempfile
+    import zlib
     from pathlib import Path
 
-    from repro.index.storage import _COUNT, _MAGIC, _PREFIX, _VERSION, \
-        _VOCAB_DTYPE, DiskIndex
+    from repro.index.atomic import atomic_write
+    from repro.index.storage import _VOCAB_DTYPE, DiskIndex, write_index_stream
 
     if not paths:
         raise IndexParameterError("nothing to merge")
     parts = [DiskIndex(path) for path in paths]
+    blob_path: str | None = None
     try:
         params = parts[0].params
         for part in parts[1:]:
@@ -172,12 +174,16 @@ def merge_index_files(
         all_ids = heapq.merge(
             *(part.interval_ids() for part in parts)
         )
-        table_rows: list[tuple[int, int, int, int, int]] = []
+        table_rows: list[tuple[int, int, int, int, int, int]] = []
         blob_offset = 0
         previous_interval = -1
+        # The blob is spooled to a same-directory temp file; it is
+        # unlinked in the finally block below, so a failure anywhere in
+        # the merge never leaves an orphan on disk.
         with tempfile.NamedTemporaryFile(
             dir=Path(output).parent, delete=False
         ) as blob:
+            blob_path = blob.name
             buffer = bytearray()
             for interval in all_ids:
                 if interval == previous_interval:
@@ -214,6 +220,7 @@ def merge_index_files(
                         sum(entry.count for entry in entries),
                         blob_offset,
                         len(data),
+                        zlib.crc32(data),
                     )
                 )
                 blob_offset += len(data)
@@ -222,7 +229,6 @@ def merge_index_files(
                     blob.write(buffer)
                     buffer.clear()
             blob.write(buffer)
-            blob_path = blob.name
 
         header = json.dumps(
             {
@@ -231,30 +237,29 @@ def merge_index_files(
                 "lengths": collection.lengths.tolist(),
             }
         ).encode("utf-8")
-        table = np.array(table_rows, dtype=np.int64) if table_rows else \
-            np.empty((0, 5), dtype=np.int64)
         packed = np.empty(len(table_rows), dtype=_VOCAB_DTYPE)
         if table_rows:
+            table = np.array(table_rows, dtype=np.int64)
             packed["interval_id"] = table[:, 0]
             packed["df"] = table[:, 1]
             packed["cf"] = table[:, 2]
             packed["offset"] = table[:, 3]
             packed["length"] = table[:, 4]
-        with open(output, "wb") as out:
-            out.write(_PREFIX.pack(_MAGIC, _VERSION, len(header)))
-            out.write(header)
-            out.write(_COUNT.pack(len(table_rows)))
-            out.write(packed.tobytes())
+            packed["crc"] = table[:, 5]
+
+        def blob_chunks():
             with open(blob_path, "rb") as blob_in:
                 while True:
                     chunk = blob_in.read(1 << 20)
                     if not chunk:
                         break
-                    out.write(chunk)
-            written = out.tell()
-        Path(blob_path).unlink()
-        return written
+                    yield chunk
+
+        with atomic_write(output) as out:
+            return write_index_stream(out, header, packed, blob_chunks())
     finally:
+        if blob_path is not None:
+            Path(blob_path).unlink(missing_ok=True)
         for part in parts:
             part.close()
 

@@ -1,17 +1,27 @@
 """On-disk index format.
 
 The paper's system keeps its index on disk and reads posting lists on
-demand; this module reproduces that arrangement.  Layout::
+demand; this module reproduces that arrangement.  Format v2 layout::
 
-    magic "RPIX" | version u16 | header-length u32 | header JSON
-    vocab-count u64 | vocabulary table | postings blob
+    magic "RPIX" | version u16 | header-length u32 | header CRC32
+    header JSON
+    vocab-count u64 | vocab-table CRC32 | vocabulary table
+    postings blob
 
 The header JSON carries the index parameters and the collection's
 identifiers/lengths.  The vocabulary table is a packed little-endian
-record array — interval id, df, cf, blob offset, blob length — sorted
-by interval id so lookups are a binary search over a numpy column.
-:class:`DiskIndex` memory-maps the file and fetches each posting list
-as a byte slice, never materialising the whole index.
+record array — interval id, df, cf, blob offset, blob length, blob
+CRC32 — sorted by interval id so lookups are a binary search over a
+numpy column.  :class:`DiskIndex` memory-maps the file and fetches each
+posting list as a byte slice, never materialising the whole index.
+
+Integrity: the header and vocabulary-table checksums are verified
+eagerly when the file is opened; each posting blob's checksum is
+verified lazily the first time the list is fetched.  Any mismatch
+raises :class:`repro.errors.CorruptionError`.  Format v1 files (no
+checksums) still open read-only with a warning.  All writes go through
+:func:`repro.index.atomic.atomic_write`, so a crash mid-write never
+leaves a half-written index visible.
 """
 
 from __future__ import annotations
@@ -19,12 +29,15 @@ from __future__ import annotations
 import json
 import mmap
 import struct
+import warnings
+import zlib
 from pathlib import Path
-from typing import Iterator
+from typing import BinaryIO, Iterable, Iterator
 
 import numpy as np
 
-from repro.errors import IndexFormatError
+from repro.errors import CorruptionError, IndexFormatError
+from repro.index.atomic import atomic_write
 from repro.index.builder import (
     CollectionInfo,
     IndexParameters,
@@ -34,12 +47,14 @@ from repro.index.builder import (
 )
 
 _MAGIC = b"RPIX"
-_VERSION = 1
+_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 _PREFIX = struct.Struct("<4sHI")
+_CRC = struct.Struct("<I")
 _COUNT = struct.Struct("<Q")
 
-#: interval id, df, cf, offset into blob, byte length of the list.
-_VOCAB_DTYPE = np.dtype(
+#: v1 row: interval id, df, cf, offset into blob, byte length of the list.
+_VOCAB_DTYPE_V1 = np.dtype(
     [
         ("interval_id", "<u8"),
         ("df", "<u4"),
@@ -49,17 +64,75 @@ _VOCAB_DTYPE = np.dtype(
     ]
 )
 
+#: v2 row: v1 fields plus the posting blob's CRC32.
+_VOCAB_DTYPE = np.dtype(
+    [
+        ("interval_id", "<u8"),
+        ("df", "<u4"),
+        ("cf", "<u8"),
+        ("offset", "<u8"),
+        ("length", "<u4"),
+        ("crc", "<u4"),
+    ]
+)
 
-def write_index(index: InvertedIndex, path: str | Path) -> int:
-    """Serialise an in-memory index; returns the bytes written."""
-    header = json.dumps(
+
+def _index_header(params: IndexParameters, collection: CollectionInfo) -> bytes:
+    return json.dumps(
         {
-            "params": index.params.describe(),
-            "identifiers": list(index.collection.identifiers),
-            "lengths": index.collection.lengths.tolist(),
+            "params": params.describe(),
+            "identifiers": list(collection.identifiers),
+            "lengths": collection.lengths.tolist(),
         }
     ).encode("utf-8")
 
+
+def write_index_stream(
+    handle: BinaryIO,
+    header: bytes,
+    table: np.ndarray,
+    blobs: Iterable[bytes],
+    version: int = _VERSION,
+) -> int:
+    """Write a complete index file to an open binary handle.
+
+    ``table`` must use :data:`_VOCAB_DTYPE` (the ``crc`` column is
+    dropped when writing v1).  ``blobs`` supplies the postings blob as
+    byte chunks, concatenated verbatim.  Returns the bytes written.
+    Shared by :func:`write_index` and the streaming merge.
+    """
+    if version not in _SUPPORTED_VERSIONS:
+        raise IndexFormatError(f"cannot write index version {version}")
+    written = 0
+    written += handle.write(_PREFIX.pack(_MAGIC, version, len(header)))
+    if version >= 2:
+        written += handle.write(_CRC.pack(zlib.crc32(header)))
+    written += handle.write(header)
+    written += handle.write(_COUNT.pack(len(table)))
+    if version >= 2:
+        table_bytes = np.ascontiguousarray(table, dtype=_VOCAB_DTYPE).tobytes()
+    else:
+        legacy = np.empty(len(table), dtype=_VOCAB_DTYPE_V1)
+        for name in _VOCAB_DTYPE_V1.names:
+            legacy[name] = table[name]
+        table_bytes = legacy.tobytes()
+    if version >= 2:
+        written += handle.write(_CRC.pack(zlib.crc32(table_bytes)))
+    written += handle.write(table_bytes)
+    for chunk in blobs:
+        written += handle.write(chunk)
+    return written
+
+
+def write_index(
+    index: InvertedIndex, path: str | Path, version: int = _VERSION
+) -> int:
+    """Serialise an in-memory index atomically; returns the bytes written.
+
+    ``version`` is exposed for compatibility testing only — new files
+    should always be written at the current version.
+    """
+    header = _index_header(index.params, index.collection)
     entries = list(index.entries())
     table = np.empty(len(entries), dtype=_VOCAB_DTYPE)
     offset = 0
@@ -70,24 +143,25 @@ def write_index(index: InvertedIndex, path: str | Path) -> int:
             entry.cf,
             offset,
             len(entry.data),
+            zlib.crc32(entry.data),
         )
         offset += len(entry.data)
 
-    with open(path, "wb") as handle:
-        handle.write(_PREFIX.pack(_MAGIC, _VERSION, len(header)))
-        handle.write(header)
-        handle.write(_COUNT.pack(len(entries)))
-        handle.write(table.tobytes())
-        for entry in entries:
-            handle.write(entry.data)
-        return handle.tell()
+    with atomic_write(path) as handle:
+        return write_index_stream(
+            handle, header, table, (entry.data for entry in entries), version
+        )
 
 
 class DiskIndex(IndexReader):
     """A read-only index backed by a memory-mapped file.
 
+    Opening verifies the header and vocabulary-table checksums (format
+    v2); each posting blob is verified lazily on first access.
+
     Raises:
         IndexFormatError: if the file is not a valid index.
+        CorruptionError: if an integrity check fails.
     """
 
     def __init__(self, path: str | Path) -> None:
@@ -109,17 +183,44 @@ class DiskIndex(IndexReader):
     def _parse(self) -> None:
         view = self._map
         if len(view) < _PREFIX.size:
-            raise IndexFormatError(f"{self._path}: truncated prefix")
+            raise CorruptionError(
+                f"{self._path}: truncated prefix", section="prefix"
+            )
         magic, version, header_length = _PREFIX.unpack_from(view, 0)
         if magic != _MAGIC:
             raise IndexFormatError(f"{self._path}: bad magic {magic!r}")
-        if version != _VERSION:
+        if version not in _SUPPORTED_VERSIONS:
             raise IndexFormatError(
                 f"{self._path}: unsupported version {version}"
             )
+        self.version = int(version)
+        if self.version < 2:
+            warnings.warn(
+                f"{self._path}: format v1 index has no integrity data; "
+                "checksums cannot be verified (rebuild to upgrade)",
+                stacklevel=3,
+            )
         cursor = _PREFIX.size
+        header_crc = None
+        if self.version >= 2:
+            if cursor + _CRC.size > len(view):
+                raise CorruptionError(
+                    f"{self._path}: truncated header checksum",
+                    section="header_crc",
+                )
+            (header_crc,) = _CRC.unpack_from(view, cursor)
+            cursor += _CRC.size
+        if cursor + header_length > len(view):
+            raise CorruptionError(
+                f"{self._path}: truncated header", section="header"
+            )
+        header_bytes = bytes(view[cursor : cursor + header_length])
+        if header_crc is not None and zlib.crc32(header_bytes) != header_crc:
+            raise CorruptionError(
+                f"{self._path}: header fails checksum", section="header"
+            )
         try:
-            header = json.loads(view[cursor : cursor + header_length])
+            header = json.loads(header_bytes)
         except ValueError as exc:
             raise IndexFormatError(f"{self._path}: bad header JSON") from exc
         cursor += header_length
@@ -129,26 +230,56 @@ class DiskIndex(IndexReader):
             np.array(header["lengths"], dtype=np.int64),
         )
         if cursor + _COUNT.size > len(view):
-            raise IndexFormatError(f"{self._path}: truncated vocabulary count")
+            raise CorruptionError(
+                f"{self._path}: truncated vocabulary count", section="count"
+            )
         (count,) = _COUNT.unpack_from(view, cursor)
         cursor += _COUNT.size
-        table_bytes = count * _VOCAB_DTYPE.itemsize
+        table_crc = None
+        if self.version >= 2:
+            if cursor + _CRC.size > len(view):
+                raise CorruptionError(
+                    f"{self._path}: truncated vocabulary checksum",
+                    section="table_crc",
+                )
+            (table_crc,) = _CRC.unpack_from(view, cursor)
+            cursor += _CRC.size
+        dtype = _VOCAB_DTYPE if self.version >= 2 else _VOCAB_DTYPE_V1
+        table_bytes = count * dtype.itemsize
         if cursor + table_bytes > len(view):
-            raise IndexFormatError(f"{self._path}: truncated vocabulary")
+            raise CorruptionError(
+                f"{self._path}: truncated vocabulary", section="table"
+            )
+        if table_crc is not None and (
+            zlib.crc32(view[cursor : cursor + table_bytes]) != table_crc
+        ):
+            raise CorruptionError(
+                f"{self._path}: vocabulary table fails checksum",
+                section="table",
+            )
         # Copy the (small) table out of the map so closing it is safe.
         self._table = np.frombuffer(
-            view, dtype=_VOCAB_DTYPE, count=count, offset=cursor
+            view, dtype=dtype, count=count, offset=cursor
         ).copy()
         self._blob_start = cursor + table_bytes
         blob_length = len(view) - self._blob_start
         ends = self._table["offset"].astype(np.int64) + self._table["length"]
         if count and int(ends.max(initial=0)) > blob_length:
-            raise IndexFormatError(f"{self._path}: truncated postings blob")
+            raise CorruptionError(
+                f"{self._path}: truncated postings blob", section="blob"
+            )
         self._ids = self._table["interval_id"].astype(np.int64)
         if count and np.any(np.diff(self._ids) <= 0):
-            raise IndexFormatError(
-                f"{self._path}: vocabulary not strictly sorted"
+            raise CorruptionError(
+                f"{self._path}: vocabulary not strictly sorted",
+                section="table",
             )
+        if self.version >= 2:
+            self._crcs = self._table["crc"]
+            self._blob_verified = np.zeros(count, dtype=bool)
+        else:
+            self._crcs = None
+            self._blob_verified = None
 
     def close(self) -> None:
         """Release the mapping and file handle."""
@@ -165,13 +296,28 @@ class DiskIndex(IndexReader):
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
+    def _fetch_blob(self, slot: int) -> bytes:
+        row = self._table[slot]
+        start = self._blob_start + int(row["offset"])
+        data = bytes(self._map[start : start + int(row["length"])])
+        if self._crcs is not None and not self._blob_verified[slot]:
+            if zlib.crc32(data) != int(self._crcs[slot]):
+                interval = int(self._ids[slot])
+                raise CorruptionError(
+                    f"{self._path}: posting list for interval {interval} "
+                    "fails checksum",
+                    interval_id=interval,
+                    section="blob",
+                )
+            self._blob_verified[slot] = True
+        return data
+
     def lookup_entry(self, interval_id: int) -> VocabEntry | None:
         slot = int(np.searchsorted(self._ids, interval_id))
         if slot >= self._ids.shape[0] or self._ids[slot] != interval_id:
             return None
         row = self._table[slot]
-        start = self._blob_start + int(row["offset"])
-        data = bytes(self._map[start : start + int(row["length"])])
+        data = self._fetch_blob(slot)
         return VocabEntry(interval_id, int(row["df"]), int(row["cf"]), data)
 
     def interval_ids(self) -> Iterator[int]:
@@ -188,6 +334,25 @@ class DiskIndex(IndexReader):
     @property
     def compressed_bytes(self) -> int:
         return int(self._table["length"].sum())
+
+    def verify(self) -> list[str]:
+        """Check every posting blob's checksum; returns the problems.
+
+        An empty list means the file is fully intact.  Format v1 files
+        report a single note that no integrity data exists.
+        """
+        if self._crcs is None:
+            return [
+                f"{self._path}: format v1 has no integrity data; "
+                "cannot verify posting lists"
+            ]
+        issues: list[str] = []
+        for slot in range(self._ids.shape[0]):
+            try:
+                self._fetch_blob(slot)
+            except CorruptionError as exc:
+                issues.append(str(exc))
+        return issues
 
     def to_memory(self) -> InvertedIndex:
         """Materialise the whole index in memory."""

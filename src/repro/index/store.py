@@ -7,6 +7,12 @@ payloads coded either *raw* (one code byte per base) or *direct*
 (2-bit packed with a wildcard side list — the cino scheme measured in
 E8).  An in-memory source with the same interface backs small runs and
 tests.
+
+Format v2 adds integrity data: a header checksum and an offset/record
+checksum block verified eagerly at open, plus a CRC32 per record
+payload verified lazily on first access.  Mismatches raise
+:class:`repro.errors.CorruptionError`; v1 files still open read-only
+with a warning.  Writes are atomic (see :mod:`repro.index.atomic`).
 """
 
 from __future__ import annotations
@@ -14,6 +20,8 @@ from __future__ import annotations
 import json
 import mmap
 import struct
+import warnings
+import zlib
 from abc import ABC, abstractmethod
 from pathlib import Path
 from typing import Sequence as TypingSequence
@@ -21,12 +29,15 @@ from typing import Sequence as TypingSequence
 import numpy as np
 
 from repro.compression.direct import decode_sequence, encode_sequence
-from repro.errors import IndexFormatError, IndexLookupError
+from repro.errors import CorruptionError, IndexFormatError, IndexLookupError
+from repro.index.atomic import atomic_write
 from repro.sequences.record import Sequence
 
 _MAGIC = b"RPSQ"
-_VERSION = 1
+_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 _PREFIX = struct.Struct("<4sHI")
+_CRC = struct.Struct("<I")
 
 #: Supported payload codings.
 CODINGS = ("raw", "direct")
@@ -84,8 +95,11 @@ def write_store(
     sequences: TypingSequence[Sequence],
     path: str | Path,
     coding: str = "direct",
+    version: int = _VERSION,
 ) -> int:
-    """Serialise a collection; returns the bytes written.
+    """Serialise a collection atomically; returns the bytes written.
+
+    ``version`` is exposed for compatibility testing only.
 
     Raises:
         IndexFormatError: if ``coding`` is unknown.
@@ -94,6 +108,8 @@ def write_store(
         raise IndexFormatError(
             f"unknown coding {coding!r}; expected one of {CODINGS}"
         )
+    if version not in _SUPPORTED_VERSIONS:
+        raise IndexFormatError(f"cannot write store version {version}")
     payloads: list[bytes] = []
     for record in sequences:
         if coding == "direct":
@@ -113,15 +129,25 @@ def write_store(
         offsets[1:] = np.cumsum(
             np.array([len(payload) for payload in payloads], dtype=np.int64)
         )
+    crcs = np.array(
+        [zlib.crc32(payload) for payload in payloads], dtype="<u4"
+    )
 
-    with open(path, "wb") as handle:
-        handle.write(_PREFIX.pack(_MAGIC, _VERSION, len(header)))
-        handle.write(header)
-        handle.write(struct.pack("<Q", len(payloads)))
-        handle.write(offsets.tobytes())
+    with atomic_write(path) as handle:
+        written = handle.write(_PREFIX.pack(_MAGIC, version, len(header)))
+        if version >= 2:
+            written += handle.write(_CRC.pack(zlib.crc32(header)))
+        written += handle.write(header)
+        written += handle.write(struct.pack("<Q", len(payloads)))
+        if version >= 2:
+            tables = offsets.tobytes() + crcs.tobytes()
+            written += handle.write(_CRC.pack(zlib.crc32(tables)))
+            written += handle.write(tables)
+        else:
+            written += handle.write(offsets.tobytes())
         for payload in payloads:
-            handle.write(payload)
-        return handle.tell()
+            written += handle.write(payload)
+        return written
 
 
 class SequenceStore(SequenceSource):
@@ -150,15 +176,42 @@ class SequenceStore(SequenceSource):
     def _parse(self) -> None:
         view = self._map
         if len(view) < _PREFIX.size:
-            raise IndexFormatError(f"{self._path}: truncated prefix")
+            raise CorruptionError(
+                f"{self._path}: truncated prefix", section="prefix"
+            )
         magic, version, header_length = _PREFIX.unpack_from(view, 0)
         if magic != _MAGIC:
             raise IndexFormatError(f"{self._path}: bad magic {magic!r}")
-        if version != _VERSION:
+        if version not in _SUPPORTED_VERSIONS:
             raise IndexFormatError(f"{self._path}: unsupported version {version}")
+        self.version = int(version)
+        if self.version < 2:
+            warnings.warn(
+                f"{self._path}: format v1 store has no integrity data; "
+                "checksums cannot be verified (rebuild to upgrade)",
+                stacklevel=3,
+            )
         cursor = _PREFIX.size
+        header_crc = None
+        if self.version >= 2:
+            if cursor + _CRC.size > len(view):
+                raise CorruptionError(
+                    f"{self._path}: truncated header checksum",
+                    section="header_crc",
+                )
+            (header_crc,) = _CRC.unpack_from(view, cursor)
+            cursor += _CRC.size
+        if cursor + header_length > len(view):
+            raise CorruptionError(
+                f"{self._path}: truncated header", section="header"
+            )
+        header_bytes = bytes(view[cursor : cursor + header_length])
+        if header_crc is not None and zlib.crc32(header_bytes) != header_crc:
+            raise CorruptionError(
+                f"{self._path}: header fails checksum", section="header"
+            )
         try:
-            header = json.loads(view[cursor : cursor + header_length])
+            header = json.loads(header_bytes)
         except ValueError as exc:
             raise IndexFormatError(f"{self._path}: bad header JSON") from exc
         cursor += header_length
@@ -168,23 +221,61 @@ class SequenceStore(SequenceSource):
         self._identifiers = list(header["identifiers"])
         self._descriptions = list(header.get("descriptions", []))
         if cursor + 8 > len(view):
-            raise IndexFormatError(f"{self._path}: truncated record count")
+            raise CorruptionError(
+                f"{self._path}: truncated record count", section="count"
+            )
         (count,) = struct.unpack_from("<Q", view, cursor)
         cursor += 8
         if count != len(self._identifiers):
-            raise IndexFormatError(
+            raise CorruptionError(
                 f"{self._path}: header lists {len(self._identifiers)} "
-                f"identifiers but store holds {count} records"
+                f"identifiers but store holds {count} records",
+                section="count",
             )
-        if cursor + 8 * (count + 1) > len(view):
-            raise IndexFormatError(f"{self._path}: truncated offset table")
-        # Copy the (small) offset table out of the map so closing is safe.
+        tables_crc = None
+        if self.version >= 2:
+            if cursor + _CRC.size > len(view):
+                raise CorruptionError(
+                    f"{self._path}: truncated table checksum",
+                    section="tables_crc",
+                )
+            (tables_crc,) = _CRC.unpack_from(view, cursor)
+            cursor += _CRC.size
+        offsets_bytes = 8 * (count + 1)
+        crcs_bytes = 4 * count if self.version >= 2 else 0
+        if cursor + offsets_bytes + crcs_bytes > len(view):
+            raise CorruptionError(
+                f"{self._path}: truncated offset table", section="offsets"
+            )
+        if tables_crc is not None and (
+            zlib.crc32(view[cursor : cursor + offsets_bytes + crcs_bytes])
+            != tables_crc
+        ):
+            raise CorruptionError(
+                f"{self._path}: offset/checksum tables fail checksum",
+                section="offsets",
+            )
+        # Copy the (small) tables out of the map so closing is safe.
         self._offsets = np.frombuffer(
             view, dtype="<u8", count=count + 1, offset=cursor
         ).copy()
-        self._payload_start = cursor + (count + 1) * 8
+        if self.version >= 2:
+            self._record_crcs = np.frombuffer(
+                view, dtype="<u4", count=count, offset=cursor + offsets_bytes
+            ).copy()
+            self._record_verified = np.zeros(count, dtype=bool)
+        else:
+            self._record_crcs = None
+            self._record_verified = None
+        self._payload_start = cursor + offsets_bytes + crcs_bytes
+        if count and np.any(np.diff(self._offsets.astype(np.int64)) < 0):
+            raise CorruptionError(
+                f"{self._path}: offset table not monotonic", section="offsets"
+            )
         if self._payload_start + int(self._offsets[-1]) > len(view):
-            raise IndexFormatError(f"{self._path}: truncated payload")
+            raise CorruptionError(
+                f"{self._path}: truncated payload", section="payload"
+            )
 
     def close(self) -> None:
         """Release the mapping and file handle."""
@@ -211,7 +302,39 @@ class SequenceStore(SequenceSource):
     def _payload(self, ordinal: int) -> bytes:
         start = self._payload_start + int(self._offsets[ordinal])
         end = self._payload_start + int(self._offsets[ordinal + 1])
-        return bytes(self._map[start:end])
+        data = bytes(self._map[start:end])
+        if (
+            self._record_crcs is not None
+            and not self._record_verified[ordinal]
+        ):
+            if zlib.crc32(data) != int(self._record_crcs[ordinal]):
+                raise CorruptionError(
+                    f"{self._path}: record {ordinal} "
+                    f"({self._identifiers[ordinal]!r}) fails checksum",
+                    ordinal=ordinal,
+                    section="payload",
+                )
+            self._record_verified[ordinal] = True
+        return data
+
+    def verify(self) -> list[str]:
+        """Check every record payload's checksum; returns the problems.
+
+        An empty list means the store is fully intact.  Format v1
+        stores report a single note that no integrity data exists.
+        """
+        if self._record_crcs is None:
+            return [
+                f"{self._path}: format v1 has no integrity data; "
+                "cannot verify records"
+            ]
+        issues: list[str] = []
+        for ordinal in range(len(self)):
+            try:
+                self._payload(ordinal)
+            except CorruptionError as exc:
+                issues.append(str(exc))
+        return issues
 
     def codes(self, ordinal: int) -> np.ndarray:
         self._check(ordinal)

@@ -1,0 +1,27 @@
+"""Instrumentation: deterministic fault injection for durability tests."""
+
+from repro.instrumentation.faults import (
+    FaultReport,
+    SimulatedCrash,
+    crash_during_replace,
+    crash_on_fsync,
+    flip_bit,
+    flip_byte,
+    index_sections,
+    store_sections,
+    truncate_at,
+    zero_page,
+)
+
+__all__ = [
+    "FaultReport",
+    "SimulatedCrash",
+    "crash_during_replace",
+    "crash_on_fsync",
+    "flip_bit",
+    "flip_byte",
+    "index_sections",
+    "store_sections",
+    "truncate_at",
+    "zero_page",
+]

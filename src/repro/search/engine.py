@@ -25,15 +25,17 @@ Two refinements beyond the basic pipeline:
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import replace
+from typing import Iterator
 
 import numpy as np
 
 from repro.align.scoring import ScoringScheme
 from repro.align.statistics import GumbelParameters
-from repro.errors import SearchError
-from repro.index.builder import IndexReader
+from repro.errors import CorruptionError, SearchError
+from repro.index.builder import IndexReader, PostingEntry, VocabEntry
 from repro.index.store import SequenceSource
 from repro.search.coarse import CoarseRanker, CoarseScorer
 from repro.search.fine import FineSearcher
@@ -44,6 +46,64 @@ from repro.sequences.record import Sequence
 
 #: Supported fine-phase modes.
 FINE_MODES = ("full", "frames")
+
+#: Supported corruption policies.
+CORRUPTION_POLICIES = ("raise", "skip", "fallback")
+
+_LOG = logging.getLogger(__name__)
+
+
+class QuarantiningIndexReader(IndexReader):
+    """Delegating index view that quarantines corrupt posting lists.
+
+    Any :class:`CorruptionError` raised while fetching a posting list
+    is logged once, the interval is recorded in :attr:`quarantined`,
+    and the list is treated as empty — so a single damaged blob costs
+    one interval's evidence instead of the whole query.
+    """
+
+    def __init__(self, inner: IndexReader) -> None:
+        self._inner = inner
+        self.params = inner.params
+        self.collection = inner.collection
+        self.quarantined: set[int] = set()
+
+    def _note(self, interval_id: int, exc: CorruptionError) -> None:
+        if interval_id not in self.quarantined:
+            _LOG.warning(
+                "quarantining corrupt posting list for interval %d: %s",
+                interval_id,
+                exc,
+            )
+            self.quarantined.add(interval_id)
+
+    def lookup_entry(self, interval_id: int) -> VocabEntry | None:
+        try:
+            return self._inner.lookup_entry(interval_id)
+        except CorruptionError as exc:
+            self._note(interval_id, exc)
+            return None
+
+    def docs_counts(self, interval_id: int):
+        try:
+            return self._inner.docs_counts(interval_id)
+        except CorruptionError as exc:
+            self._note(interval_id, exc)
+            return None
+
+    def postings(self, interval_id: int) -> list[PostingEntry]:
+        try:
+            return self._inner.postings(interval_id)
+        except CorruptionError as exc:
+            self._note(interval_id, exc)
+            return []
+
+    def interval_ids(self) -> Iterator[int]:
+        return self._inner.interval_ids()
+
+    @property
+    def vocabulary_size(self) -> int:
+        return self._inner.vocabulary_size
 
 
 class PartitionedSearchEngine:
@@ -70,6 +130,14 @@ class PartitionedSearchEngine:
         significance: Gumbel parameters (see
             :func:`repro.align.statistics.calibrate_gapped`); when
             given, every hit carries a collection-wide E-value.
+        on_corruption: what to do when an on-disk artefact fails an
+            integrity check mid-query.  ``"raise"`` propagates the
+            :class:`~repro.errors.CorruptionError`; ``"skip"``
+            quarantines the damaged posting list or candidate sequence
+            (logged, treated as empty, counted in the report's
+            quarantine statistics) and keeps searching; ``"fallback"``
+            additionally answers the query with an exhaustive scan of
+            the sequence store if the index proves unusable.
 
     Raises:
         SearchError: if the index and source disagree about the
@@ -87,6 +155,7 @@ class PartitionedSearchEngine:
         fine_mode: str = "full",
         both_strands: bool = False,
         significance: GumbelParameters | None = None,
+        on_corruption: str = "raise",
     ) -> None:
         if coarse_cutoff < 1:
             raise SearchError(
@@ -96,11 +165,26 @@ class PartitionedSearchEngine:
             raise SearchError(
                 f"unknown fine_mode {fine_mode!r}; expected one of {FINE_MODES}"
             )
+        if on_corruption not in CORRUPTION_POLICIES:
+            raise SearchError(
+                f"unknown on_corruption {on_corruption!r}; expected one of "
+                f"{CORRUPTION_POLICIES}"
+            )
         if len(source) != index.collection.num_sequences:
             raise SearchError(
                 f"index covers {index.collection.num_sequences} sequences "
                 f"but the source holds {len(source)}"
             )
+        self.on_corruption = on_corruption
+        self._quarantine: QuarantiningIndexReader | None = None
+        if on_corruption == "skip":
+            # "fallback" deliberately leaves the index unwrapped: any
+            # corruption aborts the partitioned pipeline and the query
+            # is re-answered exhaustively, preserving full recall.
+            self._quarantine = QuarantiningIndexReader(index)
+            index = self._quarantine
+        self._quarantined_sequences: set[int] = set()
+        self._exhaustive = None
         self.index = index
         self.source = source
         self.scheme = scheme or ScoringScheme()
@@ -125,6 +209,38 @@ class PartitionedSearchEngine:
             return query.identifier, query.codes
         return "query", np.asarray(query, dtype=np.uint8)
 
+    def _fine_with_policy(self, align, codes, candidates) -> list[SearchHit]:
+        """Run a fine aligner, quarantining corrupt candidate records.
+
+        Under ``"skip"``/``"fallback"`` a candidate whose store record
+        fails its checksum is dropped (logged and counted) and the
+        alignment retried without it; ``"raise"`` propagates.
+        """
+        candidates = [
+            candidate
+            for candidate in candidates
+            if candidate.ordinal not in self._quarantined_sequences
+        ]
+        while True:
+            try:
+                return align(codes, candidates, min_score=self.min_fine_score)
+            except CorruptionError as exc:
+                ordinal = exc.ordinal
+                if self.on_corruption != "skip" or ordinal is None:
+                    raise
+                if ordinal not in self._quarantined_sequences:
+                    _LOG.warning(
+                        "quarantining corrupt sequence record %d: %s",
+                        ordinal,
+                        exc,
+                    )
+                    self._quarantined_sequences.add(ordinal)
+                candidates = [
+                    candidate
+                    for candidate in candidates
+                    if candidate.ordinal != ordinal
+                ]
+
     def _evaluate_one_strand(
         self, codes: np.ndarray
     ) -> tuple[list[SearchHit], int, float, float]:
@@ -133,14 +249,14 @@ class PartitionedSearchEngine:
         if self.fine_mode == "frames":
             candidates = self._frame_ranker.rank(codes, self.coarse_cutoff)
             coarse_done = time.perf_counter()
-            hits = self._frame_fine.align_frames(
-                codes, candidates, min_score=self.min_fine_score
+            hits = self._fine_with_policy(
+                self._frame_fine.align_frames, codes, candidates
             )
         else:
             candidates = self._ranker.rank(codes, self.coarse_cutoff)
             coarse_done = time.perf_counter()
-            hits = self._fine.align_candidates(
-                codes, candidates, min_score=self.min_fine_score
+            hits = self._fine_with_policy(
+                self._fine.align_candidates, codes, candidates
             )
         fine_done = time.perf_counter()
         return (
@@ -172,17 +288,27 @@ class PartitionedSearchEngine:
                 f"length {self.index.params.interval_length}"
             )
 
-        hits, candidates, coarse_seconds, fine_seconds = (
-            self._evaluate_one_strand(codes)
-        )
-        if self.both_strands:
-            reverse_hits, reverse_candidates, reverse_coarse, reverse_fine = (
-                self._evaluate_one_strand(reverse_complement(codes))
+        try:
+            hits, candidates, coarse_seconds, fine_seconds = (
+                self._evaluate_one_strand(codes)
             )
-            hits = _merge_strand_hits(hits, reverse_hits)
-            candidates = max(candidates, reverse_candidates)
-            coarse_seconds += reverse_coarse
-            fine_seconds += reverse_fine
+            if self.both_strands:
+                reverse_hits, reverse_candidates, reverse_coarse, reverse_fine = (
+                    self._evaluate_one_strand(reverse_complement(codes))
+                )
+                hits = _merge_strand_hits(hits, reverse_hits)
+                candidates = max(candidates, reverse_candidates)
+                coarse_seconds += reverse_coarse
+                fine_seconds += reverse_fine
+        except CorruptionError as exc:
+            if self.on_corruption != "fallback":
+                raise
+            _LOG.warning(
+                "index unusable (%s); answering %r with an exhaustive scan",
+                exc,
+                identifier,
+            )
+            return self._exhaustive_report(query, top_k)
         if self.significance is not None:
             searched = self.index.collection.total_length
             hits = [
@@ -200,6 +326,33 @@ class PartitionedSearchEngine:
             candidates_examined=candidates,
             coarse_seconds=coarse_seconds,
             fine_seconds=fine_seconds,
+            quarantined_intervals=self.quarantined_intervals,
+            quarantined_sequences=len(self._quarantined_sequences),
+        )
+
+    @property
+    def quarantined_intervals(self) -> int:
+        """Posting lists quarantined as corrupt so far (0 when none)."""
+        return len(self._quarantine.quarantined) if self._quarantine else 0
+
+    def _exhaustive_report(
+        self, query: Sequence | np.ndarray, top_k: int
+    ) -> SearchReport:
+        """Degraded path: answer from the sequence store alone."""
+        from repro.search.exhaustive import ExhaustiveSearcher
+
+        if self._exhaustive is None:
+            self._exhaustive = ExhaustiveSearcher(
+                self.source,
+                scheme=self.scheme,
+                min_score=self.min_fine_score,
+            )
+        report = self._exhaustive.search(query, top_k=top_k)
+        return replace(
+            report,
+            degraded=True,
+            quarantined_intervals=self.quarantined_intervals,
+            quarantined_sequences=len(self._quarantined_sequences),
         )
 
     def search_batch(

@@ -55,6 +55,16 @@ class SearchReport:
     candidates_examined: int = 0
     coarse_seconds: float = 0.0
     fine_seconds: float = 0.0
+    #: Posting lists the engine has quarantined as corrupt so far
+    #: (cumulative over the engine's lifetime; only non-zero under
+    #: ``on_corruption="skip"``/``"fallback"``).
+    quarantined_intervals: int = 0
+    #: Candidate sequences skipped because their store records failed
+    #: integrity checks (cumulative, as above).
+    quarantined_sequences: int = 0
+    #: True when the engine answered this query by falling back to an
+    #: exhaustive scan because the index was unusable.
+    degraded: bool = False
 
     @property
     def total_seconds(self) -> float:

@@ -1,0 +1,74 @@
+"""The atomic-write helper: all-or-nothing file replacement."""
+
+import os
+import zlib
+
+import pytest
+
+from repro.errors import StorageError
+from repro.index.atomic import (
+    atomic_write,
+    file_crc32,
+    write_bytes_atomic,
+    write_text_atomic,
+)
+from repro.instrumentation.faults import SimulatedCrash, crash_during_replace
+
+
+def _no_temp_files(directory):
+    return [name for name in os.listdir(directory) if name.endswith(".tmp")] == []
+
+
+def test_write_creates_file(tmp_path):
+    target = tmp_path / "out.bin"
+    with atomic_write(target) as handle:
+        handle.write(b"payload")
+    assert target.read_bytes() == b"payload"
+    assert _no_temp_files(tmp_path)
+
+
+def test_overwrite_replaces_content(tmp_path):
+    target = tmp_path / "out.bin"
+    target.write_bytes(b"old")
+    write_bytes_atomic(target, b"new content")
+    assert target.read_bytes() == b"new content"
+    assert _no_temp_files(tmp_path)
+
+
+def test_exception_leaves_target_untouched(tmp_path):
+    target = tmp_path / "out.bin"
+    target.write_bytes(b"original")
+    with pytest.raises(RuntimeError):
+        with atomic_write(target) as handle:
+            handle.write(b"partial garbage")
+            raise RuntimeError("writer failed midway")
+    assert target.read_bytes() == b"original"
+    assert _no_temp_files(tmp_path)
+
+
+def test_crash_at_replace_leaves_target_untouched(tmp_path):
+    target = tmp_path / "out.bin"
+    target.write_bytes(b"original")
+    with pytest.raises(SimulatedCrash):
+        with crash_during_replace():
+            write_bytes_atomic(target, b"never lands")
+    assert target.read_bytes() == b"original"
+    assert _no_temp_files(tmp_path)
+
+
+def test_write_text(tmp_path):
+    target = tmp_path / "note.txt"
+    write_text_atomic(target, "héllo\n")
+    assert target.read_text(encoding="utf-8") == "héllo\n"
+
+
+def test_missing_parent_raises_storage_error(tmp_path):
+    with pytest.raises(StorageError):
+        write_bytes_atomic(tmp_path / "nowhere" / "out.bin", b"data")
+
+
+def test_file_crc32_matches_zlib(tmp_path):
+    target = tmp_path / "blob.bin"
+    payload = bytes(range(256)) * 1000
+    target.write_bytes(payload)
+    assert file_crc32(target) == (zlib.crc32(payload) & 0xFFFFFFFF)

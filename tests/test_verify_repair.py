@@ -1,0 +1,245 @@
+"""Verification, repair, crash safety, and format-v1 compatibility."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.database import Database
+from repro.errors import (
+    CorruptionError,
+    IndexFormatError,
+    SearchError,
+)
+from repro.index.builder import IndexParameters, build_index
+from repro.index.storage import DiskIndex, write_index
+from repro.index.store import SequenceStore, write_store
+from repro.instrumentation import faults
+from repro.sequences.record import Sequence
+
+PARAMS = IndexParameters(interval_length=6)
+
+
+def _records(count=10, length=200, seed=31):
+    rng = np.random.default_rng(seed)
+    return [
+        Sequence(f"vr{slot}", rng.integers(0, 4, length, dtype=np.uint8))
+        for slot in range(count)
+    ]
+
+
+@pytest.fixture()
+def db_path(tmp_path):
+    records = _records()
+    path = tmp_path / "col.db"
+    Database.create(records, path, params=PARAMS).close()
+    return path, records
+
+
+class TestVerify:
+    def test_fresh_database_is_ok(self, db_path):
+        path, _ = db_path
+        report = Database.verify(path)
+        assert report.ok
+        assert report.issues == []
+
+    def test_corruption_is_reported_not_raised(self, db_path):
+        path, _ = db_path
+        span = faults.index_sections(path / "intervals.rpix")["table"]
+        faults.flip_byte(path / "intervals.rpix", span[0], mask=0x08)
+        report = Database.verify(path)
+        assert not report.ok
+        assert report.issues
+
+    def test_verify_collects_problems_from_both_files(self, db_path):
+        path, _ = db_path
+        for name, key in (
+            ("intervals.rpix", faults.index_sections),
+            ("sequences.rpsq", faults.store_sections),
+        ):
+            span = key(path / name)["header"]
+            faults.flip_byte(path / name, span[0] + 1, mask=0x04)
+        report = Database.verify(path)
+        assert len(report.issues) >= 2
+
+    def test_cli_verify_exit_codes(self, db_path, capsys):
+        path, _ = db_path
+        assert main(["verify", str(path)]) == 0
+        assert "intact" in capsys.readouterr().out
+        span = faults.store_sections(path / "sequences.rpsq")["payload"]
+        faults.zero_page(path / "sequences.rpsq", span[0], span[1] - span[0])
+        assert main(["verify", str(path)]) == 1
+        assert "PROBLEM" in capsys.readouterr().out
+
+
+class TestRepair:
+    def _damage_index(self, path):
+        span = faults.index_sections(path / "intervals.rpix")["table"]
+        faults.zero_page(path / "intervals.rpix", span[0], span[1] - span[0])
+
+    def test_repair_restores_searchable_database(self, db_path):
+        path, records = db_path
+        query = Sequence("q", records[3].codes[10:110].copy())
+        with Database.open(path) as db:
+            baseline = [hit.identifier for hit in db.search(query).hits]
+        self._damage_index(path)
+        with pytest.raises(CorruptionError):
+            Database.open(path)
+        with Database.repair(path) as repaired:
+            report = repaired.search(query)
+        assert [hit.identifier for hit in report.hits] == baseline
+        assert Database.verify(path).ok
+
+    def test_repair_refuses_damaged_store(self, db_path):
+        path, _ = db_path
+        span = faults.store_sections(path / "sequences.rpsq")["payload"]
+        faults.flip_byte(path / "sequences.rpsq", span[0], mask=0x02)
+        with pytest.raises(CorruptionError):
+            Database.repair(path)
+
+    def test_cli_repair(self, db_path, capsys):
+        path, _ = db_path
+        self._damage_index(path)
+        assert main(["repair", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "rebuilt index" in out
+        assert main(["verify", str(path)]) == 0
+
+    def test_cli_repair_skips_intact_database(self, db_path, capsys):
+        path, _ = db_path
+        assert main(["repair", str(path)]) == 0
+        assert "already intact" in capsys.readouterr().out
+
+
+class TestCrashSafety:
+    """An interrupted create never leaves an openable half-database."""
+
+    def test_crash_at_every_fsync_point(self, tmp_path):
+        records = _records(6, 120)
+        for point in range(10):
+            path = tmp_path / f"crash{point}.db"
+            crashed = False
+            try:
+                with faults.crash_on_fsync(after=point):
+                    Database.create(records, path, params=PARAMS).close()
+            except faults.SimulatedCrash:
+                crashed = True
+            if crashed:
+                # The directory must be either unopenable (no manifest
+                # landed) or fully valid (the crash hit after the final
+                # atomic manifest publish) — never a half-written state
+                # that opens but fails verification.
+                try:
+                    Database.open(path).close()
+                except (IndexFormatError, FileNotFoundError):
+                    pass
+                else:
+                    assert Database.verify(path).ok
+            else:
+                assert Database.verify(path).ok
+                # No later fsync point exists; stop scanning.
+                break
+        else:
+            pytest.fail("create never completed within 10 fsync points")
+
+    def test_create_recovers_after_crash(self, tmp_path):
+        records = _records(6, 120)
+        path = tmp_path / "retry.db"
+        with pytest.raises(faults.SimulatedCrash):
+            with faults.crash_on_fsync(after=0):
+                Database.create(records, path, params=PARAMS)
+        Database.create(records, path, params=PARAMS).close()
+        assert Database.verify(path).ok
+
+    def test_crash_during_replace_leaves_no_temp_files(self, tmp_path):
+        records = _records(6, 120)
+        path = tmp_path / "torn.db"
+        with pytest.raises(faults.SimulatedCrash):
+            with faults.crash_during_replace():
+                Database.create(records, path, params=PARAMS)
+        with pytest.raises((IndexFormatError, FileNotFoundError)):
+            Database.open(path).close()
+        if path.exists():
+            leftovers = [n for n in os.listdir(path) if n.endswith(".tmp")]
+            assert leftovers == []
+
+
+class TestFormatV1Compatibility:
+    def test_v1_index_opens_with_warning(self, tmp_path):
+        records = _records(5, 100)
+        path = tmp_path / "old.rpix"
+        write_index(build_index(records, PARAMS), path, version=1)
+        with pytest.warns(UserWarning, match="no integrity data"):
+            with DiskIndex(path) as index:
+                assert len(list(index.interval_ids())) > 0
+                notes = index.verify()
+        assert any("no integrity data" in note for note in notes)
+
+    def test_v1_store_opens_with_warning(self, tmp_path):
+        records = _records(5, 100)
+        path = tmp_path / "old.rpsq"
+        write_store(records, path, version=1)
+        with pytest.warns(UserWarning, match="no integrity data"):
+            with SequenceStore(path) as store:
+                assert len(store) == 5
+                np.testing.assert_array_equal(store.codes(2), records[2].codes)
+
+    def test_v1_manifest_accepted(self, db_path):
+        path, records = db_path
+        manifest_path = path / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["version"] = 1
+        manifest.pop("checksums", None)
+        manifest_path.write_text(json.dumps(manifest))
+        with Database.open(path) as db:
+            assert len(db) == len(records)
+        report = Database.verify(path)
+        assert report.ok
+        assert any("version 1" in note for note in report.notes)
+
+
+class TestDegradedOpen:
+    def test_engine_unavailable_when_degraded(self, db_path):
+        path, _ = db_path
+        span = faults.index_sections(path / "intervals.rpix")["header_crc"]
+        faults.flip_byte(path / "intervals.rpix", span[0], mask=0x80)
+        with Database.open(path, on_corruption="fallback") as db:
+            assert db.degraded
+            with pytest.raises(SearchError):
+                db.engine()
+
+
+class TestMergeTempHygiene:
+    def test_failed_merge_leaves_no_temp_files(self, tmp_path, monkeypatch):
+        from repro.index.merge import merge_index_files
+        from repro.index.postings import PostingsCodec
+
+        parts = []
+        for part in range(2):
+            records = _records(4, 100, seed=part)
+            part_path = tmp_path / f"part{part}.rpix"
+            write_index(build_index(records, PARAMS), part_path)
+            parts.append(str(part_path))
+
+        calls = {"n": 0}
+        original = PostingsCodec.encode
+
+        def flaky_encode(self, *args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] > 3:
+                raise RuntimeError("simulated codec failure")
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(PostingsCodec, "encode", flaky_encode)
+        output = tmp_path / "merged.rpix"
+        with pytest.raises(RuntimeError):
+            merge_index_files(parts, str(output))
+        assert not output.exists()
+        leftovers = [
+            name
+            for name in os.listdir(tmp_path)
+            if name.endswith(".tmp") or name.startswith("tmp")
+        ]
+        assert leftovers == []
