@@ -475,6 +475,55 @@ def experiment_e7b() -> Table:
     )
 
 
+def experiment_profile() -> Table:
+    """Instrumented profile of the base workload -> BENCH_profile.json.
+
+    Runs the base partitioned engine with the observability layer
+    attached (decode cache on, two passes so the cache sees repeats)
+    and writes the resulting :class:`ProfileSnapshot` next to the other
+    BENCH artifacts, so the perf trajectory and CI both pick it up.
+    """
+    from repro.instrumentation.profiling import (
+        DEFAULT_PROFILE_NAME,
+        profile_search,
+    )
+
+    cases = setup.base_queries()
+    index = setup.base_index()
+    index.enable_decode_cache(4096)
+    engine = PartitionedSearchEngine(
+        index, setup.base_source(), coarse_cutoff=50
+    )
+    snapshot = profile_search(
+        engine,
+        [case.query for case in cases],
+        top_k=10,
+        repeat=2,
+        meta={"workload": "base", "cutoff": 50, "decode_cache": 4096},
+    )
+    snapshot.write(DEFAULT_PROFILE_NAME)
+    rows = [
+        ("queries", snapshot.queries),
+        ("throughput q/s", snapshot.throughput_qps),
+        (
+            "decode-cache hit rate",
+            snapshot.decode_cache["hit_rate"]
+            if snapshot.decode_cache["hit_rate"] is not None
+            else "n/a",
+        ),
+    ]
+    for name, phase in sorted(snapshot.phases.items()):
+        rows.append((f"{name} p50 ms", phase["p50_ms"]))
+        rows.append((f"{name} p99 ms", phase["p99_ms"]))
+    return Table(
+        "PROFILE",
+        "instrumented base workload",
+        ("metric", "value"),
+        tuple(rows),
+        note=f"full snapshot written to {DEFAULT_PROFILE_NAME}",
+    )
+
+
 EXPERIMENTS: dict[str, Callable[[], Table]] = {
     "E1": experiment_e1,
     "E2": experiment_e2,
@@ -485,6 +534,7 @@ EXPERIMENTS: dict[str, Callable[[], Table]] = {
     "E7": experiment_e7,
     "E7B": experiment_e7b,
     "E8": experiment_e8,
+    "PROFILE": experiment_profile,
 }
 
 

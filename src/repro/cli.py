@@ -6,6 +6,7 @@ Subcommands mirror the life cycle of the paper's system::
     repro index     — build the interval index (+ sequence store) on disk
     repro stats     — print index size statistics
     repro search    — evaluate FASTA queries against an on-disk index
+    repro profile   — profile a query workload, write BENCH_profile.json
     repro align     — pretty-print the local alignment of two sequences
     repro verify    — audit a database directory's integrity
     repro repair    — rebuild a database's index from its store
@@ -93,12 +94,30 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_instrumentation(instruments, queries: int, wall: float) -> None:
+    """The ``--stats`` tail: phases, cache, quarantine, counters."""
+    from repro.instrumentation.profiling import snapshot_from_instruments
+
+    snapshot = snapshot_from_instruments(
+        instruments, queries=queries, wall_seconds=wall
+    )
+    print("--- instrumentation ---")
+    print(snapshot.describe())
+    for name, value in sorted(snapshot.counters.items()):
+        print(f"counter {name:<38} {value}")
+
+
 def _cmd_search(args: argparse.Namespace) -> int:
     significance = None
     if args.evalues:
         from repro.align.statistics import calibrate_gapped
 
         significance = calibrate_gapped(ScoringScheme())
+    instruments = None
+    if args.stats:
+        from repro.instrumentation.instruments import Instruments
+
+        instruments = Instruments()
     with read_index(args.index) as index, read_store(args.store) as store:
         engine = PartitionedSearchEngine(
             index,
@@ -108,9 +127,13 @@ def _cmd_search(args: argparse.Namespace) -> int:
             fine_mode=args.fine_mode,
             both_strands=args.both_strands,
             significance=significance,
+            instruments=instruments,
         )
+        evaluated = 0
+        started = time.perf_counter()
         for query in read_fasta(args.queries):
             report = engine.search(query, top_k=args.top)
+            evaluated += 1
             print(
                 f"query {report.query_identifier}: "
                 f"{len(report.hits)} answers, "
@@ -127,7 +150,91 @@ def _cmd_search(args: argparse.Namespace) -> int:
                 if hit.evalue is not None:
                     line += f" evalue={hit.evalue:.2e}"
                 print(line)
+        if instruments is not None:
+            _print_instrumentation(
+                instruments, evaluated, time.perf_counter() - started
+            )
     return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.instrumentation.profiling import profile_search
+
+    given = [args.index, args.store, args.queries]
+    if any(given) and not all(given):
+        print(
+            "error: profile needs --index, --store and --queries together "
+            "(or none of them, for a synthetic workload)",
+            file=sys.stderr,
+        )
+        return 1
+
+    def run(engine, queries, meta):
+        snapshot = profile_search(
+            engine,
+            queries,
+            top_k=args.top,
+            repeat=args.repeat,
+            meta=meta,
+        )
+        target = snapshot.write(args.output)
+        print(snapshot.describe())
+        print(f"wrote profile -> {target}")
+        return 0
+
+    if args.index:
+        with read_index(args.index) as index, read_store(args.store) as store:
+            if args.cache:
+                index.enable_decode_cache(args.cache)
+            engine = PartitionedSearchEngine(
+                index,
+                store,
+                coarse_scorer=args.scorer,
+                coarse_cutoff=args.cutoff,
+            )
+            queries = list(read_fasta(args.queries))
+            return run(
+                engine,
+                queries,
+                {"workload": str(args.queries), "cutoff": args.cutoff},
+            )
+
+    # Synthetic in-memory workload: self-contained, reproducible, small
+    # enough for CI.
+    from repro.index.store import MemorySequenceSource
+
+    spec = WorkloadSpec(
+        num_families=args.families,
+        family_size=args.family_size,
+        num_background=args.background,
+        mean_length=args.mean_length,
+        mutation=MutationModel(0.1, 0.02, 0.02),
+        seed=args.seed,
+    )
+    collection = generate_collection(spec)
+    cases = make_family_queries(
+        collection, args.num_queries, args.query_length, seed=args.seed + 1
+    )
+    index = build_index(collection.sequences, IndexParameters())
+    if args.cache:
+        index.enable_decode_cache(args.cache)
+    engine = PartitionedSearchEngine(
+        index,
+        MemorySequenceSource(collection.sequences),
+        coarse_scorer=args.scorer,
+        coarse_cutoff=args.cutoff,
+    )
+    return run(
+        engine,
+        [case.query for case in cases],
+        {
+            "workload": "synthetic",
+            "sequences": len(collection.sequences),
+            "total_bases": collection.total_bases,
+            "cutoff": args.cutoff,
+            "seed": args.seed,
+        },
+    )
 
 
 def _cmd_db_create(args: argparse.Namespace) -> int:
@@ -315,7 +422,50 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="calibrate Gumbel parameters and report E-values",
     )
+    search.add_argument(
+        "--stats",
+        action="store_true",
+        help="print instrumentation counters and phase latencies after "
+        "the workload",
+    )
     search.set_defaults(handler=_cmd_search)
+
+    profile = commands.add_parser(
+        "profile",
+        help="profile a query workload and write a BENCH_profile.json",
+    )
+    profile.add_argument(
+        "--index", type=Path, default=None,
+        help="on-disk index (omit for a synthetic in-memory workload)",
+    )
+    profile.add_argument("--store", type=Path, default=None)
+    profile.add_argument("--queries", type=Path, default=None)
+    profile.add_argument("--cutoff", type=int, default=100)
+    profile.add_argument("--top", type=int, default=10)
+    profile.add_argument(
+        "--repeat", type=int, default=1,
+        help="whole-workload repetitions (>=2 exercises the decode cache)",
+    )
+    profile.add_argument(
+        "--scorer",
+        choices=("count", "idf", "normalised", "diagonal"),
+        default="count",
+    )
+    profile.add_argument(
+        "--cache", type=int, default=0, metavar="ENTRIES",
+        help="enable the section-A decode cache with this many entries",
+    )
+    profile.add_argument("--families", type=int, default=8)
+    profile.add_argument("--family-size", type=int, default=4)
+    profile.add_argument("--background", type=int, default=60)
+    profile.add_argument("--mean-length", type=int, default=400)
+    profile.add_argument("--num-queries", type=int, default=8)
+    profile.add_argument("--query-length", type=int, default=120)
+    profile.add_argument("--seed", type=int, default=1)
+    profile.add_argument(
+        "-o", "--output", type=Path, default=Path("BENCH_profile.json")
+    )
+    profile.set_defaults(handler=_cmd_profile)
 
     db_create = commands.add_parser(
         "db-create", help="build a persistent database directory"

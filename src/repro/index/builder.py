@@ -23,6 +23,7 @@ from repro.errors import (
 )
 from repro.index.intervals import IntervalExtractor
 from repro.index.postings import PostingEntry, PostingsCodec, PostingsContext
+from repro.instrumentation.instruments import NULL_INSTRUMENTS, coalesce
 from repro.sequences.record import Sequence
 
 
@@ -159,6 +160,21 @@ class IndexReader(ABC):
         return self.lookup_entry(interval_id) is not None
 
     @property
+    def instruments(self):
+        """Observability sink (shared no-op until attached)."""
+        return getattr(self, "_instruments", NULL_INSTRUMENTS)
+
+    def set_instruments(self, instruments) -> None:
+        """Attach an :class:`~repro.instrumentation.Instruments` sink.
+
+        The reader reports decode-cache traffic
+        (``index.decode_cache.hits`` / ``misses`` / ``evictions``) and
+        section-A decode volume (``index.postings_decoded``).  Passing
+        ``None`` detaches (reverts to the shared no-op).
+        """
+        self._instruments = coalesce(instruments)
+
+    @property
     def codec(self) -> PostingsCodec:
         """The postings codec, built once and cached."""
         codec = getattr(self, "_codec_cache", None)
@@ -200,9 +216,11 @@ class IndexReader(ABC):
         self, interval_id: int
     ) -> tuple[np.ndarray, np.ndarray] | None:
         """Section-A decode: (sequence ordinals, counts), or None."""
+        instruments = self.instruments
         cache = getattr(self, "_decode_cache", None)
         if cache is not None and interval_id in cache:
             cache.move_to_end(interval_id)
+            instruments.count("index.decode_cache.hits")
             return cache[interval_id]
         entry = self.lookup_entry(interval_id)
         if entry is None:
@@ -210,10 +228,13 @@ class IndexReader(ABC):
         decoded = self.codec.decode_docs_counts(
             entry.data, entry.df, self.context
         )
+        instruments.count("index.postings_decoded")
         if cache is not None:
+            instruments.count("index.decode_cache.misses")
             cache[interval_id] = decoded
             if len(cache) > self._decode_cache_limit:
                 cache.popitem(last=False)
+                instruments.count("index.decode_cache.evictions")
         return decoded
 
     def postings(self, interval_id: int) -> list[PostingEntry]:

@@ -31,6 +31,7 @@ import numpy as np
 from repro.compression.direct import decode_sequence, encode_sequence
 from repro.errors import CorruptionError, IndexFormatError, IndexLookupError
 from repro.index.atomic import atomic_write
+from repro.instrumentation.instruments import NULL_INSTRUMENTS, coalesce
 from repro.sequences.record import Sequence
 
 _MAGIC = b"RPSQ"
@@ -45,6 +46,21 @@ CODINGS = ("raw", "direct")
 
 class SequenceSource(ABC):
     """Random access to the collection's sequences by ordinal."""
+
+    @property
+    def instruments(self):
+        """Observability sink (shared no-op until attached)."""
+        return getattr(self, "_instruments", NULL_INSTRUMENTS)
+
+    def set_instruments(self, instruments) -> None:
+        """Attach an :class:`~repro.instrumentation.Instruments` sink.
+
+        Disk-backed sources report fetch traffic
+        (``store.records_fetched`` / ``store.bytes_read``) and lazy
+        integrity work (``store.checksums_verified``).  Passing ``None``
+        detaches (reverts to the shared no-op).
+        """
+        self._instruments = coalesce(instruments)
 
     @abstractmethod
     def __len__(self) -> int:
@@ -303,10 +319,14 @@ class SequenceStore(SequenceSource):
         start = self._payload_start + int(self._offsets[ordinal])
         end = self._payload_start + int(self._offsets[ordinal + 1])
         data = bytes(self._map[start:end])
+        instruments = self.instruments
+        instruments.count("store.records_fetched")
+        instruments.count("store.bytes_read", len(data))
         if (
             self._record_crcs is not None
             and not self._record_verified[ordinal]
         ):
+            instruments.count("store.checksums_verified")
             if zlib.crc32(data) != int(self._record_crcs[ordinal]):
                 raise CorruptionError(
                     f"{self._path}: record {ordinal} "

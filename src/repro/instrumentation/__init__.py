@@ -1,4 +1,15 @@
-"""Instrumentation: deterministic fault injection for durability tests."""
+"""Instrumentation: query-path observability and fault injection.
+
+Two halves live here:
+
+* **observability** — the metrics registry
+  (:mod:`repro.instrumentation.metrics`), the span tracer
+  (:mod:`repro.instrumentation.tracing`), the :class:`Instruments`
+  facade the engines hold, and workload profiling
+  (:mod:`repro.instrumentation.profiling`);
+* **fault injection** — deterministic corruption and crash simulation
+  for durability tests (:mod:`repro.instrumentation.faults`).
+"""
 
 from repro.instrumentation.faults import (
     FaultReport,
@@ -12,15 +23,49 @@ from repro.instrumentation.faults import (
     truncate_at,
     zero_page,
 )
+from repro.instrumentation.instruments import (
+    NULL_INSTRUMENTS,
+    Instruments,
+    NullInstruments,
+    coalesce,
+)
+from repro.instrumentation.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+from repro.instrumentation.profiling import (
+    ProfileSnapshot,
+    profile_search,
+    snapshot_from_instruments,
+)
+from repro.instrumentation.tracing import NullTracer, Span, Tracer
 
 __all__ = [
+    "Counter",
     "FaultReport",
+    "Gauge",
+    "Histogram",
+    "Instruments",
+    "MetricsRegistry",
+    "NULL_INSTRUMENTS",
+    "NullInstruments",
+    "NullMetricsRegistry",
+    "NullTracer",
+    "ProfileSnapshot",
     "SimulatedCrash",
+    "Span",
+    "Tracer",
+    "coalesce",
     "crash_during_replace",
     "crash_on_fsync",
     "flip_bit",
     "flip_byte",
     "index_sections",
+    "profile_search",
+    "snapshot_from_instruments",
     "store_sections",
     "truncate_at",
     "zero_page",

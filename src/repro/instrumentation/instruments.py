@@ -1,0 +1,107 @@
+"""The facade the query path holds: metrics + tracing in one handle.
+
+Every instrumented component stores an :class:`Instruments` and calls
+``count`` / ``observe`` / ``set_gauge`` / ``span`` on it.  The default
+everywhere is :data:`NULL_INSTRUMENTS` — a shared singleton whose
+update methods are empty and whose ``span`` returns one preallocated
+no-op context manager — so a disabled engine performs zero
+instrumentation allocations per query.
+
+Enable by constructing one real ``Instruments()`` and passing it to the
+engine (which wires it through the index reader, the sequence store,
+and the coarse ranker it owns)::
+
+    instruments = Instruments()
+    engine = PartitionedSearchEngine(index, store, instruments=instruments)
+    engine.search(query)
+    print(instruments.metrics.snapshot())
+    print(instruments.tracer.span_tree())
+"""
+
+from __future__ import annotations
+
+from repro.instrumentation.metrics import (
+    NULL_METRICS,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+from repro.instrumentation.tracing import (
+    _NULL_SPAN_CONTEXT,
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+)
+
+
+class Instruments:
+    """A metrics registry and a tracer behind one small API."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+
+    def count(self, name: str, amount: int = 1) -> None:
+        self.metrics.count(name, amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.metrics.set_gauge(name, value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.metrics.observe(name, value)
+
+    def span(self, name: str):
+        return self.tracer.span(name)
+
+    def reset(self) -> None:
+        self.metrics.reset()
+        self.tracer.reset()
+
+
+class NullInstruments(Instruments):
+    """The disabled facade: every call is a no-op."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.metrics = NULL_METRICS
+        self.tracer = NULL_TRACER
+
+    def count(self, name: str, amount: int = 1) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def span(self, name: str):
+        return _NULL_SPAN_CONTEXT
+
+    def reset(self) -> None:
+        pass
+
+
+#: The shared disabled facade every component defaults to.
+NULL_INSTRUMENTS = NullInstruments()
+
+
+def coalesce(instruments: Instruments | None) -> Instruments:
+    """``instruments`` if given, else the shared no-op."""
+    return instruments if instruments is not None else NULL_INSTRUMENTS
+
+
+__all__ = [
+    "Instruments",
+    "NullInstruments",
+    "NullMetricsRegistry",
+    "NullTracer",
+    "NULL_INSTRUMENTS",
+    "coalesce",
+]

@@ -1,0 +1,177 @@
+"""Nestable wall-clock spans for the query path.
+
+A :class:`Tracer` records a tree of timed spans per thread of work::
+
+    with tracer.span("search"):
+        with tracer.span("coarse"):
+            ...
+        with tracer.span("fine"):
+            ...
+
+Finished root spans accumulate on the tracer and export either as a
+nested tree (:meth:`Tracer.span_tree`) or as a flat list with depths
+(:meth:`Tracer.flat`), both JSON-ready.  The disabled tracer
+(:data:`NULL_TRACER`) returns one shared no-op context manager, so an
+uninstrumented ``with tracer.span(...)`` allocates nothing.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Span:
+    """One timed operation, possibly containing child spans."""
+
+    __slots__ = ("name", "started", "ended", "children", "annotations")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.started = 0.0
+        self.ended = 0.0
+        self.children: list[Span] = []
+        self.annotations: dict[str, float] = {}
+
+    @property
+    def seconds(self) -> float:
+        return self.ended - self.started
+
+    def annotate(self, key: str, value: float) -> None:
+        """Attach a number to the span (e.g. candidate count)."""
+        self.annotations[key] = float(value)
+
+    def tree(self) -> dict:
+        """This span and its children as a JSON-ready nested dict."""
+        node: dict = {
+            "name": self.name,
+            "seconds": self.seconds,
+        }
+        if self.annotations:
+            node["annotations"] = dict(self.annotations)
+        if self.children:
+            node["children"] = [child.tree() for child in self.children]
+        return node
+
+
+class _SpanContext:
+    """Context manager that opens a span on a tracer's active stack."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        return self._span
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._tracer._pop(self._span)
+
+
+class Tracer:
+    """Collects span trees; bounded so long services cannot leak.
+
+    Args:
+        max_roots: retained finished root spans; older roots are
+            dropped oldest-first once the bound is reached.
+    """
+
+    enabled = True
+
+    def __init__(self, max_roots: int = 1024) -> None:
+        self.max_roots = max_roots
+        self._stack: list[Span] = []
+        self.roots: list[Span] = []
+
+    def span(self, name: str) -> _SpanContext:
+        """A context manager timing one (possibly nested) operation."""
+        return _SpanContext(self, Span(name))
+
+    def _push(self, span: Span) -> None:
+        span.started = time.perf_counter()
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        span.ended = time.perf_counter()
+        # Tolerate mispaired exits rather than corrupt the tree.
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        elif span in self._stack:
+            while self._stack and self._stack[-1] is not span:
+                self._stack.pop()
+            self._stack.pop()
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+            if len(self.roots) > self.max_roots:
+                del self.roots[: len(self.roots) - self.max_roots]
+
+    # -- exports ---------------------------------------------------------
+
+    def span_tree(self) -> list[dict]:
+        """Finished root spans as nested JSON-ready dicts."""
+        return [root.tree() for root in self.roots]
+
+    def flat(self) -> list[dict]:
+        """Every finished span as one row: name, depth, seconds."""
+        rows: list[dict] = []
+
+        def visit(span: Span, depth: int) -> None:
+            row: dict = {
+                "name": span.name,
+                "depth": depth,
+                "seconds": span.seconds,
+            }
+            if span.annotations:
+                row["annotations"] = dict(span.annotations)
+            rows.append(row)
+            for child in span.children:
+                visit(child, depth + 1)
+
+        for root in self.roots:
+            visit(root, 0)
+        return rows
+
+    def durations(self, name: str) -> list[float]:
+        """Seconds of every finished span with this name, in order."""
+        return [
+            row["seconds"] for row in self.flat() if row["name"] == name
+        ]
+
+    def reset(self) -> None:
+        self._stack.clear()
+        self.roots.clear()
+
+
+class _NullSpanContext:
+    """Shared do-nothing span context (zero allocation per use)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: spans are shared no-ops, exports empty."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(max_roots=0)
+
+    def span(self, name: str) -> _NullSpanContext:  # type: ignore[override]
+        return _NULL_SPAN_CONTEXT
+
+
+#: Shared disabled tracer.
+NULL_TRACER = NullTracer()

@@ -20,6 +20,11 @@ from repro.align.extension import extend_seed
 from repro.align.scoring import ScoringScheme
 from repro.errors import SearchError
 from repro.index.store import MemorySequenceSource, SequenceSource
+from repro.instrumentation.instruments import (
+    NULL_INSTRUMENTS,
+    Instruments,
+    coalesce,
+)
 from repro.search.results import SearchHit, SearchReport
 from repro.search.seeds import SeedTable, query_seed_groups
 from repro.sequences.record import Sequence
@@ -65,7 +70,12 @@ class BlastLikeSearcher:
         self.hsp_threshold = hsp_threshold
         self.band_half_width = band_half_width
         self.max_extensions = max_extensions
+        self.instruments = NULL_INSTRUMENTS
         self._table = SeedTable(source, seed_length)
+
+    def set_instruments(self, instruments: Instruments | None) -> None:
+        """Attach observability to the scanner (``None`` detaches)."""
+        self.instruments = coalesce(instruments)
 
     def _best_hsp(
         self,
@@ -126,35 +136,43 @@ class BlastLikeSearcher:
                 f"length {self.seed_length}"
             )
 
+        instruments = self.instruments
         started = time.perf_counter()
-        query_ids, groups = query_seed_groups(codes, self.seed_length)
-        hits: list[SearchHit] = []
-        for ordinal in range(len(self.source)):
-            hsp_score, diagonal = self._best_hsp(
-                ordinal, codes, query_ids, groups
-            )
-            if hsp_score < self.hsp_threshold:
-                continue
-            score = banded_local_score(
-                codes,
-                self.source.codes(ordinal),
-                diagonal,
-                self.band_half_width,
-                self.scheme,
-            )
-            if score >= 1:
-                hits.append(
-                    SearchHit(
-                        ordinal=ordinal,
-                        identifier=self.source.identifier(ordinal),
-                        score=score,
-                        coarse_score=float(hsp_score),
-                    )
+        rescored = 0
+        with instruments.span("search"):
+            query_ids, groups = query_seed_groups(codes, self.seed_length)
+            hits: list[SearchHit] = []
+            for ordinal in range(len(self.source)):
+                hsp_score, diagonal = self._best_hsp(
+                    ordinal, codes, query_ids, groups
                 )
-        hits.sort(
-            key=lambda hit: (-hit.score, -hit.coarse_score, hit.ordinal)
-        )
+                if hsp_score < self.hsp_threshold:
+                    continue
+                rescored += 1
+                score = banded_local_score(
+                    codes,
+                    self.source.codes(ordinal),
+                    diagonal,
+                    self.band_half_width,
+                    self.scheme,
+                )
+                if score >= 1:
+                    hits.append(
+                        SearchHit(
+                            ordinal=ordinal,
+                            identifier=self.source.identifier(ordinal),
+                            score=score,
+                            coarse_score=float(hsp_score),
+                        )
+                    )
+            hits.sort(
+                key=lambda hit: (-hit.score, -hit.coarse_score, hit.ordinal)
+            )
         finished = time.perf_counter()
+        instruments.count("blast.queries")
+        instruments.count("blast.sequences_scanned", len(self.source))
+        instruments.count("blast.sequences_rescored", rescored)
+        instruments.observe("blast.total_seconds", finished - started)
         return SearchReport(
             query_identifier=identifier,
             hits=hits[:top_k],

@@ -26,6 +26,11 @@ import numpy as np
 from repro.errors import SearchError
 from repro.index.builder import IndexReader
 from repro.index.intervals import IntervalExtractor
+from repro.instrumentation.instruments import (
+    NULL_INSTRUMENTS,
+    Instruments,
+    coalesce,
+)
 from repro.search.results import CoarseCandidate
 
 
@@ -33,6 +38,10 @@ class CoarseScorer(ABC):
     """Strategy: turn index evidence into per-sequence scores."""
 
     name: str = ""
+
+    #: Observability sink; the owning :class:`CoarseRanker` replaces
+    #: this with its own when instrumentation is enabled.
+    instruments: Instruments = NULL_INSTRUMENTS
 
     @abstractmethod
     def score(
@@ -65,11 +74,14 @@ class CountScorer(CoarseScorer):
         query_positions: list[np.ndarray],
     ) -> np.ndarray:
         scores = np.zeros(index.collection.num_sequences, dtype=np.float64)
+        instruments = self.instruments
         for interval_id, query_count in zip(query_ids, query_counts):
             decoded = index.docs_counts(int(interval_id))
             if decoded is None:
                 continue
             docs, counts = decoded
+            instruments.count("coarse.postings_fetched")
+            instruments.count("coarse.dgaps_decoded", int(docs.shape[0]))
             np.add.at(scores, docs, np.minimum(counts, int(query_count)))
         return scores
 
@@ -93,13 +105,21 @@ class IdfScorer(CoarseScorer):
     ) -> np.ndarray:
         num_sequences = index.collection.num_sequences
         scores = np.zeros(num_sequences, dtype=np.float64)
+        instruments = self.instruments
         for interval_id, query_count in zip(query_ids, query_counts):
             entry = index.lookup_entry(int(interval_id))
             if entry is None:
                 continue
             decoded = index.docs_counts(int(interval_id))
-            assert decoded is not None
+            if decoded is None:
+                # A quarantining reader can fail the blob decode even
+                # after the vocabulary lookup succeeded (corrupt
+                # postings under on_corruption="skip"): drop the
+                # interval's evidence, exactly like CountScorer.
+                continue
             docs, counts = decoded
+            instruments.count("coarse.postings_fetched")
+            instruments.count("coarse.dgaps_decoded", int(docs.shape[0]))
             weight = np.log1p(num_sequences / max(entry.df, 1))
             np.add.at(
                 scores, docs,
@@ -162,11 +182,14 @@ class DiagonalScorer(CoarseScorer):
             )
         doc_chunks: list[np.ndarray] = []
         diagonal_chunks: list[np.ndarray] = []
+        instruments = self.instruments
         for slot, interval_id in enumerate(query_ids):
             entry = index.lookup_entry(int(interval_id))
             if entry is None:
                 continue
             postings = index.postings(int(interval_id))
+            instruments.count("coarse.postings_fetched")
+            instruments.count("coarse.dgaps_decoded", len(postings))
             offsets = query_positions[slot]
             for posting in postings:
                 # Every (query offset, sequence offset) pair is a hit.
@@ -183,12 +206,28 @@ class DiagonalScorer(CoarseScorer):
             return scores
         docs = np.concatenate(doc_chunks)
         bands = np.concatenate(diagonal_chunks) // self.band_width
-        # Count hits per (sequence, band), then keep each sequence's best.
-        keys = docs * (2 ** 32) + (bands + 2 ** 30)
-        unique_keys, hit_counts = np.unique(keys, return_counts=True)
-        key_docs = unique_keys >> 32
+        # Count hits per (sequence, band), then keep each sequence's
+        # best.  Dedup over a 2-column (doc, band) array: packing both
+        # into one integer key silently collided or mis-extracted docs
+        # once a banded diagonal fell outside +-2**30.
+        key_docs, _, hit_counts = band_hit_counts(docs, bands)
         np.maximum.at(scores, key_docs, hit_counts.astype(np.float64))
         return scores
+
+
+def band_hit_counts(
+    docs: np.ndarray, bands: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Hits per distinct (sequence, diagonal band) pair.
+
+    Returns each pair's sequence ordinal, band, and hit count, sorted
+    by (sequence, band).  Dedup runs over a 2-column array, so the full
+    int64 diagonal range is safe — no packed-key arithmetic, which
+    collided or mis-extracted ordinals for bands outside +-2**30.
+    """
+    pairs = np.stack((docs, bands), axis=1)
+    unique_pairs, hit_counts = np.unique(pairs, axis=0, return_counts=True)
+    return unique_pairs[:, 0], unique_pairs[:, 1], hit_counts
 
 
 _SCORERS: dict[str, type[CoarseScorer]] = {
@@ -277,6 +316,7 @@ class CoarseRanker:
         self.expand_query_wildcards = expand_query_wildcards
         self.max_accumulators = max_accumulators
         self.accumulator_policy = accumulator_policy
+        self.instruments = NULL_INSTRUMENTS
         if max_accumulators is not None and not isinstance(
             self.scorer, CountScorer
         ):
@@ -290,6 +330,11 @@ class CoarseRanker:
         self._extractor = IntervalExtractor(
             index.params.interval_length, stride=1
         )
+
+    def set_instruments(self, instruments: Instruments | None) -> None:
+        """Attach observability to the ranker and its scorer."""
+        self.instruments = coalesce(instruments)
+        self.scorer.instruments = self.instruments
 
     def _frequency_filter(
         self,
@@ -307,6 +352,10 @@ class CoarseRanker:
                 keep.append(slot)
         if len(keep) == unique_ids.shape[0]:
             return unique_ids, counts, groups
+        self.instruments.count(
+            "coarse.intervals_skipped_frequency",
+            int(unique_ids.shape[0]) - len(keep),
+        )
         keep_array = np.array(keep, dtype=np.int64)
         return (
             unique_ids[keep_array],
@@ -351,6 +400,7 @@ class CoarseRanker:
         """
         limit = self.max_accumulators
         assert limit is not None
+        instruments = self.instruments
         with_df = []
         for interval, query_count in zip(unique_ids, counts):
             entry = self.index.lookup_entry(int(interval))
@@ -360,12 +410,22 @@ class CoarseRanker:
 
         accumulators: dict[int, float] = {}
         full = False
-        for _, interval, query_count in with_df:
+        for slot, (_, interval, query_count) in enumerate(with_df):
             if full and self.accumulator_policy == "quit":
+                instruments.count(
+                    "coarse.intervals_skipped_accumulators",
+                    len(with_df) - slot,
+                )
                 break
             decoded = self.index.docs_counts(interval)
-            assert decoded is not None
+            if decoded is None:
+                # The vocabulary row existed a moment ago, but the
+                # posting blob failed integrity under a quarantining
+                # reader — skip the interval's evidence.
+                continue
             docs, doc_counts = decoded
+            instruments.count("coarse.postings_fetched")
+            instruments.count("coarse.dgaps_decoded", int(docs.shape[0]))
             contributions = np.minimum(doc_counts, query_count)
             for doc, contribution in zip(
                 docs.tolist(), contributions.tolist()
@@ -405,6 +465,9 @@ class CoarseRanker:
         )
         if not unique_ids.shape[0]:
             return []
+        self.instruments.count(
+            "coarse.query_intervals", int(unique_ids.shape[0])
+        )
         if self.max_accumulators is not None:
             scores = self._limited_scores(unique_ids, counts)
         else:

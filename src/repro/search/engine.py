@@ -37,6 +37,11 @@ from repro.align.statistics import GumbelParameters
 from repro.errors import CorruptionError, SearchError
 from repro.index.builder import IndexReader, PostingEntry, VocabEntry
 from repro.index.store import SequenceSource
+from repro.instrumentation.instruments import (
+    NULL_INSTRUMENTS,
+    Instruments,
+    coalesce,
+)
 from repro.search.coarse import CoarseRanker, CoarseScorer
 from repro.search.fine import FineSearcher
 from repro.search.frames import FrameFineSearcher, FrameRanker
@@ -62,11 +67,21 @@ class QuarantiningIndexReader(IndexReader):
     one interval's evidence instead of the whole query.
     """
 
-    def __init__(self, inner: IndexReader) -> None:
+    def __init__(
+        self,
+        inner: IndexReader,
+        instruments: Instruments | None = None,
+    ) -> None:
         self._inner = inner
         self.params = inner.params
         self.collection = inner.collection
         self.quarantined: set[int] = set()
+        self._instruments = coalesce(instruments)
+
+    def set_instruments(self, instruments: Instruments | None) -> None:
+        """Attach observability to this view and the wrapped reader."""
+        self._instruments = coalesce(instruments)
+        self._inner.set_instruments(instruments)
 
     def _note(self, interval_id: int, exc: CorruptionError) -> None:
         if interval_id not in self.quarantined:
@@ -76,6 +91,7 @@ class QuarantiningIndexReader(IndexReader):
                 exc,
             )
             self.quarantined.add(interval_id)
+            self.instruments.count("index.quarantined_intervals")
 
     def lookup_entry(self, interval_id: int) -> VocabEntry | None:
         try:
@@ -138,6 +154,11 @@ class PartitionedSearchEngine:
             quarantine statistics) and keeps searching; ``"fallback"``
             additionally answers the query with an exhaustive scan of
             the sequence store if the index proves unusable.
+        instruments: observability sink (metrics + spans); when given
+            it is wired through the index reader, the sequence source,
+            and the coarse phase so the whole query path reports (see
+            ``docs/OBSERVABILITY.md``).  Defaults to a shared no-op
+            with zero per-query cost.
 
     Raises:
         SearchError: if the index and source disagree about the
@@ -156,6 +177,7 @@ class PartitionedSearchEngine:
         both_strands: bool = False,
         significance: GumbelParameters | None = None,
         on_corruption: str = "raise",
+        instruments: Instruments | None = None,
     ) -> None:
         if coarse_cutoff < 1:
             raise SearchError(
@@ -203,6 +225,30 @@ class PartitionedSearchEngine:
             self._fine = FineSearcher(source, self.scheme)
             self._frame_ranker = None
             self._frame_fine = None
+        self.instruments = NULL_INSTRUMENTS
+        if instruments is not None:
+            self.set_instruments(instruments)
+
+    def set_instruments(self, instruments: Instruments | None) -> None:
+        """Wire observability through the engine and its collaborators.
+
+        Attaches the sink to the index reader (decode-cache metrics),
+        the quarantining view if any, the sequence source (store fetch
+        metrics), and the coarse ranker/scorer — so one registry sees
+        the whole query path.  Passing ``None`` detaches everything.
+        """
+        self.instruments = coalesce(instruments)
+        if hasattr(self.index, "set_instruments"):
+            self.index.set_instruments(instruments)
+        if hasattr(self.source, "set_instruments"):
+            self.source.set_instruments(instruments)
+        for ranker in (self._ranker, self._frame_ranker):
+            if ranker is not None:
+                ranker.set_instruments(instruments)
+        if self._exhaustive is not None and hasattr(
+            self._exhaustive, "set_instruments"
+        ):
+            self._exhaustive.set_instruments(instruments)
 
     def _query_codes(self, query: Sequence | np.ndarray) -> tuple[str, np.ndarray]:
         if isinstance(query, Sequence):
@@ -235,6 +281,7 @@ class PartitionedSearchEngine:
                         exc,
                     )
                     self._quarantined_sequences.add(ordinal)
+                    self.instruments.count("store.quarantined_sequences")
                 candidates = [
                     candidate
                     for candidate in candidates
@@ -245,19 +292,24 @@ class PartitionedSearchEngine:
         self, codes: np.ndarray
     ) -> tuple[list[SearchHit], int, float, float]:
         """(ranked hits, candidates, coarse seconds, fine seconds)."""
+        instruments = self.instruments
         started = time.perf_counter()
         if self.fine_mode == "frames":
-            candidates = self._frame_ranker.rank(codes, self.coarse_cutoff)
+            with instruments.span("coarse"):
+                candidates = self._frame_ranker.rank(codes, self.coarse_cutoff)
             coarse_done = time.perf_counter()
-            hits = self._fine_with_policy(
-                self._frame_fine.align_frames, codes, candidates
-            )
+            with instruments.span("fine"):
+                hits = self._fine_with_policy(
+                    self._frame_fine.align_frames, codes, candidates
+                )
         else:
-            candidates = self._ranker.rank(codes, self.coarse_cutoff)
+            with instruments.span("coarse"):
+                candidates = self._ranker.rank(codes, self.coarse_cutoff)
             coarse_done = time.perf_counter()
-            hits = self._fine_with_policy(
-                self._fine.align_candidates, codes, candidates
-            )
+            with instruments.span("fine"):
+                hits = self._fine_with_policy(
+                    self._fine.align_candidates, codes, candidates
+                )
         fine_done = time.perf_counter()
         return (
             hits,
@@ -288,18 +340,22 @@ class PartitionedSearchEngine:
                 f"length {self.index.params.interval_length}"
             )
 
+        instruments = self.instruments
         try:
-            hits, candidates, coarse_seconds, fine_seconds = (
-                self._evaluate_one_strand(codes)
-            )
-            if self.both_strands:
-                reverse_hits, reverse_candidates, reverse_coarse, reverse_fine = (
-                    self._evaluate_one_strand(reverse_complement(codes))
+            with instruments.span("search"):
+                hits, candidates, coarse_seconds, fine_seconds = (
+                    self._evaluate_one_strand(codes)
                 )
-                hits = _merge_strand_hits(hits, reverse_hits)
-                candidates = max(candidates, reverse_candidates)
-                coarse_seconds += reverse_coarse
-                fine_seconds += reverse_fine
+                if self.both_strands:
+                    reverse_hits, reverse_candidates, reverse_coarse, reverse_fine = (
+                        self._evaluate_one_strand(reverse_complement(codes))
+                    )
+                    hits = _merge_strand_hits(hits, reverse_hits)
+                    # Fine-phase work is done for BOTH orientations, so
+                    # the examined count is their sum, not the max.
+                    candidates = candidates + reverse_candidates
+                    coarse_seconds += reverse_coarse
+                    fine_seconds += reverse_fine
         except CorruptionError as exc:
             if self.on_corruption != "fallback":
                 raise
@@ -308,7 +364,15 @@ class PartitionedSearchEngine:
                 exc,
                 identifier,
             )
+            instruments.count("partitioned.fallback_queries")
             return self._exhaustive_report(query, top_k)
+        instruments.count("partitioned.queries")
+        instruments.count("partitioned.candidates", candidates)
+        instruments.observe("partitioned.coarse_seconds", coarse_seconds)
+        instruments.observe("partitioned.fine_seconds", fine_seconds)
+        instruments.observe(
+            "partitioned.total_seconds", coarse_seconds + fine_seconds
+        )
         if self.significance is not None:
             searched = self.index.collection.total_length
             hits = [
@@ -346,6 +410,9 @@ class PartitionedSearchEngine:
                 self.source,
                 scheme=self.scheme,
                 min_score=self.min_fine_score,
+                instruments=self.instruments
+                if self.instruments.enabled
+                else None,
             )
         report = self._exhaustive.search(query, top_k=top_k)
         return replace(
@@ -372,13 +439,9 @@ def _merge_strand_hits(
     for hit in reverse:
         current = best.get(hit.ordinal)
         if current is None or hit.score > current.score:
-            best[hit.ordinal] = SearchHit(
-                ordinal=hit.ordinal,
-                identifier=hit.identifier,
-                score=hit.score,
-                coarse_score=hit.coarse_score,
-                strand="-",
-            )
+            # replace() keeps every field (present and future) intact;
+            # rebuilding field-by-field silently dropped new ones.
+            best[hit.ordinal] = replace(hit, strand="-")
     merged = list(best.values())
     merged.sort(key=lambda hit: (-hit.score, -hit.coarse_score, hit.ordinal))
     return merged

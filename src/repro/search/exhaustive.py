@@ -19,6 +19,11 @@ from repro.align.kernel import TargetImage, segment_best_scores
 from repro.align.scoring import ScoringScheme
 from repro.errors import SearchError
 from repro.index.store import MemorySequenceSource, SequenceSource
+from repro.instrumentation.instruments import (
+    NULL_INSTRUMENTS,
+    Instruments,
+    coalesce,
+)
 from repro.search.results import SearchHit, SearchReport
 from repro.sequences.record import Sequence
 
@@ -35,6 +40,8 @@ class ExhaustiveSearcher:
         max_query_length: longest query the prebuilt image must admit;
             longer queries trigger a transparent image rebuild.
         min_score: alignments below this never become answers.
+        instruments: optional observability sink (``exhaustive.*``
+            metrics plus a ``search`` span per query).
     """
 
     def __init__(
@@ -43,6 +50,7 @@ class ExhaustiveSearcher:
         scheme: ScoringScheme | None = None,
         max_query_length: int = DEFAULT_MAX_QUERY_LENGTH,
         min_score: int = 1,
+        instruments: Instruments | None = None,
     ) -> None:
         if not isinstance(source, SequenceSource):
             source = MemorySequenceSource(source)
@@ -51,7 +59,14 @@ class ExhaustiveSearcher:
         self.source = source
         self.scheme = scheme or ScoringScheme()
         self.min_score = min_score
+        self.instruments = NULL_INSTRUMENTS
+        if instruments is not None:
+            self.set_instruments(instruments)
         self._image = self._build_image(max_query_length)
+
+    def set_instruments(self, instruments: Instruments | None) -> None:
+        """Attach observability to the scanner (``None`` detaches)."""
+        self.instruments = coalesce(instruments)
 
     def _build_image(self, max_query_length: int) -> TargetImage:
         codes = [
@@ -82,24 +97,30 @@ class ExhaustiveSearcher:
         if top_k < 1:
             raise SearchError(f"top_k must be >= 1, got {top_k}")
         identifier, _ = self._query_codes(query)
+        instruments = self.instruments
         started = time.perf_counter()
-        scores = self.scores(query)
-        qualifying = np.flatnonzero(scores >= self.min_score)
-        take = min(top_k, qualifying.shape[0])
-        hits: list[SearchHit] = []
-        if take:
-            # Full deterministic order (score desc, ordinal asc) so tied
-            # answers at the cut never depend on partitioning internals.
-            order = np.lexsort((qualifying, -scores[qualifying]))
-            for ordinal in qualifying[order][:take]:
-                hits.append(
-                    SearchHit(
-                        ordinal=int(ordinal),
-                        identifier=self.source.identifier(int(ordinal)),
-                        score=int(scores[ordinal]),
+        with instruments.span("search"):
+            scores = self.scores(query)
+            qualifying = np.flatnonzero(scores >= self.min_score)
+            take = min(top_k, qualifying.shape[0])
+            hits: list[SearchHit] = []
+            if take:
+                # Full deterministic order (score desc, ordinal asc) so
+                # tied answers at the cut never depend on partitioning
+                # internals.
+                order = np.lexsort((qualifying, -scores[qualifying]))
+                for ordinal in qualifying[order][:take]:
+                    hits.append(
+                        SearchHit(
+                            ordinal=int(ordinal),
+                            identifier=self.source.identifier(int(ordinal)),
+                            score=int(scores[ordinal]),
+                        )
                     )
-                )
         finished = time.perf_counter()
+        instruments.count("exhaustive.queries")
+        instruments.count("exhaustive.sequences_scanned", len(self.source))
+        instruments.observe("exhaustive.total_seconds", finished - started)
         return SearchReport(
             query_identifier=identifier,
             hits=hits,

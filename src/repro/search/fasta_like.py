@@ -20,6 +20,11 @@ from repro.align.banded import banded_local_score
 from repro.align.scoring import ScoringScheme
 from repro.errors import SearchError
 from repro.index.store import MemorySequenceSource, SequenceSource
+from repro.instrumentation.instruments import (
+    NULL_INSTRUMENTS,
+    Instruments,
+    coalesce,
+)
 from repro.search.results import SearchHit, SearchReport
 from repro.search.seeds import SeedTable, query_seed_groups
 from repro.sequences.record import Sequence
@@ -58,7 +63,12 @@ class FastaLikeSearcher:
         self.seed_length = seed_length
         self.band_half_width = band_half_width
         self.rescore_limit = rescore_limit
+        self.instruments = NULL_INSTRUMENTS
         self._table = SeedTable(source, seed_length)
+
+    def set_instruments(self, instruments: Instruments | None) -> None:
+        """Attach observability to the scanner (``None`` detaches)."""
+        self.instruments = coalesce(instruments)
 
     def _best_diagonal(
         self, ordinal: int, query_ids: np.ndarray, groups: list[np.ndarray]
@@ -98,44 +108,55 @@ class FastaLikeSearcher:
                 f"length {self.seed_length}"
             )
 
+        instruments = self.instruments
         started = time.perf_counter()
-        query_ids, groups = query_seed_groups(codes, self.seed_length)
-        init1 = np.zeros(len(self.source), dtype=np.int64)
-        diagonals = np.zeros(len(self.source), dtype=np.int64)
-        for ordinal in range(len(self.source)):
-            count, diagonal = self._best_diagonal(ordinal, query_ids, groups)
-            init1[ordinal] = count
-            diagonals[ordinal] = diagonal
-
-        candidates = np.flatnonzero(init1 > 0)
-        take = min(self.rescore_limit, candidates.shape[0])
-        hits: list[SearchHit] = []
-        if take:
-            block = candidates[
-                np.argpartition(init1[candidates], -take)[-take:]
-            ]
-            for ordinal in block:
-                target = self.source.codes(int(ordinal))
-                score = banded_local_score(
-                    codes,
-                    target,
-                    int(diagonals[ordinal]),
-                    self.band_half_width,
-                    self.scheme,
+        take = 0
+        with instruments.span("search"):
+            query_ids, groups = query_seed_groups(codes, self.seed_length)
+            init1 = np.zeros(len(self.source), dtype=np.int64)
+            diagonals = np.zeros(len(self.source), dtype=np.int64)
+            for ordinal in range(len(self.source)):
+                count, diagonal = self._best_diagonal(
+                    ordinal, query_ids, groups
                 )
-                if score >= 1:
-                    hits.append(
-                        SearchHit(
-                            ordinal=int(ordinal),
-                            identifier=self.source.identifier(int(ordinal)),
-                            score=score,
-                            coarse_score=float(init1[ordinal]),
-                        )
+                init1[ordinal] = count
+                diagonals[ordinal] = diagonal
+
+            candidates = np.flatnonzero(init1 > 0)
+            take = min(self.rescore_limit, candidates.shape[0])
+            hits: list[SearchHit] = []
+            if take:
+                block = candidates[
+                    np.argpartition(init1[candidates], -take)[-take:]
+                ]
+                for ordinal in block:
+                    target = self.source.codes(int(ordinal))
+                    score = banded_local_score(
+                        codes,
+                        target,
+                        int(diagonals[ordinal]),
+                        self.band_half_width,
+                        self.scheme,
                     )
-        hits.sort(
-            key=lambda hit: (-hit.score, -hit.coarse_score, hit.ordinal)
-        )
+                    if score >= 1:
+                        hits.append(
+                            SearchHit(
+                                ordinal=int(ordinal),
+                                identifier=self.source.identifier(
+                                    int(ordinal)
+                                ),
+                                score=score,
+                                coarse_score=float(init1[ordinal]),
+                            )
+                        )
+            hits.sort(
+                key=lambda hit: (-hit.score, -hit.coarse_score, hit.ordinal)
+            )
         finished = time.perf_counter()
+        instruments.count("fasta.queries")
+        instruments.count("fasta.sequences_scanned", len(self.source))
+        instruments.count("fasta.sequences_rescored", int(take))
+        instruments.observe("fasta.total_seconds", finished - started)
         return SearchReport(
             query_identifier=identifier,
             hits=hits[:top_k],

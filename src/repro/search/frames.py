@@ -24,7 +24,12 @@ from repro.align.scoring import ScoringScheme
 from repro.errors import SearchError
 from repro.index.builder import IndexReader
 from repro.index.store import SequenceSource
-from repro.search.coarse import CoarseRanker
+from repro.instrumentation.instruments import (
+    NULL_INSTRUMENTS,
+    Instruments,
+    coalesce,
+)
+from repro.search.coarse import CoarseRanker, band_hit_counts
 from repro.search.results import SearchHit
 
 
@@ -77,7 +82,13 @@ class FrameRanker:
         self.index = index
         self.band_width = band_width
         self.margin = margin
+        self.instruments = NULL_INSTRUMENTS
         self._ranker = CoarseRanker(index, "count")  # for interval extraction
+
+    def set_instruments(self, instruments: Instruments | None) -> None:
+        """Attach observability to the frame ranker."""
+        self.instruments = coalesce(instruments)
+        self._ranker.set_instruments(instruments)
 
     def rank(
         self, query_codes: np.ndarray, cutoff: int
@@ -98,12 +109,17 @@ class FrameRanker:
 
         doc_chunks: list[np.ndarray] = []
         diagonal_chunks: list[np.ndarray] = []
+        instruments = self.instruments
+        instruments.count("coarse.query_intervals", int(query_ids.shape[0]))
         for slot, interval in enumerate(query_ids):
             entry = self.index.lookup_entry(int(interval))
             if entry is None:
                 continue
+            postings = self.index.postings(int(interval))
+            instruments.count("coarse.postings_fetched")
+            instruments.count("coarse.dgaps_decoded", len(postings))
             offsets = groups[slot]
-            for posting in self.index.postings(int(interval)):
+            for posting in postings:
                 diagonals = (
                     posting.positions[None, :] - offsets[:, None]
                 ).reshape(-1)
@@ -116,10 +132,9 @@ class FrameRanker:
 
         docs = np.concatenate(doc_chunks)
         bands = np.concatenate(diagonal_chunks) // self.band_width
-        keys = docs * (2**32) + (bands + 2**30)
-        unique_keys, counts = np.unique(keys, return_counts=True)
-        key_docs = (unique_keys >> 32).astype(np.int64)
-        key_bands = (unique_keys & 0xFFFFFFFF).astype(np.int64) - 2**30
+        # 2-column dedup: safe for the full int64 diagonal range (see
+        # repro.search.coarse.band_hit_counts).
+        key_docs, key_bands, counts = band_hit_counts(docs, bands)
 
         # Best band per document: sort by (doc, count) and keep the last
         # row of each doc group.

@@ -45,7 +45,9 @@ class SearchReport:
         query_identifier: the query's name.
         hits: ranked answers, best first.
         candidates_examined: sequences the fine phase aligned (equals
-            the collection size for exhaustive engines).
+            the collection size for exhaustive engines).  Under
+            both-strand search this is the total fine-phase work: the
+            forward and reverse-complement candidate counts summed.
         coarse_seconds / fine_seconds: wall-clock split of the two
             phases (coarse is 0.0 for exhaustive engines).
     """

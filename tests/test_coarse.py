@@ -4,12 +4,20 @@ import numpy as np
 import pytest
 
 from repro.errors import SearchError
-from repro.index.builder import IndexParameters, build_index
+from repro.index.builder import (
+    CollectionInfo,
+    IndexParameters,
+    IndexReader,
+    VocabEntry,
+    build_index,
+)
+from repro.index.postings import PostingEntry
 from repro.search.coarse import (
     CoarseRanker,
     CountScorer,
     DiagonalScorer,
     NormalisedScorer,
+    band_hit_counts,
     make_scorer,
 )
 from repro.sequences.record import Sequence
@@ -138,6 +146,88 @@ class TestDiagonalVsCount:
         ranker = CoarseRanker(bare, "diagonal")
         with pytest.raises(SearchError, match="positions"):
             ranker.rank(query, cutoff=5)
+
+
+class _HugeOffsetIndex(IndexReader):
+    """A hand-built two-interval index with extreme occurrence offsets.
+
+    Sequence 0 carries interval 0 at an offset far outside ``+-2**30``
+    — legal for the int64 position arrays, but fatal for the old packed
+    ``doc * 2**32 + band`` dedup key, which credited the hit to the
+    wrong sequence.
+    """
+
+    def __init__(self) -> None:
+        self.params = IndexParameters(interval_length=8)
+        self.collection = CollectionInfo(
+            identifiers=("big0", "big1", "big2"),
+            lengths=np.array([100, 100, 100], dtype=np.int64),
+        )
+        self._postings = {
+            0: [
+                PostingEntry(0, np.array([16 * 2**32], dtype=np.int64)),
+                PostingEntry(2, np.array([4], dtype=np.int64)),
+            ],
+        }
+
+    def lookup_entry(self, interval_id):
+        if interval_id in self._postings:
+            return VocabEntry(interval_id, 2, 2, b"")
+        return None
+
+    def postings(self, interval_id):
+        return self._postings[interval_id]
+
+    def docs_counts(self, interval_id):
+        entries = self._postings.get(interval_id)
+        if entries is None:
+            return None
+        docs = np.array([e.sequence for e in entries], dtype=np.int64)
+        counts = np.array([e.count for e in entries], dtype=np.int64)
+        return docs, counts
+
+    def interval_ids(self):
+        return iter(sorted(self._postings))
+
+    @property
+    def vocabulary_size(self):
+        return len(self._postings)
+
+
+class TestBandHitCounts:
+    def test_counts_per_doc_band_pair(self):
+        docs = np.array([3, 3, 3, 1, 1], dtype=np.int64)
+        bands = np.array([5, 5, -2, 5, 5], dtype=np.int64)
+        key_docs, key_bands, counts = band_hit_counts(docs, bands)
+        assert key_docs.tolist() == [1, 3, 3]
+        assert key_bands.tolist() == [5, -2, 5]
+        assert counts.tolist() == [2, 1, 2]
+
+    def test_extreme_bands_stay_with_their_doc(self):
+        """Bands far outside +-2**30 must not collide or leak into a
+        different ordinal (regression: the old packed int64 key did
+        both)."""
+        docs = np.array([0, 0, 2], dtype=np.int64)
+        bands = np.array([2**32, 2**32, -(2**40)], dtype=np.int64)
+        key_docs, key_bands, counts = band_hit_counts(docs, bands)
+        assert key_docs.tolist() == [0, 2]
+        assert key_bands.tolist() == [2**32, -(2**40)]
+        assert counts.tolist() == [2, 1]
+
+
+class TestDiagonalExtremeOffsets:
+    def test_huge_offset_credits_the_right_sequence(self):
+        """A hit at offset 16*2**32 in sequence 0 used to be credited
+        to sequence 1 by the packed dedup key."""
+        index = _HugeOffsetIndex()
+        scorer = DiagonalScorer(band_width=16)
+        scores = scorer.score(
+            index,
+            np.array([0], dtype=np.int64),
+            np.array([1], dtype=np.int64),
+            [np.array([0], dtype=np.int64)],
+        )
+        assert scores.tolist() == [1.0, 0.0, 1.0]
 
 
 class TestNormalisedScorer:

@@ -1,0 +1,158 @@
+"""Regression tests: ``on_corruption="skip"`` must not crash scorers.
+
+The quarantining index view answers ``docs_counts`` with ``None`` when
+a posting blob fails integrity *after* its vocabulary row was read
+successfully.  The IDF scorer and the limited-accumulator path both
+used to ``assert`` that could never happen and crashed mid-query; they
+must skip the interval's evidence like the count scorer does.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import CorruptionError
+from repro.index.builder import IndexParameters, IndexReader, build_index
+from repro.index.store import MemorySequenceSource
+from repro.instrumentation import Instruments
+from repro.search.coarse import CoarseRanker
+from repro.search.engine import (
+    PartitionedSearchEngine,
+    QuarantiningIndexReader,
+)
+from repro.sequences.record import Sequence
+
+
+class FaultyIndex(IndexReader):
+    """Delegating index whose posting blobs fail integrity on demand.
+
+    Vocabulary lookups keep succeeding — the shape of real damage where
+    the vocabulary section is intact but a posting blob is corrupt.
+    Every interval id divisible by ``bad_every`` is damaged.
+    """
+
+    def __init__(self, inner: IndexReader, bad_every: int = 2) -> None:
+        self._inner = inner
+        self.params = inner.params
+        self.collection = inner.collection
+        self.bad_every = bad_every
+
+    def _check(self, interval_id: int) -> None:
+        if (
+            interval_id % self.bad_every == 0
+            and self._inner.lookup_entry(interval_id) is not None
+        ):
+            raise CorruptionError(
+                "synthetic blob damage",
+                interval_id=interval_id,
+                section="postings",
+            )
+
+    def lookup_entry(self, interval_id):
+        return self._inner.lookup_entry(interval_id)
+
+    def docs_counts(self, interval_id):
+        self._check(interval_id)
+        return self._inner.docs_counts(interval_id)
+
+    def postings(self, interval_id):
+        self._check(interval_id)
+        return self._inner.postings(interval_id)
+
+    def interval_ids(self):
+        return self._inner.interval_ids()
+
+    @property
+    def vocabulary_size(self):
+        return self._inner.vocabulary_size
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(907)
+    records = [
+        Sequence(f"cs{slot}", rng.integers(0, 4, 400, dtype=np.uint8))
+        for slot in range(30)
+    ]
+    index = build_index(records, IndexParameters(interval_length=8))
+    source = MemorySequenceSource(records)
+    return records, index, source
+
+
+class TestSkipPolicyScorers:
+    def test_idf_scorer_survives_quarantined_blobs(self, setup):
+        records, index, source = setup
+        engine = PartitionedSearchEngine(
+            FaultyIndex(index),
+            source,
+            coarse_scorer="idf",
+            coarse_cutoff=10,
+            on_corruption="skip",
+        )
+        report = engine.search(records[4].slice(100, 260), top_k=5)
+        assert report.quarantined_intervals > 0
+        # Half the evidence is gone, but the planted answer still wins.
+        assert report.best().ordinal == 4
+
+    def test_idf_scorer_survives_fully_quarantined_query(self, setup):
+        records, index, source = setup
+        engine = PartitionedSearchEngine(
+            FaultyIndex(index, bad_every=1),
+            source,
+            coarse_scorer="idf",
+            on_corruption="skip",
+        )
+        report = engine.search(records[4].slice(100, 260), top_k=5)
+        assert report.hits == []
+        assert report.quarantined_intervals > 0
+
+    def test_limited_accumulators_survive_quarantined_blobs(self, setup):
+        records, index, _ = setup
+        quarantining = QuarantiningIndexReader(FaultyIndex(index))
+        ranker = CoarseRanker(quarantining, "count", max_accumulators=8)
+        candidates = ranker.rank(records[4].codes[:160], cutoff=10)
+        assert quarantining.quarantined
+        assert all(candidate.coarse_score > 0 for candidate in candidates)
+
+    def test_limited_accumulators_quit_policy_survives(self, setup):
+        records, index, _ = setup
+        quarantining = QuarantiningIndexReader(FaultyIndex(index))
+        ranker = CoarseRanker(
+            quarantining,
+            "count",
+            max_accumulators=4,
+            accumulator_policy="quit",
+        )
+        ranker.rank(records[4].codes[:160], cutoff=10)
+        assert quarantining.quarantined
+
+    def test_count_scorer_matches_idf_quarantine_set(self, setup):
+        """Both scorers must quarantine the same damaged intervals."""
+        records, index, source = setup
+        reports = {}
+        for scorer in ("count", "idf"):
+            engine = PartitionedSearchEngine(
+                FaultyIndex(index),
+                source,
+                coarse_scorer=scorer,
+                on_corruption="skip",
+            )
+            engine.search(records[4].slice(100, 260), top_k=5)
+            reports[scorer] = engine.quarantined_intervals
+        assert reports["count"] == reports["idf"]
+
+    def test_quarantine_counter_matches_engine_state(self, setup):
+        records, index, source = setup
+        instruments = Instruments()
+        engine = PartitionedSearchEngine(
+            FaultyIndex(index),
+            source,
+            coarse_scorer="idf",
+            on_corruption="skip",
+            instruments=instruments,
+        )
+        engine.search(records[4].slice(100, 260), top_k=5)
+        engine.search(records[9].slice(50, 210), top_k=5)
+        assert (
+            instruments.metrics.counter_value("index.quarantined_intervals")
+            == engine.quarantined_intervals
+        )

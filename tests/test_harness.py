@@ -55,7 +55,7 @@ class TestTableRendering:
 
 class TestRegistry:
     def test_all_experiments_registered(self):
-        expected = {f"E{n}" for n in range(1, 9)} | {"E7B"}
+        expected = {f"E{n}" for n in range(1, 9)} | {"E7B", "PROFILE"}
         assert set(EXPERIMENTS) == expected
 
     def test_every_entry_is_callable(self):

@@ -1,5 +1,7 @@
 """Unit tests for both-strand search and query-time frequency skipping."""
 
+from dataclasses import fields
+
 import numpy as np
 import pytest
 
@@ -7,7 +9,8 @@ from repro.errors import SearchError
 from repro.index.builder import IndexParameters, build_index
 from repro.index.store import MemorySequenceSource
 from repro.search.coarse import CoarseRanker
-from repro.search.engine import PartitionedSearchEngine
+from repro.search.engine import PartitionedSearchEngine, _merge_strand_hits
+from repro.search.results import SearchHit
 from repro.sequences.record import Sequence
 
 
@@ -75,6 +78,23 @@ class TestBothStrands:
         double_report = double.search(query)
         assert double_report.total_seconds > single_report.total_seconds * 1.2
 
+    def test_candidates_examined_sums_both_orientations(self, setup):
+        """Both-strand reports must charge the fine work of BOTH
+        orientations, not just the busier one (regression: the count
+        used to be the max of the two)."""
+        records, index, source = setup
+        single = PartitionedSearchEngine(index, source, coarse_cutoff=10)
+        double = PartitionedSearchEngine(
+            index, source, coarse_cutoff=10, both_strands=True
+        )
+        query = records[4].slice(100, 260)
+        forward = single.search(query).candidates_examined
+        reverse = single.search(
+            query.reverse_complement()
+        ).candidates_examined
+        assert forward > 0 and reverse > 0
+        assert double.search(query).candidates_examined == forward + reverse
+
     def test_frames_mode_with_both_strands(self, setup):
         records, index, source = setup
         engine = PartitionedSearchEngine(
@@ -85,6 +105,47 @@ class TestBothStrands:
         report = engine.search(query, top_k=3)
         assert report.best().ordinal == 7
         assert report.best().strand == "-"
+
+
+class TestStrandMerge:
+    def test_reverse_hit_keeps_every_field(self):
+        """A reverse-orientation winner must survive the merge with all
+        its fields — the merge used to rebuild hits field-by-field and
+        silently dropped any field it didn't name (e.g. evalue)."""
+        reverse = SearchHit(
+            ordinal=3,
+            identifier="seq3",
+            score=50,
+            coarse_score=7.5,
+            evalue=1e-3,
+        )
+        (merged,) = _merge_strand_hits([], [reverse])
+        assert merged.strand == "-"
+        for field in fields(SearchHit):
+            if field.name == "strand":
+                continue
+            assert getattr(merged, field.name) == getattr(
+                reverse, field.name
+            ), f"merge dropped SearchHit.{field.name}"
+
+    def test_better_forward_orientation_wins(self):
+        forward = SearchHit(ordinal=1, identifier="s1", score=80)
+        reverse = SearchHit(
+            ordinal=1, identifier="s1", score=60, evalue=0.5
+        )
+        (merged,) = _merge_strand_hits([forward], [reverse])
+        assert merged.strand == "+"
+        assert merged.score == 80
+
+    def test_better_reverse_orientation_wins(self):
+        forward = SearchHit(ordinal=1, identifier="s1", score=40)
+        reverse = SearchHit(
+            ordinal=1, identifier="s1", score=90, coarse_score=3.0
+        )
+        (merged,) = _merge_strand_hits([forward], [reverse])
+        assert merged.strand == "-"
+        assert merged.score == 90
+        assert merged.coarse_score == 3.0
 
 
 class TestQueryTimeFrequencySkipping:
