@@ -54,6 +54,11 @@ from repro.search import (
     SearchReport,
 )
 from repro.sequences import MutationModel, Sequence, read_fasta, write_fasta
+from repro.sharding import (
+    ShardedSearchEngine,
+    ShardedSequenceSource,
+    plan_shards,
+)
 from repro.workloads import (
     WorkloadSpec,
     generate_collection,
@@ -83,6 +88,8 @@ __all__ = [
     "SearchReport",
     "Sequence",
     "SequenceStore",
+    "ShardedSearchEngine",
+    "ShardedSequenceSource",
     "WorkloadSpec",
     "best_local_score",
     "build_index",
@@ -90,6 +97,7 @@ __all__ = [
     "generate_collection",
     "local_align",
     "make_family_queries",
+    "plan_shards",
     "read_fasta",
     "read_index",
     "read_store",

@@ -3,6 +3,7 @@
 Subcommands mirror the life cycle of the paper's system::
 
     repro generate  — synthesise a FASTA collection with planted families
+    repro build     — build a (possibly sharded) database directory
     repro index     — build the interval index (+ sequence store) on disk
     repro stats     — print index size statistics
     repro search    — evaluate FASTA queries against an on-disk index
@@ -243,11 +244,17 @@ def _cmd_db_create(args: argparse.Namespace) -> int:
     params = IndexParameters(
         interval_length=args.interval_length, stride=args.stride
     )
+    started = time.perf_counter()
     with Database.create(
         read_fasta(args.collection), args.output, params=params,
-        coding=args.coding,
+        coding=args.coding, shards=args.shards, workers=args.workers,
     ) as database:
+        elapsed = time.perf_counter() - started
         print(database.describe())
+        print(
+            f"built {database.num_shards} shard(s) with "
+            f"{args.workers} worker(s) in {elapsed:.2f}s"
+        )
     return 0
 
 
@@ -467,17 +474,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     profile.set_defaults(handler=_cmd_profile)
 
-    db_create = commands.add_parser(
-        "db-create", help="build a persistent database directory"
-    )
-    db_create.add_argument("collection", type=Path)
-    db_create.add_argument("-o", "--output", type=Path, required=True)
-    db_create.add_argument("-k", "--interval-length", type=int, default=8)
-    db_create.add_argument("--stride", type=int, default=1)
-    db_create.add_argument(
-        "--coding", choices=("direct", "raw"), default="direct"
-    )
-    db_create.set_defaults(handler=_cmd_db_create)
+    for name, help_text in (
+        ("build", "build a persistent (optionally sharded) database"),
+        ("db-create", "build a persistent database directory"),
+    ):
+        db_create = commands.add_parser(name, help=help_text)
+        db_create.add_argument("collection", type=Path)
+        db_create.add_argument("-o", "--output", type=Path, required=True)
+        db_create.add_argument("-k", "--interval-length", type=int, default=8)
+        db_create.add_argument("--stride", type=int, default=1)
+        db_create.add_argument(
+            "--coding", choices=("direct", "raw"), default="direct"
+        )
+        db_create.add_argument(
+            "--shards", type=int, default=1, metavar="N",
+            help="split the collection into N contiguous shards "
+            "(1 = classic single-index layout)",
+        )
+        db_create.add_argument(
+            "--workers", type=int, default=1, metavar="M",
+            help="build up to M shards in parallel worker processes",
+        )
+        db_create.set_defaults(handler=_cmd_db_create)
 
     db_info = commands.add_parser(
         "db-info", help="describe a database directory"

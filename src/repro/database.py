@@ -1,30 +1,38 @@
-"""A persistent nucleotide database: index + store + engine in one.
+"""A persistent nucleotide database: shards of index + store + engine.
 
 :class:`Database` is the convenience layer a downstream user adopts:
-it owns a directory holding the on-disk index and sequence store,
-opens them memory-mapped, and hands out ready-made search engines.
+it owns a directory holding one or more *shards* — each an on-disk
+index and sequence store over a contiguous ordinal range — opens them
+memory-mapped, and hands out ready-made search engines.
 
     from repro import Database, read_fasta
 
-    Database.create(read_fasta("genbank.fasta"), "genbank.db")
+    Database.create(read_fasta("genbank.fasta"), "genbank.db",
+                    shards=4, workers=4)
     with Database.open("genbank.db") as db:
         report = db.search(query, top_k=10)
         print(db.alignment(query, report.best().ordinal).pretty())
 
+A database built with ``shards=1`` (the default) is byte-identical to
+the classic single-index layout, so existing databases open unchanged;
+``shards=N`` builds the shards in parallel worker processes and
+queries fan out across them with globally merged, score-identical
+results (see :mod:`repro.sharding` and ``docs/ARCHITECTURE.md``).
+
 Durability: every file is written atomically (temp + fsync + rename)
-and the manifest — written last — records a CRC32 digest of the index
-and store files, so an interrupted build is never mistaken for a valid
-database and silent file damage is detectable.  :meth:`open` accepts a
-``verify`` mode and an ``on_corruption`` policy; :meth:`verify` audits
-a directory without fully opening it and :meth:`repair` rebuilds the
-index from a surviving store.
+and manifests — written last, innermost first — record CRC32 digests
+of the index and store files, so an interrupted build is never
+mistaken for a valid database and silent file damage is detectable.
+:meth:`open` accepts a ``verify`` mode and an ``on_corruption``
+policy; :meth:`verify` audits a directory without fully opening it and
+:meth:`repair` rebuilds each shard's index from its surviving store.
 """
 
 from __future__ import annotations
 
-import json
 import logging
-from dataclasses import dataclass, field
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Iterable, Iterator
 
@@ -33,25 +41,46 @@ import numpy as np
 from repro.align.pairwise import Alignment, local_align
 from repro.align.scoring import ScoringScheme
 from repro.align.statistics import GumbelParameters, calibrate_gapped
-from repro.errors import CorruptionError, IndexFormatError, SearchError
-from repro.index.atomic import file_crc32, write_text_atomic
+from repro.errors import (
+    CorruptionError,
+    IndexFormatError,
+    IndexParameterError,
+    SearchError,
+)
+from repro.index.atomic import file_crc32
 from repro.index.builder import IndexParameters, build_index
 from repro.index.storage import DiskIndex, write_index
-from repro.index.store import SequenceStore, write_store
+from repro.index.store import SequenceSource, SequenceStore, write_store
+from repro.instrumentation.instruments import (
+    NULL_INSTRUMENTS,
+    Instruments,
+    coalesce,
+)
 from repro.search.engine import CORRUPTION_POLICIES, PartitionedSearchEngine
 from repro.search.results import SearchReport
 from repro.sequences.record import Sequence
-
-_MANIFEST_NAME = "manifest.json"
-_INDEX_NAME = "intervals.rpix"
-_STORE_NAME = "sequences.rpsq"
-_MANIFEST_VERSION = 2
-_SUPPORTED_MANIFEST_VERSIONS = (1, 2)
+from repro.sharding.build import build_sharded_database
+from repro.sharding.engine import ShardedSearchEngine, ShardedSequenceSource
+from repro.sharding.manifest import (
+    INDEX_NAME as _INDEX_NAME,
+    MANIFEST_NAME as _MANIFEST_NAME,
+    STORE_NAME as _STORE_NAME,
+    ShardLayoutEntry,
+    layout_from_manifest,
+    make_manifest as _make_manifest,
+    make_sharded_manifest,
+    write_manifest,
+)
+from repro.sharding.planner import plan_shards, shard_of
 
 #: Verification modes accepted by :meth:`Database.open`.
 VERIFY_MODES = ("lazy", "full")
 
 _LOG = logging.getLogger(__name__)
+
+
+def _write_manifest(directory: Path, manifest: dict) -> None:
+    write_manifest(directory, manifest)
 
 
 @dataclass
@@ -79,34 +108,28 @@ class VerificationReport:
         return f"{self.path}: {state}"
 
 
-def _write_manifest(directory: Path, manifest: dict) -> None:
-    write_text_atomic(
-        directory / _MANIFEST_NAME, json.dumps(manifest, indent=2)
-    )
+@dataclass
+class ShardHandle:
+    """One opened shard: its directory, ordinal base, and readers.
 
+    ``index`` is ``None`` when the shard's index was unreadable and the
+    ``"fallback"`` policy degraded it to exhaustive scanning.
+    """
 
-def _make_manifest(
-    directory: Path,
-    records_count: int,
-    bases: int,
-    coding: str,
-    params: IndexParameters,
-    index_bytes: int,
-    store_bytes: int,
-) -> dict:
-    return {
-        "version": _MANIFEST_VERSION,
-        "sequences": records_count,
-        "bases": bases,
-        "coding": coding,
-        "params": params.describe(),
-        "index_bytes": index_bytes,
-        "store_bytes": store_bytes,
-        "checksums": {
-            _INDEX_NAME: f"{file_crc32(directory / _INDEX_NAME):08x}",
-            _STORE_NAME: f"{file_crc32(directory / _STORE_NAME):08x}",
-        },
-    }
+    name: str
+    path: Path
+    base: int
+    index: DiskIndex | None
+    store: SequenceStore
+
+    @property
+    def degraded(self) -> bool:
+        return self.index is None
+
+    def close(self) -> None:
+        if self.index is not None:
+            self.index.close()
+        self.store.close()
 
 
 class Database:
@@ -115,27 +138,40 @@ class Database:
     Create with :meth:`create`, open with :meth:`open` (also a context
     manager).  The default engine settings can be overridden per call.
 
-    A database opened with ``on_corruption="fallback"`` whose index is
-    unreadable runs *degraded*: :attr:`index` is ``None`` and every
-    query is answered by an exhaustive scan of the sequence store.
+    A database opened with ``on_corruption="fallback"`` any of whose
+    shard indexes is unreadable runs *degraded*: :attr:`degraded` is
+    true and every query is answered by an exhaustive scan of the
+    sequence stores.
     """
+
+    #: Engines retained per database; the least recently used engine is
+    #: dropped when a new configuration would exceed this.
+    ENGINE_CACHE_LIMIT = 8
 
     def __init__(
         self,
         path: Path,
-        index: DiskIndex | None,
-        store: SequenceStore,
+        shards: list[ShardHandle],
         manifest: dict,
         on_corruption: str = "raise",
     ) -> None:
+        if not shards:
+            raise IndexFormatError(f"{path}: database has no shards")
         self.path = path
-        self.index = index
-        self.store = store
         self.manifest = manifest
         self.on_corruption = on_corruption
-        self._engines: dict[tuple, PartitionedSearchEngine] = {}
-        self._exhaustive = None
+        self._shards = shards
+        self._bases = [shard.base for shard in shards]
+        if len(shards) == 1:
+            self._source: SequenceSource = shards[0].store
+        else:
+            self._source = ShardedSequenceSource(
+                [shard.store for shard in shards]
+            )
+        self._engines: "OrderedDict[tuple, object]" = OrderedDict()
+        self._exhaustive: dict[ScoringScheme, object] = {}
         self._significance: GumbelParameters | None = None
+        self._instruments = NULL_INSTRUMENTS
 
     # -- lifecycle -----------------------------------------------------
 
@@ -146,12 +182,15 @@ class Database:
         path: str | Path,
         params: IndexParameters | None = None,
         coding: str = "direct",
+        shards: int = 1,
+        workers: int = 1,
     ) -> "Database":
         """Build and persist a database directory, then open it.
 
-        All files are written atomically and the manifest lands last,
-        so an interrupted build leaves a directory :meth:`open` will
-        reject rather than a silently half-written database.
+        All files are written atomically and each manifest lands after
+        the files it covers (the top-level manifest last), so an
+        interrupted build leaves a directory :meth:`open` will reject
+        rather than a silently half-written database.
 
         Args:
             sequences: the collection (any iterable of records).
@@ -160,10 +199,21 @@ class Database:
             params: index shape (defaults to overlapping length-8
                 intervals).
             coding: sequence-store payload coding, "direct" or "raw".
+            shards: contiguous ordinal ranges to split the collection
+                into; 1 (the default) writes the classic byte-identical
+                single-index layout.  Clamped to the collection size.
+            workers: shard-build processes; with ``shards=N`` and
+                ``workers=M`` up to ``min(N, M)`` shards build
+                concurrently.  Ignored for single-shard builds.
 
         Raises:
             IndexFormatError: if the directory already holds a database.
+            IndexParameterError: if ``shards`` or ``workers`` < 1.
         """
+        if shards < 1:
+            raise IndexParameterError(f"shards must be >= 1, got {shards}")
+        if workers < 1:
+            raise IndexParameterError(f"workers must be >= 1, got {workers}")
         directory = Path(path)
         directory.mkdir(parents=True, exist_ok=True)
         manifest_path = directory / _MANIFEST_NAME
@@ -171,6 +221,19 @@ class Database:
             raise IndexFormatError(f"{directory} already holds a database")
         records = list(sequences)
         params = params or IndexParameters()
+        if shards > 1 and shards > len(records):
+            _LOG.warning(
+                "%s: %d shards requested for %d sequences; clamping",
+                directory,
+                shards,
+                len(records),
+            )
+        if shards > 1 and min(shards, len(records)) > 1:
+            plan = plan_shards(len(records), shards)
+            build_sharded_database(
+                directory, records, plan, params, coding, workers
+            )
+            return cls.open(directory)
         index = build_index(records, params)
         index_bytes = write_index(index, directory / _INDEX_NAME)
         store_bytes = write_store(records, directory / _STORE_NAME, coding)
@@ -193,19 +256,19 @@ class Database:
         verify: str = "lazy",
         on_corruption: str = "raise",
     ) -> "Database":
-        """Open an existing database directory.
+        """Open an existing (possibly sharded) database directory.
 
         Args:
             path: the database directory.
             verify: ``"lazy"`` checks headers and tables eagerly and
                 each posting list / record lazily on first access (the
-                default); ``"full"`` additionally recomputes the
+                default); ``"full"`` additionally recomputes every
                 manifest's whole-file digests and every checksum before
                 returning.
             on_corruption: default policy for engines created by this
                 database (see :class:`PartitionedSearchEngine`).  With
-                ``"fallback"``, an unreadable *index* degrades the
-                database to exhaustive scanning instead of failing.
+                ``"fallback"``, an unreadable shard *index* degrades
+                the database to exhaustive scanning instead of failing.
 
         Raises:
             IndexFormatError: if the directory is not a database or its
@@ -225,6 +288,63 @@ class Database:
             )
         directory = Path(path)
         manifest = cls._load_manifest(directory)
+        layout = layout_from_manifest(manifest)
+        shards: list[ShardHandle] = []
+        try:
+            if layout is None:
+                shards.append(
+                    cls._open_shard(
+                        "", directory, 0, on_corruption
+                    )
+                )
+            else:
+                for entry in layout:
+                    shards.append(
+                        cls._open_shard(
+                            entry.name,
+                            directory / entry.name,
+                            entry.base,
+                            on_corruption,
+                        )
+                    )
+                    if len(shards[-1].store) != entry.sequences:
+                        raise IndexFormatError(
+                            f"{directory / entry.name}: manifest promises "
+                            f"{entry.sequences} sequences but the store "
+                            f"holds {len(shards[-1].store)}"
+                        )
+            if verify == "full":
+                report = VerificationReport(directory)
+                for shard in shards:
+                    inner = cls._verify_open_files(
+                        shard.path,
+                        cls._shard_checksums(manifest, shard),
+                        shard.index,
+                        shard.store,
+                    )
+                    report.issues.extend(inner.issues)
+                    report.notes.extend(inner.notes)
+                if not report.ok:
+                    raise CorruptionError(
+                        f"{directory}: full verification failed: "
+                        + "; ".join(report.issues)
+                    )
+            return cls(directory, shards, manifest, on_corruption)
+        except Exception:
+            # Never leak mmaps/handles when a later step fails.
+            for shard in shards:
+                shard.close()
+            raise
+
+    @classmethod
+    def _open_shard(
+        cls,
+        name: str,
+        directory: Path,
+        base: int,
+        on_corruption: str,
+    ) -> ShardHandle:
+        """Open one shard's readers, honouring the fallback policy."""
         index: DiskIndex | None = None
         store: SequenceStore | None = None
         try:
@@ -248,16 +368,8 @@ class Database:
                     f"{directory}: index and store disagree about the "
                     "collection size"
                 )
-            if verify == "full":
-                report = cls._verify_open_files(directory, manifest, index, store)
-                if not report.ok:
-                    raise CorruptionError(
-                        f"{directory}: full verification failed: "
-                        + "; ".join(report.issues)
-                    )
-            return cls(directory, index, store, manifest, on_corruption)
+            return ShardHandle(name, directory, base, index, store)
         except Exception:
-            # Never leak mmaps/handles when a later step fails.
             if index is not None:
                 index.close()
             if store is not None:
@@ -265,27 +377,27 @@ class Database:
             raise
 
     @staticmethod
+    def _shard_checksums(manifest: dict, shard: ShardHandle) -> dict:
+        """The manifest fragment recording a shard's file digests."""
+        if not shard.name:
+            return manifest
+        for description in manifest.get("shards", {}).get("layout", []):
+            if description.get("name") == shard.name:
+                return {"checksums": description.get("checksums")}
+        return {}
+
+    @staticmethod
     def _load_manifest(directory: Path) -> dict:
-        manifest_path = directory / _MANIFEST_NAME
-        if not manifest_path.exists():
-            raise IndexFormatError(f"{directory} holds no database manifest")
-        try:
-            manifest = json.loads(manifest_path.read_text())
-        except ValueError as exc:
-            raise IndexFormatError(f"{directory}: bad manifest") from exc
-        if manifest.get("version") not in _SUPPORTED_MANIFEST_VERSIONS:
-            raise IndexFormatError(
-                f"{directory}: unsupported database version "
-                f"{manifest.get('version')}"
-            )
-        return manifest
+        from repro.sharding.manifest import load_manifest
+
+        return load_manifest(directory)
 
     @staticmethod
     def _verify_open_files(
         directory: Path,
         manifest: dict,
         index: DiskIndex | None,
-        store: SequenceStore,
+        store: SequenceStore | None,
     ) -> VerificationReport:
         """Digest + checksum audit of already-opened files."""
         report = VerificationReport(directory)
@@ -324,9 +436,13 @@ class Database:
     def verify(cls, path: str | Path) -> VerificationReport:
         """Audit a database directory without requiring it to open.
 
-        Checks the manifest, the whole-file digests, and every
-        checksum in both files; problems are collected rather than
-        raised, so a damaged database yields a complete report.
+        Checks every manifest, the whole-file digests, and every
+        checksum in every shard's files; problems are collected rather
+        than raised, so a damaged database yields a complete report.
+        For a sharded database the per-shard digests recorded in the
+        top-level manifest are cross-checked against each shard's own
+        manifest, so a swapped-out shard is caught even when the shard
+        itself is internally consistent.
         """
         directory = Path(path)
         report = VerificationReport(directory)
@@ -335,6 +451,44 @@ class Database:
         except IndexFormatError as exc:
             report.issues.append(str(exc))
             return report
+        try:
+            layout = layout_from_manifest(manifest)
+        except IndexFormatError as exc:
+            report.issues.append(str(exc))
+            return report
+        if layout is None:
+            cls._verify_single(directory, manifest, report)
+            return report
+        for entry in layout:
+            shard_dir = directory / entry.name
+            inner = cls.verify(shard_dir)
+            report.issues.extend(inner.issues)
+            report.notes.extend(inner.notes)
+            # Cross-check the shard's own manifest digests against the
+            # copies the top-level manifest recorded at build time.
+            try:
+                shard_manifest = cls._load_manifest(shard_dir)
+            except IndexFormatError:
+                continue  # already reported by the recursive verify
+            if shard_manifest.get("checksums") != entry.checksums:
+                report.issues.append(
+                    f"{shard_dir}: shard digests do not match the "
+                    "top-level manifest (shard replaced or rebuilt "
+                    "outside the database?)"
+                )
+            if shard_manifest.get("sequences") != entry.sequences:
+                report.issues.append(
+                    f"{shard_dir}: shard holds "
+                    f"{shard_manifest.get('sequences')} sequences but the "
+                    f"top-level manifest records {entry.sequences}"
+                )
+        return report
+
+    @classmethod
+    def _verify_single(
+        cls, directory: Path, manifest: dict, report: VerificationReport
+    ) -> None:
+        """Audit one classic (single-shard) database directory."""
         index: DiskIndex | None = None
         store: SequenceStore | None = None
         try:
@@ -355,9 +509,10 @@ class Database:
                     f"{directory}: index and store disagree about the "
                     "collection size"
                 )
-            inner = cls._verify_open_files(directory, manifest, index, store) \
-                if store is not None else None
-            if inner is not None:
+            if store is not None:
+                inner = cls._verify_open_files(
+                    directory, manifest, index, store
+                )
                 report.issues.extend(inner.issues)
                 report.notes.extend(inner.notes)
         finally:
@@ -365,7 +520,6 @@ class Database:
                 index.close()
             if store is not None:
                 store.close()
-        return report
 
     @classmethod
     def repair(
@@ -373,12 +527,13 @@ class Database:
         path: str | Path,
         params: IndexParameters | None = None,
     ) -> "Database":
-        """Rebuild the index (and manifest) from a surviving store.
+        """Rebuild the index (and manifest) of every damaged shard.
 
-        The sequence store is fully verified first — it is the source
-        of truth, so it must be intact.  The index is then rebuilt from
-        the stored records, written atomically, and a fresh manifest
-        with up-to-date digests replaces the old one.
+        Each shard's sequence store is fully verified first — it is the
+        source of truth, so it must be intact.  The shard's index is
+        then rebuilt from the stored records, written atomically, and
+        fresh manifests (shard first, then top-level for sharded
+        databases) with up-to-date digests replace the old ones.
 
         Args:
             path: the database directory.
@@ -386,7 +541,7 @@ class Database:
                 parameters, then to library defaults.
 
         Raises:
-            CorruptionError: if the store itself is damaged (nothing to
+            CorruptionError: if a store itself is damaged (nothing to
                 rebuild from).
             IndexFormatError: if the directory holds no store at all.
 
@@ -394,6 +549,51 @@ class Database:
             The repaired database, opened.
         """
         directory = Path(path)
+        manifest: dict | None
+        try:
+            manifest = cls._load_manifest(directory)
+        except IndexFormatError:
+            manifest = None
+        layout = (
+            layout_from_manifest(manifest) if manifest is not None else None
+        )
+        if layout is None:
+            cls._repair_single(directory, params)
+            return cls.open(directory)
+        shard_manifests: list[dict] = []
+        for entry in layout:
+            shard_manifests.append(
+                cls._repair_single(directory / entry.name, params)
+            )
+        coding = str(shard_manifests[0]["coding"])
+        repaired_params = IndexParameters.from_description(
+            shard_manifests[0]["params"]
+        )
+        entries = []
+        base = 0
+        for entry, shard_manifest in zip(layout, shard_manifests):
+            entries.append(
+                ShardLayoutEntry(
+                    name=entry.name,
+                    base=base,
+                    sequences=shard_manifest["sequences"],
+                    bases=shard_manifest["bases"],
+                    index_bytes=shard_manifest["index_bytes"],
+                    store_bytes=shard_manifest["store_bytes"],
+                    checksums=dict(shard_manifest["checksums"]),
+                )
+            )
+            base += int(shard_manifest["sequences"])
+        _write_manifest(
+            directory, make_sharded_manifest(coding, repaired_params, entries)
+        )
+        return cls.open(directory)
+
+    @classmethod
+    def _repair_single(
+        cls, directory: Path, params: IndexParameters | None
+    ) -> dict:
+        """Rebuild one shard directory's index; returns its manifest."""
         store_path = directory / _STORE_NAME
         if not store_path.exists():
             raise IndexFormatError(
@@ -431,13 +631,12 @@ class Database:
             store_bytes,
         )
         _write_manifest(directory, manifest)
-        return cls.open(directory)
+        return manifest
 
     def close(self) -> None:
-        """Release the mapped files."""
-        if self.index is not None:
-            self.index.close()
-        self.store.close()
+        """Release the mapped files of every shard."""
+        for shard in self._shards:
+            shard.close()
 
     def __enter__(self) -> "Database":
         return self
@@ -448,27 +647,81 @@ class Database:
     # -- collection access ----------------------------------------------
 
     @property
+    def num_shards(self) -> int:
+        """Shards the collection is split into (1 for classic layout)."""
+        return len(self._shards)
+
+    @property
+    def shards(self) -> list[ShardHandle]:
+        """The opened shard handles, in ordinal order."""
+        return list(self._shards)
+
+    @property
+    def index(self) -> DiskIndex | None:
+        """The index of a single-shard database; ``None`` when the
+        database is sharded (shard indexes live on :attr:`shards`) or
+        degraded."""
+        if len(self._shards) == 1:
+            return self._shards[0].index
+        return None
+
+    @property
+    def store(self) -> SequenceStore | None:
+        """The store of a single-shard database; ``None`` when sharded
+        (use :meth:`record` / :meth:`records`, which route globally)."""
+        if len(self._shards) == 1:
+            return self._shards[0].store
+        return None
+
+    @property
     def degraded(self) -> bool:
-        """True when the index was unreadable and search is exhaustive."""
-        return self.index is None
+        """True when any shard's index was unreadable and search falls
+        back to exhaustive scanning."""
+        return any(shard.degraded for shard in self._shards)
 
     def __len__(self) -> int:
-        return len(self.store)
+        return sum(len(shard.store) for shard in self._shards)
 
     @property
     def total_bases(self) -> int:
-        if self.index is not None:
-            return self.index.collection.total_length
+        if not self.degraded:
+            return sum(
+                shard.index.collection.total_length
+                for shard in self._shards
+            )
         return int(self.manifest.get("bases", 0))
 
+    def shard_of(self, ordinal: int) -> ShardHandle:
+        """The shard holding a global ordinal.
+
+        Raises:
+            SearchError: if ``ordinal`` is out of range.
+        """
+        if not 0 <= ordinal < len(self):
+            raise SearchError(f"no sequence with ordinal {ordinal}")
+        return self._shards[shard_of(self._bases, ordinal)]
+
     def record(self, ordinal: int) -> Sequence:
-        """Fetch one sequence record by ordinal."""
-        return self.store.record(ordinal)
+        """Fetch one sequence record by global ordinal."""
+        return self._source.record(ordinal)
 
     def records(self) -> Iterator[Sequence]:
-        """Iterate every record in ordinal order."""
+        """Iterate every record in global ordinal order."""
         for ordinal in range(len(self)):
-            yield self.store.record(ordinal)
+            yield self._source.record(ordinal)
+
+    # -- observability ---------------------------------------------------
+
+    def set_instruments(self, instruments: Instruments | None) -> None:
+        """Attach an observability sink to the database facade.
+
+        The facade reports engine-cache traffic
+        (``database.engine_cache.hits`` / ``misses`` / ``evictions``
+        and the ``database.engine_cache.size`` gauge); engines created
+        *after* the call are wired with the same sink.  Passing
+        ``None`` detaches.
+        """
+        self._instruments = coalesce(instruments)
 
     # -- searching -------------------------------------------------------
 
@@ -480,18 +733,24 @@ class Database:
         both_strands: bool = False,
         with_evalues: bool = False,
         on_corruption: str | None = None,
-    ) -> PartitionedSearchEngine:
+    ):
         """A (cached) engine over this database.
 
-        ``with_evalues=True`` calibrates Gumbel parameters once per
-        scheme and attaches E-values to every hit.  ``on_corruption``
-        defaults to the policy the database was opened with.
+        Single-shard databases yield a
+        :class:`~repro.search.engine.PartitionedSearchEngine`; sharded
+        databases a :class:`~repro.sharding.ShardedSearchEngine` with
+        the same ``search`` / ``search_batch`` surface and globally
+        identical results.  ``with_evalues=True`` calibrates Gumbel
+        parameters once per scheme and attaches E-values to every hit.
+        ``on_corruption`` defaults to the policy the database was
+        opened with.  At most :data:`ENGINE_CACHE_LIMIT` distinct
+        configurations are retained (least recently used dropped).
 
         Raises:
-            SearchError: in degraded mode (no index; use
-                :meth:`search`, which scans exhaustively).
+            SearchError: in degraded mode (an unreadable shard index;
+                use :meth:`search`, which scans exhaustively).
         """
-        if self.index is None:
+        if self.degraded:
             raise SearchError(
                 f"{self.path}: database is degraded (index unreadable); "
                 "use Database.search for exhaustive evaluation or repair "
@@ -511,11 +770,18 @@ class Database:
             coarse_cutoff, scheme, fine_mode, both_strands, with_evalues,
             policy,
         )
+        instruments = self._instruments
         engine = self._engines.get(key)
-        if engine is None:
+        if engine is not None:
+            self._engines.move_to_end(key)
+            instruments.count("database.engine_cache.hits")
+            return engine
+        instruments.count("database.engine_cache.misses")
+        if len(self._shards) == 1:
+            shard = self._shards[0]
             engine = PartitionedSearchEngine(
-                self.index,
-                self.store,
+                shard.index,
+                shard.store,
                 scheme=scheme,
                 coarse_cutoff=coarse_cutoff,
                 fine_mode=fine_mode,
@@ -523,28 +789,122 @@ class Database:
                 significance=significance,
                 on_corruption=policy,
             )
-            self._engines[key] = engine
+        else:
+            engine = ShardedSearchEngine(
+                [(shard.index, shard.store) for shard in self._shards],
+                scheme=scheme,
+                coarse_cutoff=coarse_cutoff,
+                fine_mode=fine_mode,
+                both_strands=both_strands,
+                significance=significance,
+                on_corruption=policy,
+            )
+        if instruments.enabled:
+            engine.set_instruments(instruments)
+        self._engines[key] = engine
+        if len(self._engines) > self.ENGINE_CACHE_LIMIT:
+            self._engines.popitem(last=False)
+            instruments.count("database.engine_cache.evictions")
+        instruments.set_gauge(
+            "database.engine_cache.size", len(self._engines)
+        )
         return engine
+
+    @property
+    def cached_engines(self) -> int:
+        """Engines currently held by the per-database LRU cache."""
+        return len(self._engines)
+
+    #: Engine options the degraded (exhaustive) path honours; anything
+    #: else raises rather than silently running with defaults.
+    _DEGRADED_HONOURED = ("scheme", "coarse_cutoff", "on_corruption")
+
+    def _search_degraded(
+        self,
+        query: Sequence | np.ndarray,
+        top_k: int,
+        engine_kwargs: dict,
+    ) -> SearchReport:
+        """Answer one query by exhaustively scanning the stores.
+
+        ``scheme`` is honoured (the scan aligns with it);
+        ``coarse_cutoff`` is moot (the scan examines every sequence a
+        cutoff could ever admit) and ``on_corruption`` already applied
+        at open time, so both are accepted.  Any other engine option —
+        ``both_strands``, ``fine_mode``, ``with_evalues``, or an
+        unknown name — cannot be honoured by the fallback and raises.
+
+        Raises:
+            SearchError: for options the exhaustive fallback cannot
+                honour.
+        """
+        from repro.search.exhaustive import ExhaustiveSearcher
+
+        kwargs = dict(engine_kwargs)
+        scheme = kwargs.pop("scheme", None) or ScoringScheme()
+        kwargs.pop("coarse_cutoff", None)
+        kwargs.pop("on_corruption", None)
+        unsupported = []
+        if kwargs.pop("fine_mode", "full") != "full":
+            unsupported.append("fine_mode")
+        if kwargs.pop("both_strands", False):
+            unsupported.append("both_strands")
+        if kwargs.pop("with_evalues", False):
+            unsupported.append("with_evalues")
+        unsupported.extend(kwargs)
+        if unsupported:
+            raise SearchError(
+                f"{self.path}: database is degraded and the exhaustive "
+                "fallback cannot honour "
+                + ", ".join(sorted(unsupported))
+                + "; repair the database or drop the option(s)"
+            )
+        searcher = self._exhaustive.get(scheme)
+        if searcher is None:
+            searcher = ExhaustiveSearcher(self._source, scheme=scheme)
+            self._exhaustive[scheme] = searcher
+        report = searcher.search(query, top_k=top_k)
+        return replace(report, degraded=True)
 
     def search(
         self, query: Sequence | np.ndarray, top_k: int = 10, **engine_kwargs
     ) -> SearchReport:
         """Evaluate one query with the default (or overridden) engine.
 
-        In degraded mode (unreadable index under the ``"fallback"``
-        policy) the query is answered by an exhaustive scan of the
-        sequence store and the report is marked ``degraded``.
+        In degraded mode (an unreadable shard index under the
+        ``"fallback"`` policy) the query is answered by an exhaustive
+        scan of the sequence stores with the caller's scoring scheme
+        and the report is marked ``degraded``; engine options the scan
+        cannot honour raise :class:`~repro.errors.SearchError` instead
+        of being silently dropped.
         """
-        if self.index is None:
-            from dataclasses import replace
-
-            from repro.search.exhaustive import ExhaustiveSearcher
-
-            if self._exhaustive is None:
-                self._exhaustive = ExhaustiveSearcher(self.store)
-            report = self._exhaustive.search(query, top_k=top_k)
-            return replace(report, degraded=True)
+        if self.degraded:
+            return self._search_degraded(query, top_k, engine_kwargs)
         return self.engine(**engine_kwargs).search(query, top_k=top_k)
+
+    def search_batch(
+        self,
+        queries: list[Sequence],
+        top_k: int = 10,
+        workers: int | None = None,
+        **engine_kwargs,
+    ) -> list[SearchReport]:
+        """Evaluate a batch of queries, reports in query order.
+
+        ``workers`` > 1 evaluates queries concurrently on the engine's
+        thread pool (results identical to the sequential loop).  In
+        degraded mode the batch runs sequentially through the
+        exhaustive fallback with the same option rules as
+        :meth:`search`.
+        """
+        if self.degraded:
+            return [
+                self._search_degraded(query, top_k, engine_kwargs)
+                for query in queries
+            ]
+        return self.engine(**engine_kwargs).search_batch(
+            queries, top_k=top_k, workers=workers
+        )
 
     def alignment(
         self,
@@ -563,22 +923,37 @@ class Database:
             np.asarray(query, dtype=np.uint8)
         )
         return local_align(
-            codes, self.store.codes(ordinal), scheme or ScoringScheme()
+            codes, self._source.codes(ordinal), scheme or ScoringScheme()
         )
 
     def describe(self) -> str:
         """One-paragraph human-readable summary."""
-        if self.index is None:
+        if self.degraded:
             return (
                 f"Database at {self.path}: {len(self)} sequences "
                 f"(DEGRADED: index unreadable, exhaustive search only; "
                 f"run repair to rebuild the index)."
             )
+        if len(self._shards) > 1:
+            vocabulary = sum(
+                shard.index.vocabulary_size for shard in self._shards
+            )
+            return (
+                f"Database at {self.path}: {len(self)} sequences, "
+                f"{self.total_bases:,} bases across "
+                f"{len(self._shards)} shards; interval length "
+                f"{self._shards[0].index.params.interval_length}, "
+                f"{vocabulary:,} indexed intervals (summed), "
+                f"{self.manifest['index_bytes']:,} index bytes, "
+                f"{self.manifest['store_bytes']:,} store bytes "
+                f"({self.manifest['coding']} coding)."
+            )
+        index = self._shards[0].index
         return (
             f"Database at {self.path}: {len(self)} sequences, "
             f"{self.total_bases:,} bases; interval length "
-            f"{self.index.params.interval_length}, "
-            f"{self.index.vocabulary_size:,} indexed intervals, "
+            f"{index.params.interval_length}, "
+            f"{index.vocabulary_size:,} indexed intervals, "
             f"{self.manifest['index_bytes']:,} index bytes, "
             f"{self.manifest['store_bytes']:,} store bytes "
             f"({self.manifest['coding']} coding)."

@@ -288,28 +288,50 @@ class PartitionedSearchEngine:
                     if candidate.ordinal != ordinal
                 ]
 
+    def coarse_rank(
+        self, codes: np.ndarray, cutoff: int | None = None
+    ) -> list:
+        """Run only the coarse phase: ranked candidates, best first.
+
+        The candidate type depends on the fine mode —
+        :class:`~repro.search.results.CoarseCandidate` under ``"full"``,
+        :class:`~repro.search.frames.FrameCandidate` under ``"frames"``
+        — and either way ``ordinal``/``coarse_score`` carry the ranking.
+        This is the fan-out point the sharded engine uses: it merges
+        per-shard coarse rankings globally before any residue is read.
+        """
+        if cutoff is None:
+            cutoff = self.coarse_cutoff
+        if self.fine_mode == "frames":
+            return self._frame_ranker.rank(codes, cutoff)
+        return self._ranker.rank(codes, cutoff)
+
+    def fine_align(self, codes: np.ndarray, candidates: list) -> list[SearchHit]:
+        """Run only the fine phase over pre-selected candidates.
+
+        ``candidates`` must be the type :meth:`coarse_rank` produces
+        for this engine's fine mode.  The corruption policy applies
+        (corrupt store records are quarantined under ``"skip"``).
+        """
+        if self.fine_mode == "frames":
+            return self._fine_with_policy(
+                self._frame_fine.align_frames, codes, candidates
+            )
+        return self._fine_with_policy(
+            self._fine.align_candidates, codes, candidates
+        )
+
     def _evaluate_one_strand(
         self, codes: np.ndarray
     ) -> tuple[list[SearchHit], int, float, float]:
         """(ranked hits, candidates, coarse seconds, fine seconds)."""
         instruments = self.instruments
         started = time.perf_counter()
-        if self.fine_mode == "frames":
-            with instruments.span("coarse"):
-                candidates = self._frame_ranker.rank(codes, self.coarse_cutoff)
-            coarse_done = time.perf_counter()
-            with instruments.span("fine"):
-                hits = self._fine_with_policy(
-                    self._frame_fine.align_frames, codes, candidates
-                )
-        else:
-            with instruments.span("coarse"):
-                candidates = self._ranker.rank(codes, self.coarse_cutoff)
-            coarse_done = time.perf_counter()
-            with instruments.span("fine"):
-                hits = self._fine_with_policy(
-                    self._fine.align_candidates, codes, candidates
-                )
+        with instruments.span("coarse"):
+            candidates = self.coarse_rank(codes)
+        coarse_done = time.perf_counter()
+        with instruments.span("fine"):
+            hits = self.fine_align(codes, candidates)
         fine_done = time.perf_counter()
         return (
             hits,
@@ -399,6 +421,11 @@ class PartitionedSearchEngine:
         """Posting lists quarantined as corrupt so far (0 when none)."""
         return len(self._quarantine.quarantined) if self._quarantine else 0
 
+    @property
+    def quarantined_sequences(self) -> int:
+        """Store records quarantined as corrupt so far (0 when none)."""
+        return len(self._quarantined_sequences)
+
     def _exhaustive_report(
         self, query: Sequence | np.ndarray, top_k: int
     ) -> SearchReport:
@@ -423,10 +450,56 @@ class PartitionedSearchEngine:
         )
 
     def search_batch(
-        self, queries: list[Sequence], top_k: int = 10
+        self,
+        queries: list[Sequence],
+        top_k: int = 10,
+        workers: int | None = None,
     ) -> list[SearchReport]:
-        """Evaluate a list of queries in order."""
-        return [self.search(query, top_k=top_k) for query in queries]
+        """Evaluate a list of queries, reports in query order.
+
+        Args:
+            queries: the batch (any mix of records and coded arrays).
+            top_k: answers per query.
+            workers: query-evaluation threads.  ``None`` or 1 keeps the
+                sequential loop; larger values evaluate queries
+                concurrently — the alignment kernel and posting decode
+                run in numpy, which releases the GIL, so batches see
+                real wall-clock overlap.  Results are identical to the
+                sequential loop (per-query timings aside).
+
+        Raises:
+            SearchError: if ``workers`` < 1.
+        """
+        return run_search_batch(self.search, queries, top_k, workers)
+
+
+def run_search_batch(
+    search,
+    queries: list[Sequence],
+    top_k: int,
+    workers: int | None,
+) -> list[SearchReport]:
+    """Drive a batch through a ``search(query, top_k=...)`` callable.
+
+    ``workers`` > 1 fans the queries out over a thread pool; report
+    order always matches query order.  Shared by the partitioned and
+    sharded engines (and any engine with the same ``search`` shape).
+
+    Raises:
+        SearchError: if ``workers`` < 1.
+    """
+    if workers is not None and workers < 1:
+        raise SearchError(f"workers must be >= 1, got {workers}")
+    if not queries:
+        return []
+    if workers is None or workers == 1 or len(queries) == 1:
+        return [search(query, top_k=top_k) for query in queries]
+    from concurrent.futures import ThreadPoolExecutor
+
+    with ThreadPoolExecutor(max_workers=min(workers, len(queries))) as pool:
+        return list(
+            pool.map(lambda query: search(query, top_k=top_k), queries)
+        )
 
 
 def _merge_strand_hits(

@@ -1,0 +1,55 @@
+"""Shard layer: split a collection into ordinal ranges and search them
+as one.
+
+The paper's partitioned evaluation bounds *fine*-phase work, but a
+single inverted index and sequence store still grow linearly with the
+collection, so build time and coarse-phase cost eventually hit the E3
+wall.  This subsystem slices the collection into ``N`` contiguous
+ordinal ranges ("shards" — COBS calls the same arrangement a
+document-sliced index), builds each shard's index and store
+independently (optionally in parallel processes), and fans queries out
+across the shards, k-way-merging coarse candidates and fine hits into
+one globally ranked answer.
+
+Public surface:
+
+* :func:`plan_shards` / :class:`ShardSpec` — split ``num_sequences``
+  into balanced contiguous ranges;
+* :func:`build_sharded_database` — write the sharded on-disk layout
+  with a process pool;
+* :class:`ShardedSearchEngine` — fan-out/merge query evaluation,
+  score-identical to one engine over the unsharded collection;
+* :class:`ShardedSequenceSource` — global-ordinal residue access over
+  per-shard stores.
+
+:class:`repro.database.Database` is the facade that ties these
+together: ``Database.create(..., shards=N, workers=M)`` builds the
+layout and ``Database.open`` routes records, verification, repair and
+search through it.
+"""
+
+from repro.sharding.build import build_shard_directory, build_sharded_database
+from repro.sharding.engine import ShardedSearchEngine, ShardedSequenceSource
+from repro.sharding.manifest import (
+    INDEX_NAME,
+    MANIFEST_NAME,
+    STORE_NAME,
+    ShardLayoutEntry,
+    layout_from_manifest,
+)
+from repro.sharding.planner import ShardSpec, plan_shards, shard_of
+
+__all__ = [
+    "INDEX_NAME",
+    "MANIFEST_NAME",
+    "STORE_NAME",
+    "ShardLayoutEntry",
+    "ShardSpec",
+    "ShardedSearchEngine",
+    "ShardedSequenceSource",
+    "build_shard_directory",
+    "build_sharded_database",
+    "layout_from_manifest",
+    "plan_shards",
+    "shard_of",
+]

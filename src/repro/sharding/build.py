@@ -1,0 +1,143 @@
+"""Parallel shard construction.
+
+Each shard is an independent build — its own inverted index over its
+own slice of the collection, its own sequence store, its own manifest —
+so shards build in parallel worker *processes* with no shared state.
+The top-level manifest is written last, after every shard has landed,
+so an interrupted build leaves a directory :meth:`Database.open`
+rejects rather than a silently partial database (the same write-order
+discipline the single-shard path uses).
+
+Determinism: a shard's bytes depend only on its records and parameters,
+never on worker scheduling, so a ``workers=4`` build is bit-identical
+to the same build with ``workers=1``.
+"""
+
+from __future__ import annotations
+
+import logging
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Sequence as TypingSequence
+
+from repro.errors import IndexParameterError
+from repro.index.builder import IndexParameters, build_index
+from repro.index.storage import write_index
+from repro.index.store import write_store
+from repro.sequences.record import Sequence
+from repro.sharding.manifest import (
+    INDEX_NAME,
+    STORE_NAME,
+    ShardLayoutEntry,
+    make_manifest,
+    make_sharded_manifest,
+    write_manifest,
+)
+from repro.sharding.planner import ShardSpec
+
+_LOG = logging.getLogger(__name__)
+
+
+def build_shard_directory(
+    directory: str | Path,
+    records: TypingSequence[Sequence],
+    params: IndexParameters | None = None,
+    coding: str = "direct",
+) -> dict:
+    """Build one shard: index + store + manifest in ``directory``.
+
+    The directory is created if needed and existing artefacts are
+    overwritten (a re-run after an interrupted build converges).
+    Returns the shard's manifest.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    params = params or IndexParameters()
+    index = build_index(records, params)
+    index_bytes = write_index(index, directory / INDEX_NAME)
+    store_bytes = write_store(records, directory / STORE_NAME, coding)
+    manifest = make_manifest(
+        directory,
+        len(records),
+        int(sum(len(record) for record in records)),
+        coding,
+        params,
+        index_bytes,
+        store_bytes,
+    )
+    write_manifest(directory, manifest)
+    return manifest
+
+
+def _build_shard_task(
+    job: tuple[str, list[Sequence], IndexParameters, str]
+) -> dict:
+    """Process-pool entry point (module level, so it pickles)."""
+    directory, records, params, coding = job
+    return build_shard_directory(directory, records, params, coding)
+
+
+def build_sharded_database(
+    directory: str | Path,
+    records: TypingSequence[Sequence],
+    plan: TypingSequence[ShardSpec],
+    params: IndexParameters | None = None,
+    coding: str = "direct",
+    workers: int = 1,
+) -> dict:
+    """Build every planned shard (in parallel) and the top manifest.
+
+    Args:
+        directory: the database directory (must already exist).
+        records: the full collection, in global ordinal order.
+        plan: contiguous shard ranges (see
+            :func:`repro.sharding.planner.plan_shards`).
+        params: index shape shared by every shard.
+        coding: sequence-store payload coding.
+        workers: build processes; 1 builds the shards in-process.
+
+    Returns:
+        The top-level (sharded) manifest, already written to disk.
+
+    Raises:
+        IndexParameterError: if ``workers`` < 1 or the plan is empty.
+    """
+    if workers < 1:
+        raise IndexParameterError(f"workers must be >= 1, got {workers}")
+    if not plan:
+        raise IndexParameterError("empty shard plan")
+    directory = Path(directory)
+    params = params or IndexParameters()
+    jobs = [
+        (
+            str(directory / spec.name),
+            list(records[spec.base : spec.stop]),
+            params,
+            coding,
+        )
+        for spec in plan
+    ]
+    workers = min(workers, len(jobs))
+    if workers == 1:
+        shard_manifests = [_build_shard_task(job) for job in jobs]
+    else:
+        _LOG.info(
+            "building %d shards with %d worker processes", len(jobs), workers
+        )
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            shard_manifests = list(pool.map(_build_shard_task, jobs))
+    entries = [
+        ShardLayoutEntry(
+            name=spec.name,
+            base=spec.base,
+            sequences=manifest["sequences"],
+            bases=manifest["bases"],
+            index_bytes=manifest["index_bytes"],
+            store_bytes=manifest["store_bytes"],
+            checksums=dict(manifest["checksums"]),
+        )
+        for spec, manifest in zip(plan, shard_manifests)
+    ]
+    manifest = make_sharded_manifest(coding, params, entries)
+    write_manifest(directory, manifest)
+    return manifest

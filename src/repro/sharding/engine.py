@@ -1,0 +1,434 @@
+"""Fan-out/merge query evaluation over a sharded collection.
+
+:class:`ShardedSearchEngine` holds one
+:class:`~repro.search.engine.PartitionedSearchEngine` per shard and
+evaluates a query in three steps:
+
+1. **fan out** — every shard ranks its own slice with its local index
+   (each shard's coarse scores are exactly the scores a global index
+   would give its sequences, because the count and diagonal scorers
+   accumulate per-sequence evidence only);
+2. **merge** — per-shard candidates are k-way-merged on the global
+   ordering (coarse score desc, global ordinal asc) and cut at
+   ``coarse_cutoff``, reproducing the global coarse phase: any
+   sequence in the global top-``C`` is necessarily in its shard's
+   top-``C``;
+3. **fine + re-rank** — each shard aligns its share of the selected
+   candidates, hits are shifted to global ordinals and merged on the
+   fine ordering (score desc, coarse score desc, ordinal asc).
+
+The result is hit-for-hit identical to a single engine over the
+unsharded collection — the invariant ``tests/test_sharding.py`` pins
+down for both fine modes and both strands.
+
+The ``idf`` and ``normalised`` coarse scorers are *not* supported:
+they weight evidence by collection-wide statistics (document frequency,
+mean length) that a shard-local index gets wrong, which would break the
+score-identity guarantee silently.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from bisect import bisect_right
+from dataclasses import replace
+from typing import Sequence as TypingSequence
+
+import numpy as np
+
+from repro.align.scoring import ScoringScheme
+from repro.align.statistics import GumbelParameters
+from repro.errors import CorruptionError, SearchError
+from repro.index.builder import IndexReader
+from repro.index.store import SequenceSource
+from repro.instrumentation.instruments import (
+    NULL_INSTRUMENTS,
+    Instruments,
+    coalesce,
+)
+from repro.search.engine import (
+    CORRUPTION_POLICIES,
+    PartitionedSearchEngine,
+    _merge_strand_hits,
+    run_search_batch,
+)
+from repro.search.results import SearchHit, SearchReport
+from repro.sequences.alphabet import reverse_complement
+from repro.sequences.record import Sequence
+
+#: Coarse scorers whose per-shard scores equal global scores (they
+#: accumulate per-sequence evidence only, no collection statistics).
+SHARDABLE_COARSE_SCORERS = ("count", "diagonal")
+
+_LOG = logging.getLogger(__name__)
+
+
+class ShardedSequenceSource(SequenceSource):
+    """Global-ordinal residue access over per-shard sources.
+
+    Presents N shard sources (in shard order) as one collection whose
+    ordinal ``base + local`` is the concatenation order — the view the
+    degraded/exhaustive path and the database facade read through.
+    """
+
+    def __init__(self, sources: TypingSequence[SequenceSource]) -> None:
+        if not sources:
+            raise SearchError("no shard sources")
+        self._sources = list(sources)
+        self._bases: list[int] = []
+        total = 0
+        for source in self._sources:
+            self._bases.append(total)
+            total += len(source)
+        self._total = total
+
+    def set_instruments(self, instruments) -> None:
+        super().set_instruments(instruments)
+        for source in self._sources:
+            if hasattr(source, "set_instruments"):
+                source.set_instruments(instruments)
+
+    def _locate(self, ordinal: int) -> tuple[SequenceSource, int]:
+        self._check(ordinal)
+        slot = bisect_right(self._bases, ordinal) - 1
+        return self._sources[slot], ordinal - self._bases[slot]
+
+    def __len__(self) -> int:
+        return self._total
+
+    def identifier(self, ordinal: int) -> str:
+        source, local = self._locate(ordinal)
+        return source.identifier(local)
+
+    def codes(self, ordinal: int) -> np.ndarray:
+        source, local = self._locate(ordinal)
+        return source.codes(local)
+
+    def record(self, ordinal: int) -> Sequence:
+        source, local = self._locate(ordinal)
+        return source.record(local)
+
+
+class ShardedSearchEngine:
+    """Index-accelerated search fanned out across shards.
+
+    Args:
+        shards: ``(index, source)`` pairs in shard order; shard ``i``'s
+            local ordinal 0 is global ordinal ``sum(len(source_j) for
+            j < i)``.  All indexes must share parameters.
+        scheme / coarse_cutoff / min_fine_score / fine_mode /
+        both_strands / significance / on_corruption: exactly as on
+            :class:`~repro.search.engine.PartitionedSearchEngine`; the
+            cutoff and policy apply *globally* (the cutoff bounds the
+            merged candidate list, not each shard's).
+        coarse_scorer: must be shard-safe — one of
+            :data:`SHARDABLE_COARSE_SCORERS`.
+        instruments: observability sink, wired through every shard
+            engine; per-shard work reports under ``shard[i].coarse`` /
+            ``shard[i].fine`` spans and ``sharded.*`` counters.
+        query_workers: default thread count for :meth:`search_batch`
+            (``None`` keeps batches sequential unless the call says
+            otherwise).
+
+    Raises:
+        SearchError: if no shards are given, shard parameters disagree,
+            or the coarse scorer is not shard-safe.
+    """
+
+    def __init__(
+        self,
+        shards: TypingSequence[tuple[IndexReader, SequenceSource]],
+        scheme: ScoringScheme | None = None,
+        coarse_scorer: str = "count",
+        coarse_cutoff: int = 100,
+        min_fine_score: int = 1,
+        fine_mode: str = "full",
+        both_strands: bool = False,
+        significance: GumbelParameters | None = None,
+        on_corruption: str = "raise",
+        instruments: Instruments | None = None,
+        query_workers: int | None = None,
+    ) -> None:
+        if not shards:
+            raise SearchError("a sharded engine needs at least one shard")
+        if not isinstance(coarse_scorer, str):
+            raise SearchError(
+                "sharded engines take a coarse scorer *name*; custom "
+                "scorer instances cannot be checked for shard-safety"
+            )
+        if coarse_scorer not in SHARDABLE_COARSE_SCORERS:
+            raise SearchError(
+                f"coarse scorer {coarse_scorer!r} uses collection-wide "
+                "statistics that shard-local indexes would skew; sharded "
+                f"engines support {SHARDABLE_COARSE_SCORERS}"
+            )
+        if on_corruption not in CORRUPTION_POLICIES:
+            raise SearchError(
+                f"unknown on_corruption {on_corruption!r}; expected one of "
+                f"{CORRUPTION_POLICIES}"
+            )
+        if query_workers is not None and query_workers < 1:
+            raise SearchError(
+                f"query_workers must be >= 1, got {query_workers}"
+            )
+        params = shards[0][0].params
+        for index, _ in shards[1:]:
+            if index.params != params:
+                raise SearchError(
+                    "shard indexes disagree about parameters: "
+                    f"{index.params} vs {params}"
+                )
+        self.scheme = scheme or ScoringScheme()
+        self.coarse_cutoff = coarse_cutoff
+        self.min_fine_score = min_fine_score
+        self.fine_mode = fine_mode
+        self.both_strands = both_strands
+        self.significance = significance
+        self.on_corruption = on_corruption
+        self.query_workers = query_workers
+        self.params = params
+        self._engines: list[PartitionedSearchEngine] = []
+        self.bases: list[int] = []
+        total = 0
+        for index, source in shards:
+            self.bases.append(total)
+            total += len(source)
+            # Per-shard strand merging is skipped (both_strands=False):
+            # orientations merge once, globally, after the shard fan-in.
+            self._engines.append(
+                PartitionedSearchEngine(
+                    index,
+                    source,
+                    scheme=self.scheme,
+                    coarse_scorer=coarse_scorer,
+                    coarse_cutoff=coarse_cutoff,
+                    min_fine_score=min_fine_score,
+                    fine_mode=fine_mode,
+                    both_strands=False,
+                    on_corruption=on_corruption,
+                )
+            )
+        self.total_sequences = total
+        self._source = ShardedSequenceSource(
+            [source for _, source in shards]
+        )
+        self._exhaustive = None
+        self.instruments = NULL_INSTRUMENTS
+        if instruments is not None:
+            self.set_instruments(instruments)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._engines)
+
+    @property
+    def total_bases(self) -> int:
+        """Residues across every shard (the E-value search space)."""
+        return sum(
+            engine.index.collection.total_length for engine in self._engines
+        )
+
+    @property
+    def quarantined_intervals(self) -> int:
+        """Posting lists quarantined across all shards."""
+        return sum(
+            engine.quarantined_intervals for engine in self._engines
+        )
+
+    @property
+    def quarantined_sequences(self) -> int:
+        """Store records quarantined across all shards."""
+        return sum(
+            engine.quarantined_sequences for engine in self._engines
+        )
+
+    def set_instruments(self, instruments: Instruments | None) -> None:
+        """Wire observability through every shard engine (and the
+        degraded-path source); ``None`` detaches everything."""
+        self.instruments = coalesce(instruments)
+        for engine in self._engines:
+            engine.set_instruments(instruments)
+        self._source.set_instruments(instruments)
+        if self._exhaustive is not None:
+            self._exhaustive.set_instruments(instruments)
+
+    def _query_codes(
+        self, query: Sequence | np.ndarray
+    ) -> tuple[str, np.ndarray]:
+        if isinstance(query, Sequence):
+            return query.identifier, query.codes
+        return "query", np.asarray(query, dtype=np.uint8)
+
+    def _evaluate_one_strand(
+        self, codes: np.ndarray
+    ) -> tuple[list[SearchHit], int, float, float]:
+        """(globally ranked hits, candidates, coarse s, fine s)."""
+        instruments = self.instruments
+        started = time.perf_counter()
+
+        # Fan out: every shard's coarse top-C, already in (score desc,
+        # local ordinal asc) order.  rows hold (-score, global ordinal,
+        # shard slot, local candidate) so one sort reproduces the
+        # global coarse ordering exactly.
+        rows: list[tuple[float, int, int, object]] = []
+        with instruments.span("coarse"):
+            for slot, engine in enumerate(self._engines):
+                base = self.bases[slot]
+                with instruments.span(f"shard[{slot}].coarse"):
+                    candidates = engine.coarse_rank(codes)
+                instruments.count(
+                    f"sharded.shard.{slot}.coarse_candidates",
+                    len(candidates),
+                )
+                rows.extend(
+                    (-candidate.coarse_score, base + candidate.ordinal,
+                     slot, candidate)
+                    for candidate in candidates
+                )
+            with instruments.span("merge"):
+                rows.sort(key=lambda row: (row[0], row[1]))
+                selected = rows[: self.coarse_cutoff]
+        coarse_done = time.perf_counter()
+
+        # Fine: each shard aligns its share; hit ordinals shift to
+        # global before the final merge.
+        hits: list[SearchHit] = []
+        with instruments.span("fine"):
+            by_shard: dict[int, list] = {}
+            for _, _, slot, candidate in selected:
+                by_shard.setdefault(slot, []).append(candidate)
+            for slot, candidates in by_shard.items():
+                engine = self._engines[slot]
+                base = self.bases[slot]
+                with instruments.span(f"shard[{slot}].fine"):
+                    shard_hits = engine.fine_align(codes, candidates)
+                hits.extend(
+                    replace(hit, ordinal=base + hit.ordinal)
+                    for hit in shard_hits
+                )
+            hits.sort(
+                key=lambda hit: (-hit.score, -hit.coarse_score, hit.ordinal)
+            )
+        fine_done = time.perf_counter()
+        return (
+            hits,
+            len(selected),
+            coarse_done - started,
+            fine_done - coarse_done,
+        )
+
+    def search(
+        self, query: Sequence | np.ndarray, top_k: int = 10
+    ) -> SearchReport:
+        """Evaluate one query across every shard.
+
+        Raises:
+            SearchError: if the query is shorter than the interval
+                length or ``top_k`` < 1.
+        """
+        if top_k < 1:
+            raise SearchError(f"top_k must be >= 1, got {top_k}")
+        identifier, codes = self._query_codes(query)
+        if codes.shape[0] < self.params.interval_length:
+            raise SearchError(
+                f"query {identifier!r} is shorter than the interval "
+                f"length {self.params.interval_length}"
+            )
+        instruments = self.instruments
+        try:
+            with instruments.span("search"):
+                hits, candidates, coarse_seconds, fine_seconds = (
+                    self._evaluate_one_strand(codes)
+                )
+                if self.both_strands:
+                    (
+                        reverse_hits,
+                        reverse_candidates,
+                        reverse_coarse,
+                        reverse_fine,
+                    ) = self._evaluate_one_strand(reverse_complement(codes))
+                    hits = _merge_strand_hits(hits, reverse_hits)
+                    candidates = candidates + reverse_candidates
+                    coarse_seconds += reverse_coarse
+                    fine_seconds += reverse_fine
+        except CorruptionError as exc:
+            if self.on_corruption != "fallback":
+                raise
+            _LOG.warning(
+                "shard unusable (%s); answering %r with an exhaustive "
+                "scan of every shard store",
+                exc,
+                identifier,
+            )
+            instruments.count("sharded.fallback_queries")
+            return self._exhaustive_report(query, top_k)
+        instruments.count("sharded.queries")
+        instruments.count("sharded.candidates", candidates)
+        instruments.observe("sharded.coarse_seconds", coarse_seconds)
+        instruments.observe("sharded.fine_seconds", fine_seconds)
+        instruments.observe(
+            "sharded.total_seconds", coarse_seconds + fine_seconds
+        )
+        if self.significance is not None:
+            searched = self.total_bases
+            hits = [
+                replace(
+                    hit,
+                    evalue=self.significance.evalue(
+                        hit.score, int(codes.shape[0]), searched
+                    ),
+                )
+                for hit in hits
+            ]
+        return SearchReport(
+            query_identifier=identifier,
+            hits=hits[:top_k],
+            candidates_examined=candidates,
+            coarse_seconds=coarse_seconds,
+            fine_seconds=fine_seconds,
+            quarantined_intervals=self.quarantined_intervals,
+            quarantined_sequences=self.quarantined_sequences,
+        )
+
+    def _exhaustive_report(
+        self, query: Sequence | np.ndarray, top_k: int
+    ) -> SearchReport:
+        """Degraded path: scan every shard store, global ordinals."""
+        from repro.search.exhaustive import ExhaustiveSearcher
+
+        if self._exhaustive is None:
+            self._exhaustive = ExhaustiveSearcher(
+                self._source,
+                scheme=self.scheme,
+                min_score=self.min_fine_score,
+                instruments=self.instruments
+                if self.instruments.enabled
+                else None,
+            )
+        report = self._exhaustive.search(query, top_k=top_k)
+        return replace(
+            report,
+            degraded=True,
+            quarantined_intervals=self.quarantined_intervals,
+            quarantined_sequences=self.quarantined_sequences,
+        )
+
+    def search_batch(
+        self,
+        queries: list[Sequence],
+        top_k: int = 10,
+        workers: int | None = None,
+    ) -> list[SearchReport]:
+        """Evaluate a batch of queries, reports in query order.
+
+        ``workers`` defaults to the engine's ``query_workers``; values
+        above 1 evaluate queries on a thread pool (the numpy kernels
+        release the GIL, so shards and queries genuinely overlap).
+
+        Raises:
+            SearchError: if ``workers`` < 1.
+        """
+        if workers is None:
+            workers = self.query_workers
+        return run_search_batch(self.search, queries, top_k, workers)

@@ -1,0 +1,198 @@
+"""Database directory layout and manifest construction.
+
+One *database directory* holds a manifest plus either the classic
+single-shard files::
+
+    manifest.json  intervals.rpix  sequences.rpsq
+
+or, when built with ``shards=N`` (N > 1), a top-level manifest whose
+``"shards"`` section records the layout, with each shard a complete
+single-shard database directory of its own::
+
+    manifest.json
+    shard-0000/  manifest.json  intervals.rpix  sequences.rpsq
+    shard-0001/  ...
+
+A single-shard database is byte-identical to the pre-shard v2 format,
+so existing databases open unchanged; a sharded database is detected
+purely by the ``"shards"`` manifest key.  Every shard directory is
+itself openable, verifiable and repairable as an ordinary database,
+and the top-level manifest repeats each shard's file digests so damage
+is detectable without descending into the shards.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import IndexFormatError
+from repro.index.atomic import file_crc32, write_text_atomic
+from repro.index.builder import IndexParameters
+
+MANIFEST_NAME = "manifest.json"
+INDEX_NAME = "intervals.rpix"
+STORE_NAME = "sequences.rpsq"
+MANIFEST_VERSION = 2
+SUPPORTED_MANIFEST_VERSIONS = (1, 2)
+
+
+def make_manifest(
+    directory: Path,
+    records_count: int,
+    bases: int,
+    coding: str,
+    params: IndexParameters,
+    index_bytes: int,
+    store_bytes: int,
+) -> dict:
+    """The manifest of a single-shard database directory."""
+    return {
+        "version": MANIFEST_VERSION,
+        "sequences": records_count,
+        "bases": bases,
+        "coding": coding,
+        "params": params.describe(),
+        "index_bytes": index_bytes,
+        "store_bytes": store_bytes,
+        "checksums": {
+            INDEX_NAME: f"{file_crc32(directory / INDEX_NAME):08x}",
+            STORE_NAME: f"{file_crc32(directory / STORE_NAME):08x}",
+        },
+    }
+
+
+def write_manifest(directory: Path, manifest: dict) -> None:
+    """Atomically persist a manifest into a database directory."""
+    write_text_atomic(
+        directory / MANIFEST_NAME, json.dumps(manifest, indent=2)
+    )
+
+
+def load_manifest(directory: Path) -> dict:
+    """Read and validate a database directory's manifest.
+
+    Raises:
+        IndexFormatError: if the manifest is missing, unparsable, or of
+            an unsupported version.
+    """
+    manifest_path = directory / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise IndexFormatError(f"{directory} holds no database manifest")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except ValueError as exc:
+        raise IndexFormatError(f"{directory}: bad manifest") from exc
+    if manifest.get("version") not in SUPPORTED_MANIFEST_VERSIONS:
+        raise IndexFormatError(
+            f"{directory}: unsupported database version "
+            f"{manifest.get('version')}"
+        )
+    return manifest
+
+
+@dataclass(frozen=True)
+class ShardLayoutEntry:
+    """One shard as the top-level manifest records it.
+
+    Attributes:
+        name: the shard's directory name.
+        base: global ordinal of the shard's first sequence.
+        sequences / bases: the shard's collection size.
+        index_bytes / store_bytes: on-disk footprint.
+        checksums: the shard's file digests (a copy of the shard
+            manifest's ``checksums``), so the top-level manifest alone
+            can detect shard damage.
+    """
+
+    name: str
+    base: int
+    sequences: int
+    bases: int
+    index_bytes: int
+    store_bytes: int
+    checksums: dict
+
+    @property
+    def stop(self) -> int:
+        return self.base + self.sequences
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "base": self.base,
+            "sequences": self.sequences,
+            "bases": self.bases,
+            "index_bytes": self.index_bytes,
+            "store_bytes": self.store_bytes,
+            "checksums": dict(self.checksums),
+        }
+
+    @classmethod
+    def from_description(cls, description: dict) -> "ShardLayoutEntry":
+        return cls(
+            name=str(description["name"]),
+            base=int(description["base"]),
+            sequences=int(description["sequences"]),
+            bases=int(description["bases"]),
+            index_bytes=int(description["index_bytes"]),
+            store_bytes=int(description["store_bytes"]),
+            checksums=dict(description["checksums"]),
+        )
+
+
+def make_sharded_manifest(
+    coding: str,
+    params: IndexParameters,
+    entries: list[ShardLayoutEntry],
+) -> dict:
+    """The top-level manifest of a sharded database directory."""
+    return {
+        "version": MANIFEST_VERSION,
+        "sequences": sum(entry.sequences for entry in entries),
+        "bases": sum(entry.bases for entry in entries),
+        "coding": coding,
+        "params": params.describe(),
+        "index_bytes": sum(entry.index_bytes for entry in entries),
+        "store_bytes": sum(entry.store_bytes for entry in entries),
+        "shards": {
+            "count": len(entries),
+            "layout": [entry.describe() for entry in entries],
+        },
+    }
+
+
+def layout_from_manifest(manifest: dict) -> list[ShardLayoutEntry] | None:
+    """The shard layout a manifest records, or ``None`` when the
+    manifest describes a classic single-shard database.
+
+    Raises:
+        IndexFormatError: if the ``shards`` section is malformed or the
+            layout is not contiguous from ordinal 0.
+    """
+    section = manifest.get("shards")
+    if section is None:
+        return None
+    try:
+        entries = [
+            ShardLayoutEntry.from_description(description)
+            for description in section["layout"]
+        ]
+        count = int(section["count"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise IndexFormatError(f"malformed shard layout: {exc}") from exc
+    if count != len(entries) or not entries:
+        raise IndexFormatError(
+            f"shard layout lists {len(entries)} shards but records "
+            f"count {count}"
+        )
+    expected_base = 0
+    for entry in entries:
+        if entry.base != expected_base:
+            raise IndexFormatError(
+                f"shard {entry.name} starts at ordinal {entry.base}, "
+                f"expected {expected_base} (layout must be contiguous)"
+            )
+        expected_base = entry.stop
+    return entries

@@ -1,0 +1,84 @@
+"""Shard planning: split a collection into contiguous ordinal ranges.
+
+Shards are *contiguous* so a global ordinal maps to (shard, local
+ordinal) with one binary search and the concatenation of the shards in
+shard order is exactly the original collection — the invariant the
+index merger and the fan-out engine both lean on.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Sequence as TypingSequence
+
+from repro.errors import IndexParameterError
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One planned shard: a contiguous slice of the collection.
+
+    Attributes:
+        shard_id: position in the shard order (0-based).
+        base: global ordinal of the shard's first sequence.
+        count: sequences in the shard (always >= 1).
+    """
+
+    shard_id: int
+    base: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise IndexParameterError(
+                f"shard {self.shard_id} would be empty"
+            )
+
+    @property
+    def stop(self) -> int:
+        """Global ordinal one past the shard's last sequence."""
+        return self.base + self.count
+
+    @property
+    def name(self) -> str:
+        """Directory name of the shard inside a sharded database."""
+        return f"shard-{self.shard_id:04d}"
+
+
+def plan_shards(num_sequences: int, shards: int) -> list[ShardSpec]:
+    """Split ``num_sequences`` into ``shards`` balanced contiguous ranges.
+
+    The first ``num_sequences % shards`` shards receive one extra
+    sequence, so shard sizes differ by at most one.  ``shards`` is
+    clamped to ``num_sequences`` — a shard is never empty.
+
+    Raises:
+        IndexParameterError: if either argument is < 1.
+    """
+    if num_sequences < 1:
+        raise IndexParameterError(
+            f"cannot shard an empty collection ({num_sequences} sequences)"
+        )
+    if shards < 1:
+        raise IndexParameterError(f"shards must be >= 1, got {shards}")
+    shards = min(shards, num_sequences)
+    small, extra = divmod(num_sequences, shards)
+    plan: list[ShardSpec] = []
+    base = 0
+    for shard_id in range(shards):
+        count = small + (1 if shard_id < extra else 0)
+        plan.append(ShardSpec(shard_id, base, count))
+        base += count
+    return plan
+
+
+def shard_of(bases: TypingSequence[int], ordinal: int) -> int:
+    """Index of the shard holding a global ordinal.
+
+    Args:
+        bases: each shard's ``base``, ascending (as produced by
+            :func:`plan_shards`).
+        ordinal: the global sequence ordinal (assumed in range).
+    """
+    return bisect_right(bases, ordinal) - 1

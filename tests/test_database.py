@@ -154,3 +154,102 @@ class TestSearch:
         )
         assert report.best().ordinal == 8
         assert report.best().score == 300
+
+
+class TestEngineCacheLRU:
+    def test_cache_is_bounded(self, records, tmp_path):
+        with Database.create(records, tmp_path / "lru.db") as db:
+            limit = Database.ENGINE_CACHE_LIMIT
+            for cutoff in range(1, limit + 4):
+                db.engine(coarse_cutoff=cutoff)
+            assert db.cached_engines == limit
+
+    def test_least_recently_used_is_evicted(self, records, tmp_path):
+        with Database.create(records, tmp_path / "lru2.db") as db:
+            limit = Database.ENGINE_CACHE_LIMIT
+            first = db.engine(coarse_cutoff=1)
+            second = db.engine(coarse_cutoff=2)
+            for cutoff in range(3, limit + 1):
+                db.engine(coarse_cutoff=cutoff)
+            # Touch the oldest so the *second* oldest gets evicted.
+            assert db.engine(coarse_cutoff=1) is first
+            db.engine(coarse_cutoff=limit + 1)
+            assert db.engine(coarse_cutoff=1) is first
+            assert db.engine(coarse_cutoff=2) is not second
+
+    def test_cache_traffic_is_instrumented(self, records, tmp_path):
+        from repro.instrumentation.instruments import Instruments
+
+        with Database.create(records, tmp_path / "lru3.db") as db:
+            instruments = Instruments()
+            db.set_instruments(instruments)
+            db.engine(coarse_cutoff=10)
+            db.engine(coarse_cutoff=10)
+            db.engine(coarse_cutoff=20)
+            snapshot = instruments.metrics.snapshot()
+            assert snapshot["counters"]["database.engine_cache.misses"] == 2
+            assert snapshot["counters"]["database.engine_cache.hits"] == 1
+            assert snapshot["gauges"]["database.engine_cache.size"] == 2
+
+
+class TestDegradedSearchOptions:
+    """The exhaustive fallback must honour or reject engine options,
+    never silently drop them."""
+
+    @pytest.fixture()
+    def degraded_db(self, records, tmp_path):
+        from repro.instrumentation import faults
+
+        path = tmp_path / "deg.db"
+        Database.create(records, path).close()
+        target = path / "intervals.rpix"
+        span = faults.index_sections(target)["header_crc"]
+        faults.flip_byte(target, span[0], mask=0x80)
+        with Database.open(path, on_corruption="fallback") as db:
+            assert db.degraded
+            yield db
+
+    def test_scheme_is_honoured(self, degraded_db, records):
+        query = records[6].slice(0, 120)
+        plain = degraded_db.search(query, top_k=1)
+        doubled = degraded_db.search(
+            query, top_k=1, scheme=ScoringScheme(match=2, mismatch=-2, gap=-5)
+        )
+        assert plain.degraded and doubled.degraded
+        assert doubled.best().score == 2 * plain.best().score
+
+    def test_exhaustive_searcher_cached_per_scheme(self, degraded_db, records):
+        query = records[6].slice(0, 120)
+        scheme = ScoringScheme(match=2, mismatch=-2, gap=-5)
+        degraded_db.search(query, scheme=scheme)
+        degraded_db.search(query, scheme=scheme)
+        degraded_db.search(query)
+        assert len(degraded_db._exhaustive) == 2
+
+    def test_moot_options_accepted(self, degraded_db, records):
+        # A cutoff cannot change what an exhaustive scan examines and
+        # the corruption policy already applied at open; both pass.
+        report = degraded_db.search(
+            records[6].slice(0, 120), coarse_cutoff=50, on_corruption="raise"
+        )
+        assert report.degraded
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"both_strands": True},
+            {"with_evalues": True},
+            {"fine_mode": "frames"},
+            {"no_such_option": 1},
+        ],
+    )
+    def test_unhonourable_options_raise(self, degraded_db, records, kwargs):
+        with pytest.raises(SearchError, match="cannot honour"):
+            degraded_db.search(records[6].slice(0, 120), **kwargs)
+
+    def test_batch_follows_the_same_rules(self, degraded_db, records):
+        queries = [records[6].slice(0, 120), records[7].slice(0, 120)]
+        reports = degraded_db.search_batch(queries, top_k=2)
+        assert all(report.degraded for report in reports)
+        with pytest.raises(SearchError, match="cannot honour"):
+            degraded_db.search_batch(queries, both_strands=True)

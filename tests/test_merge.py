@@ -76,6 +76,38 @@ class TestMerge:
         assert_identical(merged, direct)
 
 
+class TestMergeEqualsSingleBuild:
+    """Merging per-part indexes must reproduce one build over the
+    concatenated collection — posting-for-posting (the property the
+    sharded build relies on)."""
+
+    def test_merge_index_files_equals_direct_build(self, tmp_path):
+        from repro.index.merge import merge_index_files
+        from repro.index.storage import read_index, write_index
+
+        parts_records = [random_records(s, n) for s, n in ((21, 6), (22, 4), (23, 8))]
+        params = IndexParameters(interval_length=6)
+        paths = []
+        for number, part in enumerate(parts_records):
+            path = tmp_path / f"part{number}.rpix"
+            write_index(build_index(part, params), path)
+            paths.append(str(path))
+        output = tmp_path / "merged.rpix"
+        merge_index_files(paths, str(output))
+        direct = build_index(sum(parts_records, []), params)
+        with read_index(output) as merged:
+            assert_identical(merged, direct)
+
+    def test_merge_indexes_equals_direct_build_many_parts(self):
+        parts_records = [random_records(30 + s, 3, length=90) for s in range(5)]
+        params = IndexParameters(interval_length=5)
+        merged = merge_indexes(
+            [build_index(part, params) for part in parts_records]
+        )
+        direct = build_index(sum(parts_records, []), params)
+        assert_identical(merged, direct)
+
+
 class TestChunkedBuild:
     def test_chunk_size_validation(self):
         with pytest.raises(IndexParameterError):

@@ -1,0 +1,108 @@
+"""Batch query evaluation: parity with per-query search, parallelism.
+
+``search_batch`` must be a pure convenience: same reports as calling
+``search`` per query, in query order, whether it runs sequentially or
+on a thread pool.
+"""
+
+import numpy as np
+import pytest
+
+from repro.database import Database
+from repro.errors import SearchError
+from repro.index.builder import IndexParameters, build_index
+from repro.index.store import MemorySequenceSource
+from repro.search.engine import PartitionedSearchEngine
+from repro.sequences.record import Sequence
+
+PARAMS = IndexParameters(interval_length=6)
+
+
+def _records(count=24, length=200, seed=41):
+    rng = np.random.default_rng(seed)
+    return [
+        Sequence(f"b{slot:03d}", rng.integers(0, 4, length, dtype=np.uint8))
+        for slot in range(count)
+    ]
+
+
+def _queries(records, count=8, seed=13):
+    rng = np.random.default_rng(seed)
+    queries = []
+    for number in range(count):
+        source = records[int(rng.integers(0, len(records)))]
+        start = int(rng.integers(0, len(source) - 90))
+        queries.append(
+            Sequence(f"q{number}", source.codes[start : start + 90].copy())
+        )
+    return queries
+
+
+def _key(report):
+    return (
+        report.query_identifier,
+        [(hit.ordinal, hit.score, hit.coarse_score) for hit in report.hits],
+        report.candidates_examined,
+    )
+
+
+@pytest.fixture(scope="module")
+def engine_and_queries():
+    records = _records()
+    engine = PartitionedSearchEngine(
+        build_index(records, PARAMS),
+        MemorySequenceSource(records),
+        coarse_cutoff=10,
+    )
+    return engine, _queries(records)
+
+
+class TestSearchBatch:
+    def test_matches_per_query_search(self, engine_and_queries):
+        engine, queries = engine_and_queries
+        batch = engine.search_batch(queries, top_k=5)
+        singles = [engine.search(query, top_k=5) for query in queries]
+        assert [_key(report) for report in batch] == \
+            [_key(report) for report in singles]
+
+    def test_empty_batch(self, engine_and_queries):
+        engine, _ = engine_and_queries
+        assert engine.search_batch([]) == []
+        assert engine.search_batch([], workers=4) == []
+
+    def test_parallel_equals_sequential(self, engine_and_queries):
+        engine, queries = engine_and_queries
+        sequential = engine.search_batch(queries, top_k=5, workers=1)
+        parallel = engine.search_batch(queries, top_k=5, workers=4)
+        assert [_key(report) for report in sequential] == \
+            [_key(report) for report in parallel]
+
+    def test_reports_come_back_in_query_order(self, engine_and_queries):
+        engine, queries = engine_and_queries
+        batch = engine.search_batch(queries, top_k=3, workers=3)
+        assert [report.query_identifier for report in batch] == \
+            [query.identifier for query in queries]
+
+    def test_invalid_workers_rejected(self, engine_and_queries):
+        engine, queries = engine_and_queries
+        with pytest.raises(SearchError):
+            engine.search_batch(queries, workers=0)
+
+    def test_single_query_batch(self, engine_and_queries):
+        engine, queries = engine_and_queries
+        batch = engine.search_batch(queries[:1], top_k=5, workers=8)
+        assert len(batch) == 1
+        assert _key(batch[0]) == _key(engine.search(queries[0], top_k=5))
+
+
+class TestDatabaseSearchBatch:
+    def test_sharded_database_batch_parity(self, tmp_path):
+        records = _records()
+        queries = _queries(records, count=5)
+        with Database.create(
+            records, tmp_path / "db", params=PARAMS, shards=3
+        ) as db:
+            batch = db.search_batch(queries, top_k=5, workers=3)
+            singles = [db.search(query, top_k=5) for query in queries]
+            assert [_key(report) for report in batch] == \
+                [_key(report) for report in singles]

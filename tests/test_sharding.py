@@ -1,0 +1,470 @@
+"""Shard layer: planner, layout, parallel build, fan-out/merge parity.
+
+The load-bearing invariant is *score identity*: a sharded engine (any
+shard count) must return hit-for-hit identical results to one
+:class:`PartitionedSearchEngine` over the unsharded collection — same
+ordinals, scores, coarse scores, strands, E-values, and candidate
+counts — for every fine mode.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.align.scoring import ScoringScheme
+from repro.database import Database
+from repro.errors import (
+    CorruptionError,
+    IndexFormatError,
+    IndexParameterError,
+    SearchError,
+)
+from repro.index.builder import IndexParameters, build_index
+from repro.index.store import MemorySequenceSource
+from repro.instrumentation import faults
+from repro.instrumentation.instruments import Instruments
+from repro.search.engine import PartitionedSearchEngine
+from repro.sequences.record import Sequence
+from repro.sharding import (
+    ShardedSearchEngine,
+    ShardedSequenceSource,
+    ShardSpec,
+    layout_from_manifest,
+    plan_shards,
+    shard_of,
+)
+from repro.sharding.build import build_sharded_database
+
+PARAMS = IndexParameters(interval_length=6)
+
+
+def _records(count=36, length=220, seed=17):
+    rng = np.random.default_rng(seed)
+    records = []
+    for slot in range(count):
+        codes = rng.integers(0, 4, length, dtype=np.uint8)
+        # Plant shared fragments so queries have multi-shard answers.
+        if slot % 3 == 0:
+            codes[20:80] = rng.integers(0, 4, 60, dtype=np.uint8) if slot == 0 \
+                else records[0].codes[20:80]
+        records.append(Sequence(f"sh{slot:03d}", codes))
+    return records
+
+
+def _queries(records, seed=5):
+    rng = np.random.default_rng(seed)
+    queries = []
+    for number in range(6):
+        source = records[int(rng.integers(0, len(records)))]
+        start = int(rng.integers(0, len(source) - 100))
+        queries.append(Sequence(f"q{number}", source.codes[start : start + 100].copy()))
+    return queries
+
+
+def _report_key(report):
+    return (
+        [
+            (hit.ordinal, hit.identifier, hit.score, hit.coarse_score,
+             hit.strand, hit.evalue)
+            for hit in report.hits
+        ],
+        report.candidates_examined,
+    )
+
+
+def _split_engines(records, shards, **kwargs):
+    plan = plan_shards(len(records), shards)
+    pairs = []
+    for spec in plan:
+        chunk = records[spec.base : spec.stop]
+        pairs.append(
+            (build_index(chunk, PARAMS), MemorySequenceSource(chunk))
+        )
+    return ShardedSearchEngine(pairs, **kwargs)
+
+
+class TestPlanner:
+    def test_balanced_split(self):
+        plan = plan_shards(10, 4)
+        assert [(spec.base, spec.count) for spec in plan] == [
+            (0, 3), (3, 3), (6, 2), (8, 2),
+        ]
+        assert plan[-1].stop == 10
+
+    def test_single_shard(self):
+        plan = plan_shards(7, 1)
+        assert len(plan) == 1
+        assert (plan[0].base, plan[0].count) == (0, 7)
+
+    def test_more_shards_than_sequences_clamps(self):
+        plan = plan_shards(3, 8)
+        assert len(plan) == 3
+        assert all(spec.count == 1 for spec in plan)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(IndexParameterError):
+            plan_shards(0, 2)
+        with pytest.raises(IndexParameterError):
+            plan_shards(5, 0)
+        with pytest.raises(IndexParameterError):
+            ShardSpec(0, 0, 0)
+
+    def test_shard_of_locates_every_ordinal(self):
+        plan = plan_shards(11, 3)
+        bases = [spec.base for spec in plan]
+        for ordinal in range(11):
+            slot = shard_of(bases, ordinal)
+            assert plan[slot].base <= ordinal < plan[slot].stop
+
+    def test_shard_names_are_stable(self):
+        assert plan_shards(4, 2)[1].name == "shard-0001"
+
+
+class TestLayoutManifest:
+    def test_round_trip(self, tmp_path):
+        records = _records(12)
+        Database.create(records, tmp_path / "db", params=PARAMS, shards=3).close()
+        manifest = json.loads((tmp_path / "db" / "manifest.json").read_text())
+        layout = layout_from_manifest(manifest)
+        assert [entry.name for entry in layout] == [
+            "shard-0000", "shard-0001", "shard-0002",
+        ]
+        assert [entry.base for entry in layout] == [0, 4, 8]
+        assert sum(entry.sequences for entry in layout) == 12
+
+    def test_single_shard_manifest_has_no_shards_key(self, tmp_path):
+        Database.create(_records(6), tmp_path / "db", params=PARAMS).close()
+        manifest = json.loads((tmp_path / "db" / "manifest.json").read_text())
+        assert "shards" not in manifest
+        assert layout_from_manifest(manifest) is None
+
+    def test_non_contiguous_layout_rejected(self, tmp_path):
+        records = _records(12)
+        Database.create(records, tmp_path / "db", params=PARAMS, shards=2).close()
+        manifest_path = tmp_path / "db" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["shards"]["layout"][1]["base"] += 1
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(IndexFormatError, match="contiguous"):
+            Database.open(tmp_path / "db")
+
+    def test_count_mismatch_rejected(self, tmp_path):
+        records = _records(12)
+        Database.create(records, tmp_path / "db", params=PARAMS, shards=2).close()
+        manifest_path = tmp_path / "db" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["shards"]["count"] = 3
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(IndexFormatError):
+            Database.open(tmp_path / "db")
+
+
+class TestSingleShardByteCompatibility:
+    def test_layout_is_the_classic_file_set(self, tmp_path):
+        Database.create(_records(8), tmp_path / "db", params=PARAMS).close()
+        assert sorted(p.name for p in (tmp_path / "db").iterdir()) == [
+            "intervals.rpix", "manifest.json", "sequences.rpsq",
+        ]
+
+    def test_manifest_matches_pre_shard_schema(self, tmp_path):
+        Database.create(_records(8), tmp_path / "db", params=PARAMS).close()
+        manifest = json.loads((tmp_path / "db" / "manifest.json").read_text())
+        assert sorted(manifest) == [
+            "bases", "checksums", "coding", "index_bytes", "params",
+            "sequences", "store_bytes", "version",
+        ]
+        assert manifest["version"] == 2
+
+
+class TestScoreIdentity:
+    """Sharded answers must equal the single-engine answers exactly."""
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        records = _records()
+        return records, _queries(records)
+
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    @pytest.mark.parametrize("fine_mode", ["full", "frames"])
+    def test_parity_across_shard_counts(self, workload, shards, fine_mode):
+        records, queries = workload
+        single = PartitionedSearchEngine(
+            build_index(records, PARAMS),
+            MemorySequenceSource(records),
+            coarse_cutoff=12,
+            fine_mode=fine_mode,
+        )
+        sharded = _split_engines(
+            records, shards, coarse_cutoff=12, fine_mode=fine_mode
+        )
+        for query in queries:
+            assert _report_key(sharded.search(query, top_k=10)) == \
+                _report_key(single.search(query, top_k=10))
+
+    def test_parity_with_both_strands_and_evalues(self, workload):
+        from repro.align.statistics import calibrate_gapped
+
+        records, queries = workload
+        significance = calibrate_gapped(ScoringScheme())
+        single = PartitionedSearchEngine(
+            build_index(records, PARAMS),
+            MemorySequenceSource(records),
+            coarse_cutoff=15,
+            both_strands=True,
+            significance=significance,
+        )
+        sharded = _split_engines(
+            records, 3, coarse_cutoff=15, both_strands=True,
+            significance=significance,
+        )
+        for query in queries:
+            assert _report_key(sharded.search(query, top_k=8)) == \
+                _report_key(single.search(query, top_k=8))
+
+    def test_parity_with_diagonal_scorer(self, workload):
+        records, queries = workload
+        single = PartitionedSearchEngine(
+            build_index(records, PARAMS),
+            MemorySequenceSource(records),
+            coarse_scorer="diagonal",
+            coarse_cutoff=10,
+        )
+        sharded = _split_engines(
+            records, 4, coarse_scorer="diagonal", coarse_cutoff=10
+        )
+        for query in queries:
+            assert _report_key(sharded.search(query, top_k=10)) == \
+                _report_key(single.search(query, top_k=10))
+
+    def test_database_facade_parity(self, workload, tmp_path):
+        records, queries = workload
+        Database.create(records, tmp_path / "one", params=PARAMS).close()
+        Database.create(
+            records, tmp_path / "four", params=PARAMS, shards=4, workers=2
+        ).close()
+        with Database.open(tmp_path / "one") as db1, \
+                Database.open(tmp_path / "four") as db4:
+            assert db1.num_shards == 1
+            assert db4.num_shards == 4
+            for query in queries:
+                assert _report_key(
+                    db4.search(query, top_k=10, both_strands=True)
+                ) == _report_key(
+                    db1.search(query, top_k=10, both_strands=True)
+                )
+
+    def test_collection_scorers_rejected(self, workload):
+        records, _ = workload
+        for scorer in ("idf", "normalised"):
+            with pytest.raises(SearchError, match="collection-wide"):
+                _split_engines(records, 2, coarse_scorer=scorer)
+        # Custom scorer instances cannot be vetted for shard-safety.
+        from repro.search.coarse import make_scorer
+
+        with pytest.raises(SearchError, match="name"):
+            _split_engines(records, 2, coarse_scorer=make_scorer("count"))
+
+
+class TestShardedSequenceSource:
+    def test_global_ordinal_routing(self):
+        records = _records(10)
+        plan = plan_shards(10, 3)
+        source = ShardedSequenceSource(
+            [
+                MemorySequenceSource(records[spec.base : spec.stop])
+                for spec in plan
+            ]
+        )
+        assert len(source) == 10
+        for ordinal, record in enumerate(records):
+            assert source.identifier(ordinal) == record.identifier
+            np.testing.assert_array_equal(source.codes(ordinal), record.codes)
+
+    def test_out_of_range_rejected(self):
+        source = ShardedSequenceSource([MemorySequenceSource(_records(3))])
+        with pytest.raises(Exception):
+            source.codes(3)
+
+
+class TestParallelBuild:
+    def test_workers_produce_identical_bytes(self, tmp_path):
+        records = _records(12)
+        plan = plan_shards(12, 3)
+        first = build_sharded_database(
+            tmp_path / "w1", records, plan, PARAMS, workers=1
+        )
+        second = build_sharded_database(
+            tmp_path / "w3", records, plan, PARAMS, workers=3
+        )
+        assert first == second  # includes every shard's CRC32 digests
+        for spec in plan:
+            for name in ("intervals.rpix", "sequences.rpsq"):
+                assert (tmp_path / "w1" / spec.name / name).read_bytes() == \
+                    (tmp_path / "w3" / spec.name / name).read_bytes()
+
+    def test_each_shard_is_an_openable_database(self, tmp_path):
+        records = _records(9)
+        Database.create(
+            records, tmp_path / "db", params=PARAMS, shards=3
+        ).close()
+        with Database.open(tmp_path / "db" / "shard-0001") as shard:
+            assert len(shard) == 3
+            assert shard.record(0).identifier == records[3].identifier
+
+    def test_invalid_arguments(self, tmp_path):
+        records = _records(4)
+        with pytest.raises(IndexParameterError):
+            build_sharded_database(
+                tmp_path, records, plan_shards(4, 2), PARAMS, workers=0
+            )
+        with pytest.raises(IndexParameterError):
+            build_sharded_database(tmp_path, records, [], PARAMS)
+        with pytest.raises(IndexParameterError):
+            Database.create(records, tmp_path / "bad", shards=0)
+        with pytest.raises(IndexParameterError):
+            Database.create(records, tmp_path / "bad", workers=0)
+
+    def test_shards_clamped_to_collection(self, tmp_path):
+        records = _records(3)
+        with Database.create(
+            records, tmp_path / "tiny", params=PARAMS, shards=8
+        ) as db:
+            assert db.num_shards == 3
+            assert len(db) == 3
+
+
+class TestDatabaseFacade:
+    def test_record_routing_and_shard_of(self, tmp_path):
+        records = _records(10)
+        with Database.create(
+            records, tmp_path / "db", params=PARAMS, shards=3
+        ) as db:
+            for ordinal, record in enumerate(records):
+                assert db.record(ordinal).identifier == record.identifier
+            assert [r.identifier for r in db.records()] == \
+                [r.identifier for r in records]
+            assert db.shard_of(0).name == "shard-0000"
+            assert db.shard_of(9).name == "shard-0002"
+            with pytest.raises(SearchError):
+                db.shard_of(10)
+
+    def test_index_and_store_are_single_shard_conveniences(self, tmp_path):
+        records = _records(8)
+        with Database.create(records, tmp_path / "one", params=PARAMS) as db:
+            assert db.index is not None
+            assert db.store is not None
+        with Database.create(
+            records, tmp_path / "two", params=PARAMS, shards=2
+        ) as db:
+            assert db.index is None
+            assert db.store is None
+            assert db.shards[0].index is not None
+
+    def test_alignment_reaches_every_shard(self, tmp_path):
+        records = _records(9)
+        with Database.create(
+            records, tmp_path / "db", params=PARAMS, shards=3
+        ) as db:
+            query = Sequence("q", records[7].codes[10:110].copy())
+            alignment = db.alignment(query, 7)
+            assert alignment.score >= 90
+
+    def test_describe_mentions_shards(self, tmp_path):
+        with Database.create(
+            _records(8), tmp_path / "db", params=PARAMS, shards=2
+        ) as db:
+            assert "2 shards" in db.describe()
+
+    def test_full_verify_open(self, tmp_path):
+        records = _records(8)
+        Database.create(
+            records, tmp_path / "db", params=PARAMS, shards=2
+        ).close()
+        with Database.open(tmp_path / "db", verify="full") as db:
+            assert len(db) == 8
+
+
+class TestShardedVerifyRepair:
+    def _sharded_db(self, tmp_path, count=9, shards=3):
+        records = _records(count)
+        path = tmp_path / "db"
+        Database.create(records, path, params=PARAMS, shards=shards).close()
+        return path, records
+
+    def test_verify_intact(self, tmp_path):
+        path, _ = self._sharded_db(tmp_path)
+        assert Database.verify(path).ok
+
+    def test_verify_reports_damaged_shard(self, tmp_path):
+        path, _ = self._sharded_db(tmp_path)
+        target = path / "shard-0001" / "intervals.rpix"
+        span = faults.index_sections(target)["table"]
+        faults.flip_byte(target, span[0], mask=0x08)
+        report = Database.verify(path)
+        assert not report.ok
+        assert any("shard-0001" in issue for issue in report.issues)
+
+    def test_verify_catches_swapped_shard(self, tmp_path):
+        path, records = self._sharded_db(tmp_path)
+        # Rebuild shard-0001 with different contents but a fully
+        # self-consistent shard directory: only the top-level manifest's
+        # recorded digests can catch it.
+        import shutil
+
+        from repro.sharding.build import build_shard_directory
+
+        shutil.rmtree(path / "shard-0001")
+        build_shard_directory(
+            path / "shard-0001", [records[0], records[1], records[2]], PARAMS
+        )
+        assert Database.verify(path / "shard-0001").ok
+        report = Database.verify(path)
+        assert not report.ok
+        assert any("top-level manifest" in issue for issue in report.issues)
+
+    def test_repair_rebuilds_damaged_shard(self, tmp_path):
+        path, records = self._sharded_db(tmp_path)
+        query = Sequence("q", records[5].codes[20:120].copy())
+        with Database.open(path) as db:
+            baseline = _report_key(db.search(query))
+        target = path / "shard-0001" / "intervals.rpix"
+        span = faults.index_sections(target)["table"]
+        faults.zero_page(target, span[0], span[1] - span[0])
+        with pytest.raises(CorruptionError):
+            Database.open(path)
+        with Database.repair(path) as repaired:
+            assert repaired.num_shards == 3
+            assert _report_key(repaired.search(query)) == baseline
+        assert Database.verify(path).ok
+
+    def test_fallback_open_degrades_and_scans(self, tmp_path):
+        path, records = self._sharded_db(tmp_path)
+        query = Sequence("q", records[5].codes[20:120].copy())
+        with Database.open(path) as db:
+            expected = db.search(query).best().ordinal
+        target = path / "shard-0001" / "intervals.rpix"
+        span = faults.index_sections(target)["header_crc"]
+        faults.flip_byte(target, span[0], mask=0x80)
+        with Database.open(path, on_corruption="fallback") as db:
+            assert db.degraded
+            report = db.search(query)
+            assert report.degraded
+            assert report.best().ordinal == expected
+
+
+class TestShardedInstrumentation:
+    def test_per_shard_spans_and_counters(self):
+        records = _records(12)
+        engine = _split_engines(records, 3, coarse_cutoff=10)
+        instruments = Instruments()
+        engine.set_instruments(instruments)
+        engine.search(Sequence("q", records[4].codes[10:110].copy()))
+        counters = instruments.metrics.snapshot()["counters"]
+        assert counters["sharded.queries"] == 1
+        assert any(
+            name.startswith("sharded.shard.") for name in counters
+        )
+        span_names = {row["name"] for row in instruments.tracer.flat()}
+        assert "shard[0].coarse" in span_names
+        assert "merge" in span_names
