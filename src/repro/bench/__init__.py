@@ -1,0 +1,38 @@
+"""Unified benchmark harness: canonical artifacts + regression gate.
+
+Three pieces sit on top of the observability layer:
+
+* :mod:`repro.bench.schema` — the canonical, schema-versioned
+  ``BENCH_*.json`` document (machine metadata, git revision, named
+  metrics with units and better-directions);
+* :mod:`repro.bench.runner` — producers: a self-contained synthetic
+  *quick* suite (CI-sized), the E1–E8 experiment tables driven through
+  ``benchmarks/harness.py``, and the shard sweep;
+* :mod:`repro.bench.compare` — the regression gate ``repro bench
+  --compare BASELINE CURRENT`` applies: per-metric thresholds on the
+  current/baseline ratio, nonzero exit when any gated metric regresses.
+"""
+
+from repro.bench.compare import CompareReport, Comparison, compare_documents
+from repro.bench.schema import (
+    SCHEMA,
+    BenchDocument,
+    git_revision,
+    machine_metadata,
+    metric,
+)
+from repro.bench.runner import run_experiments, run_quick, run_shard_sweep
+
+__all__ = [
+    "BenchDocument",
+    "CompareReport",
+    "Comparison",
+    "SCHEMA",
+    "compare_documents",
+    "git_revision",
+    "machine_metadata",
+    "metric",
+    "run_experiments",
+    "run_quick",
+    "run_shard_sweep",
+]

@@ -1,0 +1,177 @@
+"""The regression gate: compare two canonical benchmark documents.
+
+``compare_documents(baseline, current)`` walks every metric present in
+both documents, skips ``direction="info"`` entries, and flags a
+regression when the current value crosses the per-metric threshold in
+the *worse* direction:
+
+* ``direction="lower"`` (latency, bytes): regressed when
+  ``current > baseline * threshold``;
+* ``direction="higher"`` (throughput, recall, speedup): regressed when
+  ``current < baseline / threshold``.
+
+Thresholds are ratios > 1 — the default 1.5 tolerates 50% noise, which
+is deliberately generous because CI machines vary; tighten per metric
+with the ``thresholds`` mapping (longest-prefix match, so
+``{"quick.": 2.0}`` covers a whole suite).  Values below
+``noise_floor`` in *both* documents are skipped: a 0.2 ms phase
+doubling to 0.4 ms is scheduler noise, not a regression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.schema import BenchDocument
+
+#: Default current/baseline ratio tolerated before a metric is flagged.
+DEFAULT_THRESHOLD = 1.5
+
+#: Metrics whose values are below this in both documents are ignored
+#: (latency noise floor; value units are whatever the metric declares).
+DEFAULT_NOISE_FLOOR = 0.05
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One gated metric's outcome."""
+
+    name: str
+    baseline: float
+    current: float
+    direction: str
+    threshold: float
+    regressed: bool
+
+    @property
+    def ratio(self) -> float:
+        """current / baseline (inf when the baseline is zero)."""
+        if self.baseline == 0.0:
+            return float("inf") if self.current > 0 else 1.0
+        return self.current / self.baseline
+
+    def describe(self) -> str:
+        state = "REGRESSED" if self.regressed else "ok"
+        arrow = "<" if self.direction == "higher" else ">"
+        return (
+            f"{self.name}: {self.baseline:.4g} -> {self.current:.4g} "
+            f"({self.ratio:.2f}x, {state}; gate: ratio {arrow} "
+            f"{self.threshold:g})"
+        )
+
+
+@dataclass
+class CompareReport:
+    """Everything one baseline/current comparison produced."""
+
+    comparisons: list[Comparison] = field(default_factory=list)
+    #: Gated metric names present in only one of the two documents.
+    missing_in_current: list[str] = field(default_factory=list)
+    missing_in_baseline: list[str] = field(default_factory=list)
+    skipped_noise: list[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[Comparison]:
+        return [entry for entry in self.comparisons if entry.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def summary(self) -> str:
+        gated = len(self.comparisons)
+        parts = [
+            f"{gated} metric(s) gated",
+            f"{len(self.regressions)} regression(s)",
+        ]
+        if self.skipped_noise:
+            parts.append(f"{len(self.skipped_noise)} below noise floor")
+        if self.missing_in_current:
+            parts.append(
+                f"{len(self.missing_in_current)} missing from current"
+            )
+        return ", ".join(parts)
+
+
+def threshold_for(
+    name: str, thresholds: dict[str, float] | None, default: float
+) -> float:
+    """The threshold governing one metric: longest-prefix match wins.
+
+    An exact name in ``thresholds`` beats a prefix; among prefixes the
+    longest wins, so ``{"quick.": 2.0, "quick.build": 3.0}`` behaves as
+    expected.
+    """
+    if not thresholds:
+        return default
+    exact = thresholds.get(name)
+    if exact is not None:
+        return exact
+    best: tuple[int, float] | None = None
+    for prefix, value in thresholds.items():
+        if name.startswith(prefix):
+            if best is None or len(prefix) > best[0]:
+                best = (len(prefix), value)
+    return best[1] if best is not None else default
+
+
+def compare_documents(
+    baseline: BenchDocument,
+    current: BenchDocument,
+    default_threshold: float = DEFAULT_THRESHOLD,
+    thresholds: dict[str, float] | None = None,
+    noise_floor: float = DEFAULT_NOISE_FLOOR,
+) -> CompareReport:
+    """Gate ``current`` against ``baseline`` (see module docstring)."""
+    report = CompareReport()
+    baseline_metrics = baseline.metrics
+    current_metrics = current.metrics
+    for name in sorted(set(baseline_metrics) | set(current_metrics)):
+        base_entry = baseline_metrics.get(name)
+        cur_entry = current_metrics.get(name)
+        direction = (base_entry or cur_entry).get("direction", "info")
+        if direction == "info":
+            continue
+        if base_entry is None:
+            report.missing_in_baseline.append(name)
+            continue
+        if cur_entry is None:
+            report.missing_in_current.append(name)
+            continue
+        base_value = float(base_entry["value"])
+        cur_value = float(cur_entry["value"])
+        if (
+            abs(base_value) < noise_floor
+            and abs(cur_value) < noise_floor
+        ):
+            report.skipped_noise.append(name)
+            continue
+        bound = threshold_for(name, thresholds, default_threshold)
+        if direction == "lower":
+            regressed = cur_value > base_value * bound
+        else:
+            regressed = cur_value < base_value / bound
+        report.comparisons.append(
+            Comparison(
+                name=name,
+                baseline=base_value,
+                current=cur_value,
+                direction=direction,
+                threshold=bound,
+                regressed=regressed,
+            )
+        )
+    return report
+
+
+def parse_threshold_overrides(pairs: list[str]) -> dict[str, float]:
+    """``NAME=RATIO`` strings (CLI ``--threshold-for``) into a map."""
+    overrides: dict[str, float] = {}
+    for pair in pairs:
+        name, separator, value = pair.partition("=")
+        if not separator or not name:
+            raise ValueError(
+                f"expected NAME=RATIO, got {pair!r}"
+            )
+        overrides[name] = float(value)
+    return overrides

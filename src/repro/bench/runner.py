@@ -1,0 +1,340 @@
+"""Benchmark producers: every suite ends in one canonical document.
+
+Three producers, one output shape (:class:`~repro.bench.schema.BenchDocument`):
+
+* :func:`run_quick` — a self-contained synthetic workload (CI-sized,
+  seconds not minutes): index build time, per-phase latency
+  percentiles from the instrumentation layer, mean query latency,
+  throughput.  Needs nothing outside the installed package.
+* :func:`run_experiments` — drives the E1–E8 tables in
+  ``benchmarks/harness.py`` and flattens every numeric cell into a
+  gated metric.  Needs the repository root on ``sys.path``
+  (``PYTHONPATH=src:.``), like CI runs it.
+* :func:`run_shard_sweep` — wraps the shard-scaling sweep in
+  ``benchmarks/bench_e3_scaling.py``.
+
+Flattened metric names are stable — ``e3.150.part_ms_q`` — because the
+regression gate matches baseline and current by name.
+"""
+
+from __future__ import annotations
+
+import importlib
+import re
+import statistics
+import time
+from pathlib import Path
+
+from repro.bench.schema import BenchDocument, standard_meta
+from repro.errors import ReproError
+
+#: Column-name tokens marking a bigger-is-better metric (checked first).
+_HIGHER_TOKENS = frozenset(
+    {
+        "speedup", "recall", "overlap", "oracle", "precision", "qps",
+        "saved", "mgaps", "rate", "ap", "r", "p", "flat", "parity",
+    }
+)
+
+#: Column-name tokens marking a smaller-is-better metric.
+_LOWER_TOKENS = frozenset(
+    {"ms", "seconds", "sec", "bytes", "bits", "kb", "mb"}
+)
+
+_UNIT_BY_TOKEN = {
+    "ms": "ms",
+    "seconds": "s",
+    "sec": "s",
+    "bytes": "bytes",
+    "bits": "bits",
+    "qps": "q/s",
+    "mgaps": "Mgaps/s",
+}
+
+
+def _tokens(text: str) -> list[str]:
+    return [token for token in re.split(r"[^a-z0-9]+", text.lower()) if token]
+
+
+def _slug(text: str) -> str:
+    return "_".join(_tokens(str(text))) or "row"
+
+
+def column_direction(column: str) -> str:
+    """Which way is better for a harness table column (by name)."""
+    tokens = set(_tokens(column))
+    if tokens & _HIGHER_TOKENS:
+        return "higher"
+    if tokens & _LOWER_TOKENS:
+        return "lower"
+    return "info"
+
+
+def _column_unit(column: str) -> str:
+    for token in _tokens(column):
+        unit = _UNIT_BY_TOKEN.get(token)
+        if unit:
+            return unit
+    return ""
+
+
+def _as_float(value) -> float | None:
+    if isinstance(value, bool):
+        return float(value)
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        try:
+            return float(value)
+        except ValueError:
+            return None
+    return None
+
+
+def flatten_table(table, document: BenchDocument) -> int:
+    """Add every numeric cell of a harness Table as a canonical metric.
+
+    Metric names are ``{experiment}.{row-key}.{column}``; the row key is
+    the first column (first two columns when the first alone is not
+    unique, as in E5's scorer/cutoff grid).  Returns how many metrics
+    were added.
+    """
+    first_column = [row[0] for row in table.rows]
+    wide_keys = len(set(map(str, first_column))) < len(table.rows)
+    added = 0
+    for row in table.rows:
+        key = _slug(row[0])
+        if wide_keys and len(row) > 1:
+            key = f"{key}_{_slug(row[1])}"
+        for column, value in zip(table.columns[1:], row[1:]):
+            number = _as_float(value)
+            if number is None:
+                continue
+            name = f"{table.experiment.lower()}.{key}.{_slug(column)}"
+            document.add(
+                name,
+                number,
+                unit=_column_unit(column),
+                direction=column_direction(column),
+            )
+            added += 1
+    return added
+
+
+def _load_benchmarks(module: str):
+    """Import a ``benchmarks.*`` module, with a helpful failure mode."""
+    try:
+        return importlib.import_module(f"benchmarks.{module}")
+    except ImportError as exc:
+        raise ReproError(
+            f"this suite drives benchmarks/{module}.py, which needs the "
+            "repository root on the module path — run from the checkout "
+            "with PYTHONPATH=src:."
+        ) from exc
+
+
+def run_quick(
+    families: int = 8,
+    family_size: int = 4,
+    background: int = 60,
+    mean_length: int = 400,
+    num_queries: int = 8,
+    query_length: int = 120,
+    seed: int = 1,
+    repeat: int = 2,
+    cutoff: int = 50,
+    top_k: int = 10,
+    cache_entries: int = 4096,
+    inject_sleep_seconds: float = 0.0,
+) -> BenchDocument:
+    """The CI-sized synthetic suite: build + query the quick workload.
+
+    ``inject_sleep_seconds`` adds an artificial per-query stall inside
+    the timed region; it exists so the regression gate can be tested
+    end-to-end (a slowed run must trip ``repro bench --compare``).
+    """
+    from repro.index.builder import IndexParameters, build_index
+    from repro.index.store import MemorySequenceSource
+    from repro.instrumentation.instruments import Instruments
+    from repro.instrumentation.profiling import snapshot_from_instruments
+    from repro.search.engine import PartitionedSearchEngine
+    from repro.sequences.mutate import MutationModel
+    from repro.workloads.queries import make_family_queries
+    from repro.workloads.synthetic import WorkloadSpec, generate_collection
+
+    spec = WorkloadSpec(
+        num_families=families,
+        family_size=family_size,
+        num_background=background,
+        mean_length=mean_length,
+        mutation=MutationModel(0.1, 0.02, 0.02),
+        seed=seed,
+    )
+    collection = generate_collection(spec)
+    cases = make_family_queries(
+        collection, num_queries, query_length, seed=seed + 1
+    )
+    queries = [case.query for case in cases]
+
+    started = time.perf_counter()
+    index = build_index(collection.sequences, IndexParameters())
+    build_seconds = time.perf_counter() - started
+    if cache_entries:
+        index.enable_decode_cache(cache_entries)
+    instruments = Instruments()
+    engine = PartitionedSearchEngine(
+        index,
+        MemorySequenceSource(collection.sequences),
+        coarse_cutoff=cutoff,
+        instruments=instruments,
+    )
+
+    latencies = []
+    wall_started = time.perf_counter()
+    for _ in range(max(1, repeat)):
+        for query in queries:
+            query_started = time.perf_counter()
+            engine.search(query, top_k=top_k)
+            if inject_sleep_seconds > 0:
+                time.sleep(inject_sleep_seconds)
+            latencies.append(time.perf_counter() - query_started)
+    wall_seconds = time.perf_counter() - wall_started
+    evaluated = len(latencies)
+
+    document = BenchDocument(
+        "quick",
+        meta=standard_meta(
+            {
+                "workload": {
+                    "families": families,
+                    "family_size": family_size,
+                    "background": background,
+                    "mean_length": mean_length,
+                    "num_queries": num_queries,
+                    "query_length": query_length,
+                    "seed": seed,
+                    "repeat": max(1, repeat),
+                    "cutoff": cutoff,
+                    "decode_cache": cache_entries,
+                },
+                "inject_sleep_seconds": inject_sleep_seconds,
+            }
+        ),
+    )
+    document.add("quick.build_seconds", build_seconds, "s", "lower")
+    document.add(
+        "quick.query_ms_mean", statistics.mean(latencies) * 1000.0, "ms"
+    )
+    document.add("quick.query_ms_max", max(latencies) * 1000.0, "ms")
+    document.add(
+        "quick.throughput_qps",
+        evaluated / wall_seconds if wall_seconds > 0 else 0.0,
+        "q/s",
+        "higher",
+    )
+    snapshot = snapshot_from_instruments(
+        instruments, queries=evaluated, wall_seconds=wall_seconds
+    )
+    for name, phase in sorted(snapshot.phases.items()):
+        prefix = "quick." + name.removesuffix("_seconds")
+        document.add(prefix + ".p50_ms", phase["p50_ms"], "ms")
+        document.add(prefix + ".p99_ms", phase["p99_ms"], "ms")
+    hit_rate = snapshot.decode_cache.get("hit_rate")
+    if hit_rate is not None:
+        document.add("quick.decode_cache_hit_rate", hit_rate, "", "higher")
+    document.add("quick.queries", evaluated, "", "info")
+    document.add(
+        "quick.sequences", len(collection.sequences), "", "info"
+    )
+    document.add(
+        "quick.total_bases", collection.total_bases, "", "info"
+    )
+    return document
+
+
+def run_experiments(names) -> BenchDocument:
+    """Run harness experiments and flatten their tables into one doc."""
+    harness = _load_benchmarks(module="harness")
+    requested = [str(name).upper() for name in names]
+    unknown = [name for name in requested if name not in harness.EXPERIMENTS]
+    if unknown:
+        raise ReproError(
+            f"unknown experiment(s) {unknown}; "
+            f"known: {sorted(harness.EXPERIMENTS)}"
+        )
+    document = BenchDocument(
+        "experiments", meta=standard_meta({"experiments": requested})
+    )
+    for name in requested:
+        table = harness.EXPERIMENTS[name]()
+        flatten_table(table, document)
+    return document
+
+
+def run_shard_sweep(
+    shard_counts=(1, 2, 4),
+    workers: int = 4,
+    num_sequences: int = 400,
+    num_queries: int = 6,
+    raw_output: str | Path | None = None,
+) -> BenchDocument:
+    """The shard-scaling sweep as a canonical document.
+
+    ``raw_output`` optionally keeps the sweep's native JSON next to the
+    canonical one (the perf-trajectory tooling reads the native form).
+    Build speedup is recorded as ``info``: it is bounded by the cores
+    the host actually has, so gating on it would flag every smaller CI
+    machine.  Hit-for-hit parity with the one-shard baseline *is*
+    gated — it is a correctness property, not a timing.
+    """
+    import tempfile
+
+    sweep = _load_benchmarks(module="bench_e3_scaling")
+    cleanup = None
+    if raw_output is None:
+        handle = tempfile.NamedTemporaryFile(
+            suffix=".json", delete=False
+        )
+        handle.close()
+        raw_output = cleanup = Path(handle.name)
+    try:
+        native = sweep.run_shard_sweep(
+            list(shard_counts), workers, num_sequences, num_queries,
+            str(raw_output),
+        )
+    finally:
+        if cleanup is not None:
+            cleanup.unlink(missing_ok=True)
+    document = BenchDocument(
+        "shard_sweep",
+        meta=standard_meta(
+            {
+                "workers": workers,
+                "sequences": native["collection_sequences"],
+                "queries": native["queries"],
+                "cpu_count": native.get("cpu_count"),
+            }
+        ),
+    )
+    multi_key = f"build_seconds_{workers}_workers"
+    for row in native["results"]:
+        prefix = f"shards{row['shards']}"
+        document.add(
+            f"{prefix}.build_seconds_1_worker",
+            row["build_seconds_1_worker"], "s", "lower",
+        )
+        document.add(
+            f"{prefix}.build_seconds_parallel", row[multi_key], "s", "lower"
+        )
+        document.add(
+            f"{prefix}.build_speedup", row["build_speedup"], "x", "info"
+        )
+        document.add(
+            f"{prefix}.query_ms_mean",
+            row["query_seconds_mean"] * 1000.0, "ms", "lower",
+        )
+        document.add(
+            f"{prefix}.parity",
+            1.0 if row["parity_with_one_shard"] else 0.0, "", "higher",
+        )
+    return document

@@ -1,0 +1,194 @@
+"""The canonical benchmark artifact: one schema for every BENCH file.
+
+Every benchmark producer — the quick synthetic suite, the E1–E8
+experiment tables, the shard sweep — emits a :class:`BenchDocument`:
+
+.. code-block:: json
+
+    {
+      "schema": "repro.bench/v1",
+      "suite": "quick",
+      "meta": {"git_rev": "...", "machine": {"python": "3.12", ...}},
+      "metrics": {
+        "quick.query_ms_mean": {"value": 4.2, "unit": "ms",
+                                 "direction": "lower"}
+      }
+    }
+
+``direction`` declares which way is better — ``"lower"`` (latencies,
+sizes), ``"higher"`` (throughput, recall, speedups), or ``"info"``
+(environment facts the regression gate must not gate on).  The compare
+layer reads nothing but this document, so any producer that emits it
+plugs into ``repro bench --compare`` for free.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ReproError
+
+#: Format marker for canonical benchmark documents.
+SCHEMA = "repro.bench/v1"
+
+#: Allowed better-directions for a metric.
+DIRECTIONS = ("lower", "higher", "info")
+
+
+def metric(
+    value: float, unit: str = "", direction: str = "lower"
+) -> dict:
+    """One canonical metric entry (validated).
+
+    Args:
+        value: the measurement.
+        unit: free-form unit label ("ms", "bytes", "q/s", ...).
+        direction: which way is better; ``"info"`` exempts the metric
+            from regression gating.
+    """
+    if direction not in DIRECTIONS:
+        raise ReproError(
+            f"unknown metric direction {direction!r}; expected one of "
+            f"{DIRECTIONS}"
+        )
+    return {"value": float(value), "unit": unit, "direction": direction}
+
+
+def machine_metadata() -> dict:
+    """Where this benchmark ran: interpreter, platform, core count."""
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dep
+        numpy_version = None
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "numpy": numpy_version,
+    }
+
+
+def git_revision(root: str | Path | None = None) -> str | None:
+    """The repo's HEAD commit, or None outside a git checkout."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(root) if root is not None else None,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if completed.returncode != 0:
+        return None
+    return completed.stdout.strip() or None
+
+
+@dataclass
+class BenchDocument:
+    """A canonical benchmark artifact (see module docstring).
+
+    Attributes:
+        suite: which producer made it ("quick", "experiments",
+            "shard_sweep", ...).
+        meta: machine metadata, git revision, workload parameters.
+        metrics: name → ``{"value", "unit", "direction"}`` entries.
+    """
+
+    suite: str
+    meta: dict = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
+    schema: str = SCHEMA
+
+    def add(
+        self,
+        name: str,
+        value: float,
+        unit: str = "",
+        direction: str = "lower",
+    ) -> None:
+        self.metrics[name] = metric(value, unit, direction)
+
+    def value(self, name: str) -> float:
+        """A metric's value (KeyError when absent)."""
+        return float(self.metrics[name]["value"])
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": self.schema,
+            "suite": self.suite,
+            "meta": self.meta,
+            "metrics": self.metrics,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BenchDocument":
+        schema = data.get("schema")
+        if schema != SCHEMA:
+            raise ReproError(
+                f"not a canonical benchmark document (schema {schema!r}, "
+                f"expected {SCHEMA!r})"
+            )
+        return cls(
+            suite=str(data.get("suite", "")),
+            meta=dict(data.get("meta", {})),
+            metrics=dict(data.get("metrics", {})),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "BenchDocument":
+        return cls.from_dict(json.loads(text))
+
+    def write(self, path: str | Path) -> Path:
+        target = Path(path)
+        target.write_text(self.to_json() + "\n")
+        return target
+
+    @classmethod
+    def load(cls, path: str | Path) -> "BenchDocument":
+        path = Path(path)
+        try:
+            return cls.from_json(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"{path}: not valid JSON ({exc})") from exc
+
+    def describe(self) -> str:
+        """Aligned name/value/unit rows for terminal output."""
+        lines = [f"suite: {self.suite}"]
+        rev = self.meta.get("git_rev")
+        if rev:
+            lines.append(f"git:   {rev[:12]}")
+        width = max((len(name) for name in self.metrics), default=0)
+        for name in sorted(self.metrics):
+            entry = self.metrics[name]
+            value = entry["value"]
+            rendered = (
+                f"{value:.3f}" if abs(value) < 1000 else f"{value:,.0f}"
+            )
+            lines.append(
+                f"  {name:<{width}}  {rendered:>12} {entry.get('unit', '')}"
+            )
+        return "\n".join(lines)
+
+
+def standard_meta(extra: dict | None = None) -> dict:
+    """machine + git metadata every producer stamps on its document."""
+    meta = {
+        "machine": machine_metadata(),
+        "git_rev": git_revision(),
+    }
+    meta.update(extra or {})
+    return meta

@@ -8,6 +8,7 @@ Subcommands mirror the life cycle of the paper's system::
     repro stats     — print index size statistics
     repro search    — evaluate FASTA queries against an on-disk index
     repro profile   — profile a query workload, write BENCH_profile.json
+    repro bench     — run a benchmark suite / gate against a baseline
     repro align     — pretty-print the local alignment of two sequences
     repro verify    — audit a database directory's integrity
     repro repair    — rebuild a database's index from its store
@@ -96,7 +97,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _print_instrumentation(instruments, queries: int, wall: float) -> None:
-    """The ``--stats`` tail: phases, cache, quarantine, counters."""
+    """The ``--stats`` tail: phases, cache, quarantine, counters, spans."""
+    from repro.instrumentation.export import format_span_tree
     from repro.instrumentation.profiling import snapshot_from_instruments
 
     snapshot = snapshot_from_instruments(
@@ -106,6 +108,10 @@ def _print_instrumentation(instruments, queries: int, wall: float) -> None:
     print(snapshot.describe())
     for name, value in sorted(snapshot.counters.items()):
         print(f"counter {name:<38} {value}")
+    tree = format_span_tree(instruments.tracer)
+    if tree:
+        print("--- spans ---")
+        print(tree)
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
@@ -115,46 +121,157 @@ def _cmd_search(args: argparse.Namespace) -> int:
 
         significance = calibrate_gapped(ScoringScheme())
     instruments = None
-    if args.stats:
+    eventlog = None
+    wants_instruments = (
+        args.stats
+        or args.trace_out is not None
+        or args.metrics_out is not None
+        or args.eventlog is not None
+    )
+    if wants_instruments:
         from repro.instrumentation.instruments import Instruments
 
-        instruments = Instruments()
-    with read_index(args.index) as index, read_store(args.store) as store:
-        engine = PartitionedSearchEngine(
-            index,
-            store,
-            coarse_scorer=args.scorer,
-            coarse_cutoff=args.cutoff,
-            fine_mode=args.fine_mode,
-            both_strands=args.both_strands,
-            significance=significance,
-            instruments=instruments,
-        )
-        evaluated = 0
-        started = time.perf_counter()
-        for query in read_fasta(args.queries):
-            report = engine.search(query, top_k=args.top)
-            evaluated += 1
-            print(
-                f"query {report.query_identifier}: "
-                f"{len(report.hits)} answers, "
-                f"{report.candidates_examined} candidates, "
-                f"{report.total_seconds * 1000:.1f} ms"
+        if args.eventlog is not None:
+            from repro.instrumentation.eventlog import QueryEventLog
+
+            eventlog = QueryEventLog(
+                args.eventlog,
+                sample_every=args.eventlog_sample,
+                slow_seconds=(
+                    args.slow_ms / 1000.0 if args.slow_ms is not None else None
+                ),
             )
-            for rank, hit in enumerate(report.hits, start=1):
-                line = (
-                    f"  {rank:2d}. {hit.identifier:<20} "
-                    f"score={hit.score:<6d} coarse={hit.coarse_score:.1f}"
+        instruments = Instruments(eventlog=eventlog)
+    try:
+        with read_index(args.index) as index, read_store(args.store) as store:
+            engine = PartitionedSearchEngine(
+                index,
+                store,
+                coarse_scorer=args.scorer,
+                coarse_cutoff=args.cutoff,
+                fine_mode=args.fine_mode,
+                both_strands=args.both_strands,
+                significance=significance,
+                instruments=instruments,
+            )
+            evaluated = 0
+            started = time.perf_counter()
+            for query in read_fasta(args.queries):
+                report = engine.search(query, top_k=args.top)
+                evaluated += 1
+                print(
+                    f"query {report.query_identifier}: "
+                    f"{len(report.hits)} answers, "
+                    f"{report.candidates_examined} candidates, "
+                    f"{report.total_seconds * 1000:.1f} ms"
                 )
-                if args.both_strands:
-                    line += f" strand={hit.strand}"
-                if hit.evalue is not None:
-                    line += f" evalue={hit.evalue:.2e}"
-                print(line)
-        if instruments is not None:
-            _print_instrumentation(
-                instruments, evaluated, time.perf_counter() - started
+                for rank, hit in enumerate(report.hits, start=1):
+                    line = (
+                        f"  {rank:2d}. {hit.identifier:<20} "
+                        f"score={hit.score:<6d} coarse={hit.coarse_score:.1f}"
+                    )
+                    if args.both_strands:
+                        line += f" strand={hit.strand}"
+                    if hit.evalue is not None:
+                        line += f" evalue={hit.evalue:.2e}"
+                    print(line)
+            if args.stats and instruments is not None:
+                _print_instrumentation(
+                    instruments, evaluated, time.perf_counter() - started
+                )
+            if args.metrics_out is not None:
+                from repro.instrumentation.export import write_metrics
+
+                target = write_metrics(
+                    instruments.metrics,
+                    args.metrics_out,
+                    meta={"queries": evaluated},
+                )
+                print(f"wrote metrics -> {target}")
+            if args.trace_out is not None:
+                from repro.instrumentation.export import write_trace
+
+                target = write_trace(
+                    instruments.tracer,
+                    args.trace_out,
+                    meta={"queries": evaluated},
+                )
+                print(f"wrote trace -> {target}")
+            if eventlog is not None:
+                print(
+                    f"event log: {eventlog.written}/{eventlog.seen} "
+                    f"queries logged -> {args.eventlog}"
+                )
+    finally:
+        if eventlog is not None:
+            eventlog.close()
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import BenchDocument, compare_documents
+    from repro.bench.compare import parse_threshold_overrides
+
+    if args.compare:
+        baseline_path, current_path = args.compare
+        baseline = BenchDocument.load(baseline_path)
+        current = BenchDocument.load(current_path)
+        try:
+            overrides = parse_threshold_overrides(args.threshold_for or [])
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        report = compare_documents(
+            baseline,
+            current,
+            default_threshold=args.threshold,
+            thresholds=overrides,
+            noise_floor=args.noise_floor,
+        )
+        for entry in report.comparisons:
+            print(entry.describe())
+        for name in report.missing_in_current:
+            print(f"{name}: present in baseline, missing from current")
+        print(report.summary())
+        if not report.ok:
+            print(
+                f"FAIL: {len(report.regressions)} metric(s) regressed "
+                f"beyond the {args.threshold:g}x threshold"
             )
+            return 1
+        print("PASS: no regressions")
+        return 0
+
+    from repro.bench import run_experiments, run_quick, run_shard_sweep
+
+    sleep_seconds = (args.inject_sleep_ms or 0.0) / 1000.0
+    if args.suite == "quick":
+        document = run_quick(
+            num_queries=args.num_queries,
+            repeat=args.repeat,
+            seed=args.seed,
+            inject_sleep_seconds=sleep_seconds,
+        )
+        default_output = Path("BENCH_quick.json")
+    elif args.suite == "shards":
+        document = run_shard_sweep(
+            shard_counts=args.shards,
+            workers=args.workers,
+            num_sequences=args.sequences,
+            num_queries=args.num_queries,
+        )
+        default_output = Path("BENCH_shards.json")
+    else:
+        names = args.experiments or ["E3"]
+        document = run_experiments(names)
+        default_output = Path(
+            f"BENCH_{names[0].lower()}.json"
+            if len(names) == 1
+            else "BENCH_experiments.json"
+        )
+    target = document.write(args.output or default_output)
+    print(document.describe())
+    print(f"wrote benchmark document -> {target}")
     return 0
 
 
@@ -432,10 +549,80 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument(
         "--stats",
         action="store_true",
-        help="print instrumentation counters and phase latencies after "
-        "the workload",
+        help="print instrumentation counters, phase latencies and the "
+        "captured span tree after the workload",
+    )
+    search.add_argument(
+        "--metrics-out", type=Path, default=None, metavar="FILE",
+        help="export the metrics registry after the workload "
+        "(.json -> JSON snapshot, anything else -> Prometheus text)",
+    )
+    search.add_argument(
+        "--trace-out", type=Path, default=None, metavar="FILE",
+        help="export captured spans as Chrome trace-event JSON "
+        "(loadable in Perfetto / chrome://tracing)",
+    )
+    search.add_argument(
+        "--eventlog", type=Path, default=None, metavar="FILE",
+        help="append one JSONL record per evaluated query to FILE",
+    )
+    search.add_argument(
+        "--eventlog-sample", type=int, default=1, metavar="N",
+        help="log every Nth query (slow queries are always logged)",
+    )
+    search.add_argument(
+        "--slow-ms", type=float, default=None, metavar="MS",
+        help="queries at or above this latency bypass event-log sampling",
     )
     search.set_defaults(handler=_cmd_search)
+
+    bench = commands.add_parser(
+        "bench",
+        help="run a benchmark suite to a canonical BENCH_*.json, or "
+        "gate one document against a baseline",
+    )
+    bench.add_argument(
+        "--suite", choices=("quick", "shards", "experiments"),
+        default="quick",
+        help="which producer to run (ignored with --compare)",
+    )
+    bench.add_argument(
+        "--experiments", nargs="+", default=None, metavar="NAME",
+        help="harness experiments for --suite experiments (e.g. E3 E4)",
+    )
+    bench.add_argument("-o", "--output", type=Path, default=None)
+    bench.add_argument(
+        "--compare", nargs=2, metavar=("BASELINE", "CURRENT"),
+        default=None,
+        help="compare two canonical documents; exit 1 on any regression",
+    )
+    bench.add_argument(
+        "--threshold", type=float, default=1.5, metavar="RATIO",
+        help="default tolerated current/baseline ratio (--compare)",
+    )
+    bench.add_argument(
+        "--threshold-for", action="append", default=None,
+        metavar="NAME=RATIO",
+        help="per-metric (or name-prefix) threshold override; repeatable",
+    )
+    bench.add_argument(
+        "--noise-floor", type=float, default=0.05, metavar="VALUE",
+        help="skip metrics below this value in both documents",
+    )
+    bench.add_argument("--num-queries", type=int, default=8)
+    bench.add_argument("--repeat", type=int, default=2)
+    bench.add_argument("--seed", type=int, default=1)
+    bench.add_argument(
+        "--shards", type=int, nargs="+", default=[1, 2, 4],
+        help="shard counts for --suite shards",
+    )
+    bench.add_argument("--workers", type=int, default=4)
+    bench.add_argument("--sequences", type=int, default=400)
+    bench.add_argument(
+        "--inject-sleep-ms", type=float, default=None,
+        help=argparse.SUPPRESS,
+    )
+    bench.set_defaults(handler=_cmd_bench)
 
     profile = commands.add_parser(
         "profile",

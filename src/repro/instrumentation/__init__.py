@@ -11,6 +11,21 @@ Two halves live here:
   for durability tests (:mod:`repro.instrumentation.faults`).
 """
 
+from repro.instrumentation.eventlog import (
+    QueryEventLog,
+    options_digest,
+    read_events,
+)
+from repro.instrumentation.export import (
+    format_span_tree,
+    metrics_json,
+    parse_prometheus_text,
+    prometheus_text,
+    trace_event_json,
+    trace_events,
+    write_metrics,
+    write_trace,
+)
 from repro.instrumentation.faults import (
     FaultReport,
     SimulatedCrash,
@@ -55,6 +70,7 @@ __all__ = [
     "NullMetricsRegistry",
     "NullTracer",
     "ProfileSnapshot",
+    "QueryEventLog",
     "SimulatedCrash",
     "Span",
     "Tracer",
@@ -63,10 +79,19 @@ __all__ = [
     "crash_on_fsync",
     "flip_bit",
     "flip_byte",
+    "format_span_tree",
     "index_sections",
+    "metrics_json",
+    "options_digest",
+    "parse_prometheus_text",
     "profile_search",
+    "prometheus_text",
+    "read_events",
     "snapshot_from_instruments",
     "store_sections",
-    "truncate_at",
+    "trace_event_json",
+    "trace_events",
+    "write_metrics",
+    "write_trace",
     "zero_page",
 ]

@@ -1,0 +1,280 @@
+"""Telemetry exporters: ship metrics and traces off-box.
+
+Three exposition formats over the in-process observability state:
+
+* **Prometheus text** (:func:`prometheus_text`) — the registry's
+  counters, gauges, and histograms in the text exposition format a
+  Prometheus scrape endpoint (or ``promtool``) consumes.  Histograms
+  emit cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count``.
+* **JSON snapshot** (:func:`metrics_json`) — the registry's
+  :meth:`~repro.instrumentation.metrics.MetricsRegistry.snapshot`
+  wrapped in a schema-versioned envelope, for ad-hoc collectors.
+* **Chrome trace events** (:func:`trace_events` /
+  :func:`trace_event_json`) — the tracer's finished span trees as
+  ``chrome://tracing`` / Perfetto-loadable complete events (``"ph":
+  "X"``), one event per span with annotations carried in ``args``.
+
+:func:`write_metrics` picks the metrics format from the file suffix
+(``.json`` → JSON envelope, anything else → Prometheus text), which is
+what ``repro search --metrics-out`` calls; ``--trace-out`` calls
+:func:`write_trace`.  :func:`format_span_tree` renders the span forest
+depth-indented for terminal output (``repro search --stats``).
+
+A tiny parser (:func:`parse_prometheus_text`) reads the exposition
+format back into ``{family: {labels-tuple: value}}`` so tests can pin
+the round trip without a Prometheus client dependency.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from pathlib import Path
+
+from repro.instrumentation.metrics import (
+    LOG_BUCKET_BOUNDS,
+    MetricsRegistry,
+)
+from repro.instrumentation.tracing import Span, Tracer
+
+#: Schema marker for the JSON metrics envelope.
+METRICS_SCHEMA = "repro.metrics/v1"
+
+#: Sanitises metric names for Prometheus (dots and brackets become
+#: underscores; ``shard[3].fine`` → ``shard_3_fine``).
+_INVALID_METRIC_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    sanitised = _INVALID_METRIC_CHARS.sub("_", name)
+    sanitised = re.sub(r"_+", "_", sanitised).strip("_")
+    if not sanitised or sanitised[0].isdigit():
+        sanitised = "m_" + sanitised
+    return sanitised
+
+
+def _prom_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(
+    registry: MetricsRegistry, prefix: str = "repro"
+) -> str:
+    """The registry in the Prometheus text exposition format.
+
+    Counters become ``<prefix>_<name>_total``, gauges plain gauges,
+    histograms cumulative-bucket histograms over the registry's shared
+    log-scale bounds (only non-empty buckets are emitted, plus the
+    mandatory ``le="+Inf"``).
+
+    Args:
+        registry: the metrics registry to expose.
+        prefix: namespace prepended to every family name.
+    """
+    snapshot = registry.snapshot()
+    lines: list[str] = []
+
+    for name, value in snapshot["counters"].items():
+        family = f"{prefix}_{_prom_name(name)}_total"
+        lines.append(f"# TYPE {family} counter")
+        lines.append(f"{family} {_prom_value(value)}")
+
+    for name, value in snapshot["gauges"].items():
+        family = f"{prefix}_{_prom_name(name)}"
+        lines.append(f"# TYPE {family} gauge")
+        lines.append(f"{family} {_prom_value(value)}")
+
+    for name, histogram in registry._histograms.items():
+        family = f"{prefix}_{_prom_name(name)}"
+        lines.append(f"# TYPE {family} histogram")
+        cumulative = 0
+        for slot, bucket_count in enumerate(histogram.buckets):
+            cumulative += bucket_count
+            if slot < len(LOG_BUCKET_BOUNDS):
+                if bucket_count == 0:
+                    continue
+                bound = _prom_value(LOG_BUCKET_BOUNDS[slot])
+                lines.append(
+                    f'{family}_bucket{{le="{bound}"}} {cumulative}'
+                )
+        lines.append(f'{family}_bucket{{le="+Inf"}} {histogram.count}')
+        lines.append(f"{family}_sum {_prom_value(histogram.total)}")
+        lines.append(f"{family}_count {histogram.count}")
+
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+_SAMPLE_LINE = re.compile(
+    r"^(?P<family>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)$"
+)
+
+
+def parse_prometheus_text(text: str) -> dict[str, dict[tuple, float]]:
+    """Parse the exposition format back into nested dicts.
+
+    Returns ``{family: {labels: value}}`` where ``labels`` is a sorted
+    tuple of ``(key, value)`` pairs (empty tuple for unlabelled
+    samples).  Comments and blank lines are skipped.  Raises
+    ``ValueError`` on a malformed sample line, so tests double as a
+    format check.
+    """
+    families: dict[str, dict[tuple, float]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise ValueError(f"malformed exposition line: {line!r}")
+        labels: list[tuple[str, str]] = []
+        raw = match.group("labels")
+        if raw:
+            for pair in raw.split(","):
+                key, _, value = pair.partition("=")
+                labels.append((key.strip(), value.strip().strip('"')))
+        value_text = match.group("value")
+        value = {
+            "+Inf": math.inf, "-Inf": -math.inf, "NaN": math.nan
+        }.get(value_text)
+        if value is None:
+            value = float(value_text)
+        families.setdefault(match.group("family"), {})[
+            tuple(sorted(labels))
+        ] = value
+    return families
+
+
+def metrics_json(
+    registry: MetricsRegistry, meta: dict | None = None
+) -> dict:
+    """The registry snapshot in a schema-versioned JSON envelope."""
+    document = {"schema": METRICS_SCHEMA, "meta": dict(meta or {})}
+    document.update(registry.snapshot())
+    return document
+
+
+def write_metrics(
+    registry: MetricsRegistry,
+    path: str | Path,
+    meta: dict | None = None,
+) -> Path:
+    """Write the registry to ``path``; the suffix picks the format.
+
+    ``.json`` writes the JSON envelope, anything else (``.prom``,
+    ``.txt``, no suffix) the Prometheus text exposition.
+    """
+    target = Path(path)
+    if target.suffix == ".json":
+        target.write_text(
+            json.dumps(metrics_json(registry, meta), indent=2, sort_keys=True)
+            + "\n"
+        )
+    else:
+        target.write_text(prometheus_text(registry))
+    return target
+
+
+# -- Chrome trace events ------------------------------------------------
+
+
+def _span_events(
+    span: Span, pid: int, tid: int, events: list[dict]
+) -> None:
+    event = {
+        "name": span.name,
+        "ph": "X",
+        "ts": span.started * 1e6,
+        "dur": max(0.0, span.seconds) * 1e6,
+        "pid": pid,
+        "tid": tid,
+        "cat": "repro",
+    }
+    if span.annotations:
+        event["args"] = dict(span.annotations)
+    events.append(event)
+    for child in span.children:
+        _span_events(child, pid, tid, events)
+
+
+def trace_events(tracer: Tracer, pid: int = 1) -> list[dict]:
+    """The tracer's span forest as Chrome complete events.
+
+    Every span becomes one ``"ph": "X"`` event whose ``ts``/``dur``
+    are microseconds on the ``perf_counter`` clock; children nest
+    inside their parent's interval, which is how ``chrome://tracing``
+    and Perfetto reconstruct the hierarchy.  Each root tree gets its
+    own ``tid`` so concurrent queries render as parallel tracks.
+    """
+    events: list[dict] = []
+    for tid, root in enumerate(tracer.roots, start=1):
+        _span_events(root, pid, tid, events)
+    return events
+
+
+def trace_event_json(tracer: Tracer, meta: dict | None = None) -> str:
+    """A complete Chrome trace JSON document for the tracer."""
+    document = {
+        "traceEvents": trace_events(tracer),
+        "displayTimeUnit": "ms",
+        "otherData": dict(meta or {}),
+    }
+    return json.dumps(document, indent=2)
+
+
+def write_trace(
+    tracer: Tracer, path: str | Path, meta: dict | None = None
+) -> Path:
+    """Write the tracer's spans as a Chrome trace file."""
+    target = Path(path)
+    target.write_text(trace_event_json(tracer, meta) + "\n")
+    return target
+
+
+# -- terminal rendering -------------------------------------------------
+
+
+def format_span_tree(tracer: Tracer, limit_roots: int = 50) -> str:
+    """The span forest depth-indented for terminal output.
+
+    Each line shows the span name, wall-clock milliseconds, and any
+    annotations; at most ``limit_roots`` most-recent roots render (a
+    long workload would otherwise flood the terminal), with a header
+    noting elision and the tracer's drop count when non-zero.
+    """
+    lines: list[str] = []
+    roots = tracer.roots
+    shown = roots[-limit_roots:] if limit_roots else roots
+    elided = len(roots) - len(shown)
+    if elided > 0:
+        lines.append(f"... {elided} earlier span tree(s) elided ...")
+    if tracer.dropped:
+        lines.append(
+            f"... {tracer.dropped} span tree(s) dropped at the "
+            f"max_roots={tracer.max_roots} bound ..."
+        )
+
+    def visit(span: Span, depth: int) -> None:
+        text = f"{'  ' * depth}{span.name:<{max(2, 24 - 2 * depth)}} "
+        text += f"{span.seconds * 1000:8.2f} ms"
+        if span.annotations:
+            notes = ", ".join(
+                f"{key}={value:g}"
+                for key, value in sorted(span.annotations.items())
+            )
+            text += f"  [{notes}]"
+        lines.append(text)
+        for child in span.children:
+            visit(child, depth + 1)
+
+    for root in shown:
+        visit(root, 0)
+    return "\n".join(lines)

@@ -20,6 +20,7 @@ and the coarse ranker it owns)::
 
 from __future__ import annotations
 
+from repro.instrumentation.eventlog import QueryEventLog
 from repro.instrumentation.metrics import (
     NULL_METRICS,
     MetricsRegistry,
@@ -34,7 +35,8 @@ from repro.instrumentation.tracing import (
 
 
 class Instruments:
-    """A metrics registry and a tracer behind one small API."""
+    """A metrics registry, a tracer, and an optional query event log
+    behind one small API."""
 
     enabled = True
 
@@ -42,9 +44,11 @@ class Instruments:
         self,
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        eventlog: QueryEventLog | None = None,
     ) -> None:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer()
+        self.eventlog = eventlog
 
     def count(self, name: str, amount: int = 1) -> None:
         self.metrics.count(name, amount)
@@ -57,6 +61,16 @@ class Instruments:
 
     def span(self, name: str):
         return self.tracer.span(name)
+
+    def emit_event(self, event: dict) -> None:
+        """Offer a per-query event to the attached log (if any)."""
+        if self.eventlog is not None:
+            self.eventlog.emit(event)
+
+    @property
+    def wants_events(self) -> bool:
+        """True when building an event dict is worth the allocation."""
+        return self.eventlog is not None
 
     def reset(self) -> None:
         self.metrics.reset()
@@ -71,6 +85,7 @@ class NullInstruments(Instruments):
     def __init__(self) -> None:
         self.metrics = NULL_METRICS
         self.tracer = NULL_TRACER
+        self.eventlog = None
 
     def count(self, name: str, amount: int = 1) -> None:
         pass
@@ -83,6 +98,11 @@ class NullInstruments(Instruments):
 
     def span(self, name: str):
         return _NULL_SPAN_CONTEXT
+
+    def emit_event(self, event: dict) -> None:
+        pass
+
+    wants_events = False
 
     def reset(self) -> None:
         pass

@@ -29,35 +29,51 @@ LOG_BUCKET_BOUNDS: tuple[float, ...] = tuple(
 
 
 class Counter:
-    """A monotonically increasing integer."""
+    """A monotonically increasing integer.
 
-    __slots__ = ("name", "value")
+    Mutation is locked: worker threads driving a concurrent
+    ``search_batch`` all bump the same counters, and an unlocked
+    read-modify-write would silently lose increments.
+    """
+
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0
+        self._lock = Lock()
 
     def add(self, amount: int = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
     """A point-in-time float (last write wins)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0.0
+        self._lock = Lock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
 
 class Histogram:
-    """A log-scale-bucketed distribution of non-negative floats."""
+    """A log-scale-bucketed distribution of non-negative floats.
 
-    __slots__ = ("name", "buckets", "count", "total", "minimum", "maximum")
+    ``observe`` locks the whole multi-field update so concurrent
+    observers can never leave ``count``/``total``/bucket tallies
+    disagreeing with each other.
+    """
+
+    __slots__ = (
+        "name", "buckets", "count", "total", "minimum", "maximum", "_lock"
+    )
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -66,15 +82,17 @@ class Histogram:
         self.total = 0.0
         self.minimum = math.inf
         self.maximum = 0.0
+        self._lock = Lock()
 
     def observe(self, value: float) -> None:
-        self.buckets[bisect_left(LOG_BUCKET_BOUNDS, value)] += 1
-        self.count += 1
-        self.total += value
-        if value < self.minimum:
-            self.minimum = value
-        if value > self.maximum:
-            self.maximum = value
+        with self._lock:
+            self.buckets[bisect_left(LOG_BUCKET_BOUNDS, value)] += 1
+            self.count += 1
+            self.total += value
+            if value < self.minimum:
+                self.minimum = value
+            if value > self.maximum:
+                self.maximum = value
 
     @property
     def mean(self) -> float:
@@ -120,9 +138,11 @@ class Histogram:
 class MetricsRegistry:
     """Named counters, gauges, and histograms, created on first use.
 
-    Thread safety: instrument *creation* is locked; updates on the
-    returned objects are plain attribute bumps (safe enough for CPython
-    counters, and instrumentation tolerates rare races by design).
+    Thread safety: instrument *creation* is locked, and every
+    instrument locks its own mutation, so concurrent workers (threaded
+    ``search_batch``) never lose updates.  Reads take no lock — a
+    snapshot racing a writer sees a consistent per-instrument state at
+    worst one observation behind.
     """
 
     enabled = True

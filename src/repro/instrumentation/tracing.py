@@ -17,6 +17,7 @@ uninstrumented ``with tracer.span(...)`` allocates nothing.
 
 from __future__ import annotations
 
+import threading
 import time
 
 
@@ -73,17 +74,33 @@ class _SpanContext:
 class Tracer:
     """Collects span trees; bounded so long services cannot leak.
 
+    The active-span stack is **per thread**: each worker of a threaded
+    ``search_batch`` builds its own correctly-nested tree, and finished
+    roots from every thread land on one shared (locked) list.
+
     Args:
         max_roots: retained finished root spans; older roots are
-            dropped oldest-first once the bound is reached.
+            dropped oldest-first once the bound is reached, and every
+            drop is counted in :attr:`dropped` so a saturated tracer is
+            visible instead of silently lossy.
     """
 
     enabled = True
 
     def __init__(self, max_roots: int = 1024) -> None:
         self.max_roots = max_roots
-        self._stack: list[Span] = []
+        self._local = threading.local()
+        self._roots_lock = threading.Lock()
         self.roots: list[Span] = []
+        #: Finished root spans discarded because ``max_roots`` was hit.
+        self.dropped = 0
+
+    @property
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     def span(self, name: str) -> _SpanContext:
         """A context manager timing one (possibly nested) operation."""
@@ -95,19 +112,23 @@ class Tracer:
 
     def _pop(self, span: Span) -> None:
         span.ended = time.perf_counter()
+        stack = self._stack
         # Tolerate mispaired exits rather than corrupt the tree.
-        if self._stack and self._stack[-1] is span:
-            self._stack.pop()
-        elif span in self._stack:
-            while self._stack and self._stack[-1] is not span:
-                self._stack.pop()
-            self._stack.pop()
-        if self._stack:
-            self._stack[-1].children.append(span)
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:
+            while stack and stack[-1] is not span:
+                stack.pop()
+            stack.pop()
+        if stack:
+            stack[-1].children.append(span)
         else:
-            self.roots.append(span)
-            if len(self.roots) > self.max_roots:
-                del self.roots[: len(self.roots) - self.max_roots]
+            with self._roots_lock:
+                self.roots.append(span)
+                if len(self.roots) > self.max_roots:
+                    excess = len(self.roots) - self.max_roots
+                    del self.roots[:excess]
+                    self.dropped += excess
 
     # -- exports ---------------------------------------------------------
 
@@ -143,7 +164,9 @@ class Tracer:
 
     def reset(self) -> None:
         self._stack.clear()
-        self.roots.clear()
+        with self._roots_lock:
+            self.roots.clear()
+            self.dropped = 0
 
 
 class _NullSpanContext:

@@ -37,6 +37,7 @@ from repro.align.statistics import GumbelParameters
 from repro.errors import CorruptionError, SearchError
 from repro.index.builder import IndexReader, PostingEntry, VocabEntry
 from repro.index.store import SequenceSource
+from repro.instrumentation.eventlog import options_digest
 from repro.instrumentation.instruments import (
     NULL_INSTRUMENTS,
     Instruments,
@@ -225,6 +226,18 @@ class PartitionedSearchEngine:
             self._fine = FineSearcher(source, self.scheme)
             self._frame_ranker = None
             self._frame_fine = None
+        self.options_digest = options_digest(
+            {
+                "engine": "partitioned",
+                "scheme": self.scheme,
+                "coarse_scorer": coarse_scorer,
+                "coarse_cutoff": coarse_cutoff,
+                "min_fine_score": min_fine_score,
+                "fine_mode": fine_mode,
+                "both_strands": both_strands,
+                "on_corruption": on_corruption,
+            }
+        )
         self.instruments = NULL_INSTRUMENTS
         if instruments is not None:
             self.set_instruments(instruments)
@@ -380,6 +393,12 @@ class PartitionedSearchEngine:
                     fine_seconds += reverse_fine
         except CorruptionError as exc:
             if self.on_corruption != "fallback":
+                if instruments.wants_events:
+                    instruments.emit_event(
+                        self._query_event(
+                            identifier, "error", error=str(exc)
+                        )
+                    )
                 raise
             _LOG.warning(
                 "index unusable (%s); answering %r with an exhaustive scan",
@@ -387,7 +406,19 @@ class PartitionedSearchEngine:
                 identifier,
             )
             instruments.count("partitioned.fallback_queries")
-            return self._exhaustive_report(query, top_k)
+            report = self._exhaustive_report(query, top_k)
+            if instruments.wants_events:
+                instruments.emit_event(
+                    self._query_event(
+                        identifier,
+                        "fallback",
+                        candidates=report.candidates_examined,
+                        hits=len(report.hits),
+                        coarse_seconds=report.coarse_seconds,
+                        fine_seconds=report.fine_seconds,
+                    )
+                )
+            return report
         instruments.count("partitioned.queries")
         instruments.count("partitioned.candidates", candidates)
         instruments.observe("partitioned.coarse_seconds", coarse_seconds)
@@ -406,6 +437,17 @@ class PartitionedSearchEngine:
                 )
                 for hit in hits
             ]
+        if instruments.wants_events:
+            instruments.emit_event(
+                self._query_event(
+                    identifier,
+                    "ok",
+                    candidates=candidates,
+                    hits=len(hits[:top_k]),
+                    coarse_seconds=coarse_seconds,
+                    fine_seconds=fine_seconds,
+                )
+            )
         return SearchReport(
             query_identifier=identifier,
             hits=hits[:top_k],
@@ -415,6 +457,34 @@ class PartitionedSearchEngine:
             quarantined_intervals=self.quarantined_intervals,
             quarantined_sequences=len(self._quarantined_sequences),
         )
+
+    def _query_event(
+        self,
+        query_id: str,
+        outcome: str,
+        candidates: int = 0,
+        hits: int = 0,
+        coarse_seconds: float = 0.0,
+        fine_seconds: float = 0.0,
+        **extra,
+    ) -> dict:
+        """One eventlog line's payload (see ``docs/OBSERVABILITY.md``)."""
+        event = {
+            "event": "query",
+            "engine": "partitioned",
+            "query_id": query_id,
+            "options": self.options_digest,
+            "outcome": outcome,
+            "candidates": candidates,
+            "hits": hits,
+            "coarse_seconds": coarse_seconds,
+            "fine_seconds": fine_seconds,
+            "total_seconds": coarse_seconds + fine_seconds,
+            "quarantined_intervals": self.quarantined_intervals,
+            "quarantined_sequences": len(self._quarantined_sequences),
+        }
+        event.update(extra)
+        return event
 
     @property
     def quarantined_intervals(self) -> int:
@@ -470,7 +540,9 @@ class PartitionedSearchEngine:
         Raises:
             SearchError: if ``workers`` < 1.
         """
-        return run_search_batch(self.search, queries, top_k, workers)
+        return run_search_batch(
+            self.search, queries, top_k, workers, self.instruments
+        )
 
 
 def run_search_batch(
@@ -478,12 +550,19 @@ def run_search_batch(
     queries: list[Sequence],
     top_k: int,
     workers: int | None,
+    instruments: Instruments | None = None,
 ) -> list[SearchReport]:
     """Drive a batch through a ``search(query, top_k=...)`` callable.
 
     ``workers`` > 1 fans the queries out over a thread pool; report
     order always matches query order.  Shared by the partitioned and
     sharded engines (and any engine with the same ``search`` shape).
+
+    With instrumentation attached the batch reports ``batch.queries``,
+    the ``batch.workers`` gauge, a ``batch.wall_seconds`` histogram,
+    and per-worker ``batch.worker.<name>.queries`` counters (threaded
+    runs only) — every instrument is mutation-locked, so concurrent
+    workers lose no updates.
 
     Raises:
         SearchError: if ``workers`` < 1.
@@ -492,14 +571,33 @@ def run_search_batch(
         raise SearchError(f"workers must be >= 1, got {workers}")
     if not queries:
         return []
+    instruments = coalesce(instruments)
+    started = time.perf_counter()
     if workers is None or workers == 1 or len(queries) == 1:
-        return [search(query, top_k=top_k) for query in queries]
-    from concurrent.futures import ThreadPoolExecutor
+        reports = [search(query, top_k=top_k) for query in queries]
+        instruments.set_gauge("batch.workers", 1)
+    else:
+        import threading
+        from concurrent.futures import ThreadPoolExecutor
 
-    with ThreadPoolExecutor(max_workers=min(workers, len(queries))) as pool:
-        return list(
-            pool.map(lambda query: search(query, top_k=top_k), queries)
-        )
+        def evaluate(query):
+            report = search(query, top_k=top_k)
+            instruments.count(
+                f"batch.worker.{threading.current_thread().name}.queries"
+            )
+            return report
+
+        pool_size = min(workers, len(queries))
+        instruments.set_gauge("batch.workers", pool_size)
+        with ThreadPoolExecutor(
+            max_workers=pool_size, thread_name_prefix="search-batch"
+        ) as pool:
+            reports = list(pool.map(evaluate, queries))
+    instruments.count("batch.queries", len(queries))
+    instruments.observe(
+        "batch.wall_seconds", time.perf_counter() - started
+    )
+    return reports
 
 
 def _merge_strand_hits(

@@ -42,6 +42,7 @@ from repro.align.statistics import GumbelParameters
 from repro.errors import CorruptionError, SearchError
 from repro.index.builder import IndexReader
 from repro.index.store import SequenceSource
+from repro.instrumentation.eventlog import options_digest
 from repro.instrumentation.instruments import (
     NULL_INSTRUMENTS,
     Instruments,
@@ -214,6 +215,19 @@ class ShardedSearchEngine:
             [source for _, source in shards]
         )
         self._exhaustive = None
+        self.options_digest = options_digest(
+            {
+                "engine": "sharded",
+                "shards": len(self._engines),
+                "scheme": self.scheme,
+                "coarse_scorer": coarse_scorer,
+                "coarse_cutoff": coarse_cutoff,
+                "min_fine_score": min_fine_score,
+                "fine_mode": fine_mode,
+                "both_strands": both_strands,
+                "on_corruption": on_corruption,
+            }
+        )
         self.instruments = NULL_INSTRUMENTS
         if instruments is not None:
             self.set_instruments(instruments)
@@ -262,10 +276,21 @@ class ShardedSearchEngine:
 
     def _evaluate_one_strand(
         self, codes: np.ndarray
-    ) -> tuple[list[SearchHit], int, float, float]:
-        """(globally ranked hits, candidates, coarse s, fine s)."""
+    ) -> tuple[list[SearchHit], int, float, float, list[dict]]:
+        """(globally ranked hits, candidates, coarse s, fine s,
+        per-shard timing/volume breakdown)."""
         instruments = self.instruments
         started = time.perf_counter()
+        shard_detail = [
+            {
+                "shard": slot,
+                "coarse_seconds": 0.0,
+                "fine_seconds": 0.0,
+                "coarse_candidates": 0,
+                "fine_candidates": 0,
+            }
+            for slot in range(len(self._engines))
+        ]
 
         # Fan out: every shard's coarse top-C, already in (score desc,
         # local ordinal asc) order.  rows hold (-score, global ordinal,
@@ -275,8 +300,16 @@ class ShardedSearchEngine:
         with instruments.span("coarse"):
             for slot, engine in enumerate(self._engines):
                 base = self.bases[slot]
-                with instruments.span(f"shard[{slot}].coarse"):
+                shard_started = time.perf_counter()
+                with instruments.span(f"shard[{slot}].coarse") as span:
                     candidates = engine.coarse_rank(codes)
+                    if span is not None:
+                        span.annotate("shard", slot)
+                        span.annotate("candidates", len(candidates))
+                shard_detail[slot]["coarse_seconds"] = (
+                    time.perf_counter() - shard_started
+                )
+                shard_detail[slot]["coarse_candidates"] = len(candidates)
                 instruments.count(
                     f"sharded.shard.{slot}.coarse_candidates",
                     len(candidates),
@@ -286,9 +319,16 @@ class ShardedSearchEngine:
                      slot, candidate)
                     for candidate in candidates
                 )
-            with instruments.span("merge"):
+            with instruments.span("merge") as span:
                 rows.sort(key=lambda row: (row[0], row[1]))
                 selected = rows[: self.coarse_cutoff]
+                if span is not None:
+                    span.annotate("merged_rows", len(rows))
+                    span.annotate("selected", len(selected))
+                    span.annotate(
+                        "shards_contributing",
+                        len({row[2] for row in selected}),
+                    )
         coarse_done = time.perf_counter()
 
         # Fine: each shard aligns its share; hit ordinals shift to
@@ -301,8 +341,17 @@ class ShardedSearchEngine:
             for slot, candidates in by_shard.items():
                 engine = self._engines[slot]
                 base = self.bases[slot]
-                with instruments.span(f"shard[{slot}].fine"):
+                shard_started = time.perf_counter()
+                with instruments.span(f"shard[{slot}].fine") as span:
                     shard_hits = engine.fine_align(codes, candidates)
+                    if span is not None:
+                        span.annotate("shard", slot)
+                        span.annotate("candidates", len(candidates))
+                        span.annotate("hits", len(shard_hits))
+                shard_detail[slot]["fine_seconds"] = (
+                    time.perf_counter() - shard_started
+                )
+                shard_detail[slot]["fine_candidates"] = len(candidates)
                 hits.extend(
                     replace(hit, ordinal=base + hit.ordinal)
                     for hit in shard_hits
@@ -316,6 +365,7 @@ class ShardedSearchEngine:
             len(selected),
             coarse_done - started,
             fine_done - coarse_done,
+            shard_detail,
         )
 
     def search(
@@ -338,7 +388,7 @@ class ShardedSearchEngine:
         instruments = self.instruments
         try:
             with instruments.span("search"):
-                hits, candidates, coarse_seconds, fine_seconds = (
+                hits, candidates, coarse_seconds, fine_seconds, shard_detail = (
                     self._evaluate_one_strand(codes)
                 )
                 if self.both_strands:
@@ -347,13 +397,28 @@ class ShardedSearchEngine:
                         reverse_candidates,
                         reverse_coarse,
                         reverse_fine,
+                        reverse_detail,
                     ) = self._evaluate_one_strand(reverse_complement(codes))
                     hits = _merge_strand_hits(hits, reverse_hits)
                     candidates = candidates + reverse_candidates
                     coarse_seconds += reverse_coarse
                     fine_seconds += reverse_fine
+                    for forward, reverse in zip(shard_detail, reverse_detail):
+                        for key in (
+                            "coarse_seconds",
+                            "fine_seconds",
+                            "coarse_candidates",
+                            "fine_candidates",
+                        ):
+                            forward[key] += reverse[key]
         except CorruptionError as exc:
             if self.on_corruption != "fallback":
+                if instruments.wants_events:
+                    instruments.emit_event(
+                        self._query_event(
+                            identifier, "error", error=str(exc)
+                        )
+                    )
                 raise
             _LOG.warning(
                 "shard unusable (%s); answering %r with an exhaustive "
@@ -362,7 +427,19 @@ class ShardedSearchEngine:
                 identifier,
             )
             instruments.count("sharded.fallback_queries")
-            return self._exhaustive_report(query, top_k)
+            report = self._exhaustive_report(query, top_k)
+            if instruments.wants_events:
+                instruments.emit_event(
+                    self._query_event(
+                        identifier,
+                        "fallback",
+                        candidates=report.candidates_examined,
+                        hits=len(report.hits),
+                        coarse_seconds=report.coarse_seconds,
+                        fine_seconds=report.fine_seconds,
+                    )
+                )
+            return report
         instruments.count("sharded.queries")
         instruments.count("sharded.candidates", candidates)
         instruments.observe("sharded.coarse_seconds", coarse_seconds)
@@ -381,6 +458,18 @@ class ShardedSearchEngine:
                 )
                 for hit in hits
             ]
+        if instruments.wants_events:
+            instruments.emit_event(
+                self._query_event(
+                    identifier,
+                    "ok",
+                    candidates=candidates,
+                    hits=len(hits[:top_k]),
+                    coarse_seconds=coarse_seconds,
+                    fine_seconds=fine_seconds,
+                    shards=shard_detail,
+                )
+            )
         return SearchReport(
             query_identifier=identifier,
             hits=hits[:top_k],
@@ -390,6 +479,35 @@ class ShardedSearchEngine:
             quarantined_intervals=self.quarantined_intervals,
             quarantined_sequences=self.quarantined_sequences,
         )
+
+    def _query_event(
+        self,
+        query_id: str,
+        outcome: str,
+        candidates: int = 0,
+        hits: int = 0,
+        coarse_seconds: float = 0.0,
+        fine_seconds: float = 0.0,
+        **extra,
+    ) -> dict:
+        """One eventlog line's payload, with the per-shard breakdown."""
+        event = {
+            "event": "query",
+            "engine": "sharded",
+            "num_shards": self.num_shards,
+            "query_id": query_id,
+            "options": self.options_digest,
+            "outcome": outcome,
+            "candidates": candidates,
+            "hits": hits,
+            "coarse_seconds": coarse_seconds,
+            "fine_seconds": fine_seconds,
+            "total_seconds": coarse_seconds + fine_seconds,
+            "quarantined_intervals": self.quarantined_intervals,
+            "quarantined_sequences": self.quarantined_sequences,
+        }
+        event.update(extra)
+        return event
 
     def _exhaustive_report(
         self, query: Sequence | np.ndarray, top_k: int
@@ -431,4 +549,6 @@ class ShardedSearchEngine:
         """
         if workers is None:
             workers = self.query_workers
-        return run_search_batch(self.search, queries, top_k, workers)
+        return run_search_batch(
+            self.search, queries, top_k, workers, self.instruments
+        )

@@ -404,3 +404,80 @@ class TestCliProfile:
         out = capsys.readouterr().out
         assert "--- instrumentation ---" in out
         assert "counter partitioned.queries" in out
+
+
+class TestThreadSafety:
+    """The instruments must stay exact under concurrent mutation."""
+
+    def test_counter_concurrent_increments_are_exact(self):
+        import threading
+
+        registry = MetricsRegistry()
+        counter = registry.counter("hits")
+
+        def hammer():
+            for _ in range(10_000):
+                counter.add(1)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.counter_value("hits") == 80_000
+
+    def test_histogram_concurrent_observations_are_exact(self):
+        import threading
+
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat")
+
+        def hammer():
+            for _ in range(5_000):
+                histogram.observe(0.001)
+
+        threads = [threading.Thread(target=hammer) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        summary = registry.snapshot()["histograms"]["lat"]
+        assert summary["count"] == 30_000
+        assert summary["total"] == pytest.approx(30.0, rel=1e-6)
+
+    def test_tracer_span_stacks_are_per_thread(self):
+        import threading
+
+        tracer = Tracer()
+        barrier = threading.Barrier(4)
+
+        def one_tree(number):
+            barrier.wait()
+            with tracer.span(f"root{number}"):
+                with tracer.span(f"child{number}"):
+                    pass
+
+        threads = [
+            threading.Thread(target=one_tree, args=(n,)) for n in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(tracer.roots) == 4
+        for root in tracer.roots:
+            number = root.name.removeprefix("root")
+            assert [child.name for child in root.children] == [
+                f"child{number}"
+            ]
+
+    def test_tracer_drop_counter(self):
+        tracer = Tracer(max_roots=2)
+        for number in range(5):
+            with tracer.span(f"r{number}"):
+                pass
+        assert tracer.dropped == 3
+        assert [root.name for root in tracer.roots] == ["r3", "r4"]
+        tracer.reset()
+        assert tracer.dropped == 0
+        assert tracer.roots == []

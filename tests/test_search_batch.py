@@ -106,3 +106,54 @@ class TestDatabaseSearchBatch:
             singles = [db.search(query, top_k=5) for query in queries]
             assert [_key(report) for report in batch] == \
                 [_key(report) for report in singles]
+
+
+class TestBatchMetrics:
+    """Threaded batches must account for work exactly like sequential."""
+
+    COUNTERS = (
+        "partitioned.queries",
+        "partitioned.candidates",
+        "store.records_fetched",
+        "batch.queries",
+    )
+
+    def _run(self, workers):
+        from repro.instrumentation import Instruments
+
+        records = _records()
+        instruments = Instruments()
+        engine = PartitionedSearchEngine(
+            build_index(records, PARAMS),
+            MemorySequenceSource(records),
+            coarse_cutoff=10,
+            instruments=instruments,
+        )
+        engine.search_batch(_queries(records), top_k=5, workers=workers)
+        return instruments
+
+    def test_parallel_counter_totals_match_sequential(self):
+        sequential = self._run(workers=1)
+        parallel = self._run(workers=4)
+        for name in self.COUNTERS:
+            assert parallel.metrics.counter_value(name) == \
+                sequential.metrics.counter_value(name), name
+
+    def test_per_worker_counts_sum_to_batch_size(self):
+        instruments = self._run(workers=4)
+        counters = instruments.metrics.snapshot()["counters"]
+        per_worker = [
+            value
+            for name, value in counters.items()
+            if name.startswith("batch.worker.")
+        ]
+        assert per_worker
+        assert sum(per_worker) == counters["batch.queries"]
+
+    def test_batch_wall_seconds_observed_once(self):
+        instruments = self._run(workers=4)
+        summary = instruments.metrics.snapshot()["histograms"][
+            "batch.wall_seconds"
+        ]
+        assert summary["count"] == 1
+        assert summary["total"] > 0
