@@ -47,12 +47,16 @@ from repro.index import (
 )
 from repro.search import (
     BlastLikeSearcher,
+    Deadline,
     ExhaustiveSearcher,
     FastaLikeSearcher,
     PartitionedSearchEngine,
+    RetryPolicy,
     SearchHit,
     SearchReport,
+    ShardResilience,
 )
+from repro.serving import SearchServer, ServerConfig
 from repro.sequences import MutationModel, Sequence, read_fasta, write_fasta
 from repro.sharding import (
     ShardedSearchEngine,
@@ -74,6 +78,7 @@ __all__ = [
     "StorageError",
     "VerificationReport",
     "BlastLikeSearcher",
+    "Deadline",
     "DiskIndex",
     "ExhaustiveSearcher",
     "FastaLikeSearcher",
@@ -83,11 +88,15 @@ __all__ = [
     "MutationModel",
     "PartitionedSearchEngine",
     "ReproError",
+    "RetryPolicy",
     "ScoringScheme",
     "SearchHit",
     "SearchReport",
+    "SearchServer",
     "Sequence",
     "SequenceStore",
+    "ServerConfig",
+    "ShardResilience",
     "ShardedSearchEngine",
     "ShardedSequenceSource",
     "WorkloadSpec",

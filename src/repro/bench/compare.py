@@ -90,7 +90,31 @@ class CompareReport:
             parts.append(
                 f"{len(self.missing_in_current)} missing from current"
             )
+        if self.missing_in_baseline:
+            parts.append(
+                f"{len(self.missing_in_baseline)} missing from baseline"
+            )
         return ", ".join(parts)
+
+    def warnings(self) -> list[str]:
+        """Human-readable warnings for metrics the gate could not
+        compare: present in only one of the two documents.
+
+        A renamed or dropped metric would otherwise pass the gate
+        silently — surface it so the change is a deliberate one.
+        """
+        lines = []
+        for name in self.missing_in_current:
+            lines.append(
+                f"warning: {name} is in the baseline but not the current "
+                "document (dropped or renamed?); not gated"
+            )
+        for name in self.missing_in_baseline:
+            lines.append(
+                f"warning: {name} is in the current document but not the "
+                "baseline (new metric?); not gated"
+            )
+        return lines
 
 
 def threshold_for(

@@ -230,8 +230,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
         for entry in report.comparisons:
             print(entry.describe())
-        for name in report.missing_in_current:
-            print(f"{name}: present in baseline, missing from current")
+        for line in report.warnings():
+            print(line, file=sys.stderr)
         print(report.summary())
         if not report.ok:
             print(
@@ -273,6 +273,107 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(document.describe())
     print(f"wrote benchmark document -> {target}")
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.database import Database
+    from repro.instrumentation.instruments import Instruments
+    from repro.search.resilience import RetryPolicy, ShardResilience
+    from repro.serving.server import SearchServer, ServerConfig
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        default_deadline_seconds=(
+            args.deadline_ms / 1000.0 if args.deadline_ms else None
+        ),
+        max_in_flight=args.max_in_flight,
+        queue_limit=args.queue_limit,
+    )
+    with Database.open(args.database) as database:
+        resilience = None
+        if database.num_shards > 1:
+            resilience = ShardResilience(
+                shard_timeout=(
+                    args.shard_timeout_ms / 1000.0
+                    if args.shard_timeout_ms
+                    else None
+                ),
+                retry=RetryPolicy(max_attempts=args.shard_attempts),
+                breaker_failures=args.breaker_failures,
+            )
+        engine = database.engine(
+            both_strands=args.both_strands, resilience=resilience
+        )
+        # A served deployment always gets instruments: /metrics and
+        # /stats are part of the surface, not an opt-in.
+        server = SearchServer(engine, config, instruments=Instruments())
+        server.start()
+        print(f"serving {args.database} on {server.url} (Ctrl-C to stop)")
+        try:
+            while True:
+                time.sleep(3600)
+        except KeyboardInterrupt:
+            print("shutting down")
+        finally:
+            server.stop()
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.serving.loadgen import run_loadgen, run_serving_benchmark
+
+    if args.url:
+        if not args.queries:
+            print(
+                "error: --url mode needs --queries (a FASTA of query "
+                "sequences)",
+                file=sys.stderr,
+            )
+            return 2
+        texts = [record.text for record in read_fasta(args.queries)]
+        result = run_loadgen(
+            args.url,
+            texts,
+            clients=args.clients,
+            duration_seconds=args.duration,
+            mode=args.mode,
+            rate=args.rate,
+            top_k=args.top,
+            deadline_ms=args.deadline_ms,
+        )
+        document = result.to_document({"url": args.url})
+    else:
+        result, document = run_serving_benchmark(
+            shards=args.shards,
+            fault_shard=args.fault_shard,
+            clients=args.clients,
+            duration_seconds=args.duration,
+            mode=args.mode,
+            rate=args.rate,
+            deadline_ms=args.deadline_ms or 500.0,
+            max_in_flight=args.max_in_flight,
+            queue_limit=args.queue_limit,
+        )
+    print(result.summary())
+    target = document.write(args.output or Path("BENCH_serving.json"))
+    print(f"wrote benchmark document -> {target}")
+    status = 0
+    if args.fail_on_5xx and result.server_errors:
+        print(
+            f"FAIL: {result.server_errors} 5xx response(s) — the service "
+            "should shed or degrade, never error",
+            file=sys.stderr,
+        )
+        status = 1
+    if args.expect_degraded and not result.degraded:
+        print(
+            "FAIL: expected degraded responses (fault-injected shard) "
+            "but saw none",
+            file=sys.stderr,
+        )
+        status = 1
+    return status
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -660,6 +761,81 @@ def build_parser() -> argparse.ArgumentParser:
         "-o", "--output", type=Path, default=Path("BENCH_profile.json")
     )
     profile.set_defaults(handler=_cmd_profile)
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve a database over HTTP (deadlines + admission control)",
+    )
+    serve.add_argument("database", type=Path, help="database directory")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642)
+    serve.add_argument(
+        "--deadline-ms", type=float, default=2000.0,
+        help="default per-request deadline (0 disables)",
+    )
+    serve.add_argument("--max-in-flight", type=int, default=4)
+    serve.add_argument("--queue-limit", type=int, default=16)
+    serve.add_argument(
+        "--shard-timeout-ms", type=float, default=0.0,
+        help="per-shard attempt timeout (sharded databases; 0 disables)",
+    )
+    serve.add_argument(
+        "--shard-attempts", type=int, default=3,
+        help="attempts per shard call before the shard is dropped",
+    )
+    serve.add_argument(
+        "--breaker-failures", type=int, default=5,
+        help="consecutive failures that open a shard's circuit breaker",
+    )
+    serve.add_argument("--both-strands", action="store_true")
+    serve.set_defaults(handler=_cmd_serve)
+
+    loadgen = commands.add_parser(
+        "loadgen",
+        help="drive load at a search server, write BENCH_serving.json",
+    )
+    loadgen.add_argument(
+        "--url",
+        help="target an already-running server (default: boot a "
+        "self-contained fault-injectable benchmark server)",
+    )
+    loadgen.add_argument(
+        "--queries", type=Path,
+        help="FASTA of query sequences (--url mode)",
+    )
+    loadgen.add_argument(
+        "--shards", type=int, default=3,
+        help="shards of the self-contained benchmark collection",
+    )
+    loadgen.add_argument(
+        "--fault-shard", type=int, default=None,
+        help="zero this shard's posting blob before serving",
+    )
+    loadgen.add_argument("--clients", type=int, default=4)
+    loadgen.add_argument(
+        "--duration", type=float, default=3.0,
+        help="seconds to keep driving load",
+    )
+    loadgen.add_argument("--mode", choices=("closed", "open"),
+                         default="closed")
+    loadgen.add_argument(
+        "--rate", type=float, default=None,
+        help="open-loop arrival rate, requests/second",
+    )
+    loadgen.add_argument("--deadline-ms", type=float, default=None)
+    loadgen.add_argument("--top", type=int, default=5)
+    loadgen.add_argument("--max-in-flight", type=int, default=4)
+    loadgen.add_argument("--queue-limit", type=int, default=8)
+    loadgen.add_argument("-o", "--output", type=Path, default=None)
+    loadgen.add_argument(
+        "--fail-on-5xx", action="store_true",
+        help="exit 1 if any 5xx response was seen",
+    )
+    loadgen.add_argument(
+        "--expect-degraded", action="store_true",
+        help="exit 1 unless degraded (shard-dropped) responses were seen",
+    )
+    loadgen.set_defaults(handler=_cmd_loadgen)
 
     for name, help_text in (
         ("build", "build a persistent (optionally sharded) database"),

@@ -31,6 +31,7 @@ policy; :meth:`verify` audits a directory without fully opening it and
 from __future__ import annotations
 
 import logging
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from pathlib import Path
@@ -56,7 +57,9 @@ from repro.instrumentation.instruments import (
     Instruments,
     coalesce,
 )
+from repro.search.deadline import Deadline
 from repro.search.engine import CORRUPTION_POLICIES, PartitionedSearchEngine
+from repro.search.resilience import ShardResilience
 from repro.search.results import SearchReport
 from repro.sequences.record import Sequence
 from repro.sharding.build import build_sharded_database
@@ -169,6 +172,11 @@ class Database:
                 [shard.store for shard in shards]
             )
         self._engines: "OrderedDict[tuple, object]" = OrderedDict()
+        # Concurrent server requests share one database: the engine
+        # cache's get/build/evict must be atomic or two threads race to
+        # build (and evict) the same configuration.  Reentrant because
+        # significance calibration can re-enter via instrumented spans.
+        self._engine_lock = threading.RLock()
         self._exhaustive: dict[ScoringScheme, object] = {}
         self._significance: GumbelParameters | None = None
         self._instruments = NULL_INSTRUMENTS
@@ -634,7 +642,14 @@ class Database:
         return manifest
 
     def close(self) -> None:
-        """Release the mapped files of every shard."""
+        """Release cached engines' executors and every shard's maps."""
+        with self._engine_lock:
+            engines = list(self._engines.values())
+            self._engines.clear()
+        for engine in engines:
+            close = getattr(engine, "close", None)
+            if close is not None:
+                close()
         for shard in self._shards:
             shard.close()
 
@@ -733,6 +748,7 @@ class Database:
         both_strands: bool = False,
         with_evalues: bool = False,
         on_corruption: str | None = None,
+        resilience: ShardResilience | None = None,
     ):
         """A (cached) engine over this database.
 
@@ -743,8 +759,14 @@ class Database:
         identical results.  ``with_evalues=True`` calibrates Gumbel
         parameters once per scheme and attaches E-values to every hit.
         ``on_corruption`` defaults to the policy the database was
-        opened with.  At most :data:`ENGINE_CACHE_LIMIT` distinct
-        configurations are retained (least recently used dropped).
+        opened with.  ``resilience`` configures per-shard fault
+        tolerance on sharded databases (see
+        :class:`~repro.search.resilience.ShardResilience`); a
+        single-shard database has no fan-out to degrade, so there it is
+        accepted but inert.  At most :data:`ENGINE_CACHE_LIMIT`
+        distinct configurations are retained (least recently used
+        dropped).  Thread-safe: concurrent callers get the same cached
+        engine for the same configuration.
 
         Raises:
             SearchError: in degraded mode (an unreadable shard index;
@@ -758,62 +780,65 @@ class Database:
             )
         policy = on_corruption or self.on_corruption
         scheme = scheme or ScoringScheme()
-        significance = None
-        if with_evalues:
-            if self._significance is None or getattr(
-                self, "_significance_scheme", None
-            ) != scheme:
-                self._significance = calibrate_gapped(scheme)
-                self._significance_scheme = scheme
-            significance = self._significance
-        key = (
-            coarse_cutoff, scheme, fine_mode, both_strands, with_evalues,
-            policy,
-        )
-        instruments = self._instruments
-        engine = self._engines.get(key)
-        if engine is not None:
-            self._engines.move_to_end(key)
-            instruments.count("database.engine_cache.hits")
+        with self._engine_lock:
+            significance = None
+            if with_evalues:
+                if self._significance is None or getattr(
+                    self, "_significance_scheme", None
+                ) != scheme:
+                    self._significance = calibrate_gapped(scheme)
+                    self._significance_scheme = scheme
+                significance = self._significance
+            key = (
+                coarse_cutoff, scheme, fine_mode, both_strands, with_evalues,
+                policy, resilience,
+            )
+            instruments = self._instruments
+            engine = self._engines.get(key)
+            if engine is not None:
+                self._engines.move_to_end(key)
+                instruments.count("database.engine_cache.hits")
+                return engine
+            instruments.count("database.engine_cache.misses")
+            if len(self._shards) == 1:
+                shard = self._shards[0]
+                engine = PartitionedSearchEngine(
+                    shard.index,
+                    shard.store,
+                    scheme=scheme,
+                    coarse_cutoff=coarse_cutoff,
+                    fine_mode=fine_mode,
+                    both_strands=both_strands,
+                    significance=significance,
+                    on_corruption=policy,
+                )
+            else:
+                engine = ShardedSearchEngine(
+                    [(shard.index, shard.store) for shard in self._shards],
+                    scheme=scheme,
+                    coarse_cutoff=coarse_cutoff,
+                    fine_mode=fine_mode,
+                    both_strands=both_strands,
+                    significance=significance,
+                    on_corruption=policy,
+                    resilience=resilience,
+                )
+            if instruments.enabled:
+                engine.set_instruments(instruments)
+            self._engines[key] = engine
+            if len(self._engines) > self.ENGINE_CACHE_LIMIT:
+                self._engines.popitem(last=False)
+                instruments.count("database.engine_cache.evictions")
+            instruments.set_gauge(
+                "database.engine_cache.size", len(self._engines)
+            )
             return engine
-        instruments.count("database.engine_cache.misses")
-        if len(self._shards) == 1:
-            shard = self._shards[0]
-            engine = PartitionedSearchEngine(
-                shard.index,
-                shard.store,
-                scheme=scheme,
-                coarse_cutoff=coarse_cutoff,
-                fine_mode=fine_mode,
-                both_strands=both_strands,
-                significance=significance,
-                on_corruption=policy,
-            )
-        else:
-            engine = ShardedSearchEngine(
-                [(shard.index, shard.store) for shard in self._shards],
-                scheme=scheme,
-                coarse_cutoff=coarse_cutoff,
-                fine_mode=fine_mode,
-                both_strands=both_strands,
-                significance=significance,
-                on_corruption=policy,
-            )
-        if instruments.enabled:
-            engine.set_instruments(instruments)
-        self._engines[key] = engine
-        if len(self._engines) > self.ENGINE_CACHE_LIMIT:
-            self._engines.popitem(last=False)
-            instruments.count("database.engine_cache.evictions")
-        instruments.set_gauge(
-            "database.engine_cache.size", len(self._engines)
-        )
-        return engine
 
     @property
     def cached_engines(self) -> int:
         """Engines currently held by the per-database LRU cache."""
-        return len(self._engines)
+        with self._engine_lock:
+            return len(self._engines)
 
     #: Engine options the degraded (exhaustive) path honours; anything
     #: else raises rather than silently running with defaults.
@@ -867,9 +892,20 @@ class Database:
         return replace(report, degraded=True)
 
     def search(
-        self, query: Sequence | np.ndarray, top_k: int = 10, **engine_kwargs
+        self,
+        query: Sequence | np.ndarray,
+        top_k: int = 10,
+        deadline: Deadline | None = None,
+        **engine_kwargs,
     ) -> SearchReport:
         """Evaluate one query with the default (or overridden) engine.
+
+        ``deadline`` bounds the query's wall clock (see
+        :class:`~repro.search.deadline.Deadline`); an expired deadline
+        yields a flagged partial report, never an exception.  The
+        degraded (exhaustive-scan) path cannot check deadlines — its
+        kernel has no interruption points — so there the deadline is
+        accepted but ignored.
 
         In degraded mode (an unreadable shard index under the
         ``"fallback"`` policy) the query is answered by an exhaustive
@@ -880,22 +916,26 @@ class Database:
         """
         if self.degraded:
             return self._search_degraded(query, top_k, engine_kwargs)
-        return self.engine(**engine_kwargs).search(query, top_k=top_k)
+        return self.engine(**engine_kwargs).search(
+            query, top_k=top_k, deadline=deadline
+        )
 
     def search_batch(
         self,
         queries: list[Sequence],
         top_k: int = 10,
         workers: int | None = None,
+        deadline: Deadline | None = None,
         **engine_kwargs,
     ) -> list[SearchReport]:
         """Evaluate a batch of queries, reports in query order.
 
         ``workers`` > 1 evaluates queries concurrently on the engine's
-        thread pool (results identical to the sequential loop).  In
-        degraded mode the batch runs sequentially through the
-        exhaustive fallback with the same option rules as
-        :meth:`search`.
+        thread pool (results identical to the sequential loop).  A
+        ``deadline`` is shared by the whole batch (ignored by the
+        degraded path, as on :meth:`search`).  In degraded mode the
+        batch runs sequentially through the exhaustive fallback with
+        the same option rules as :meth:`search`.
         """
         if self.degraded:
             return [
@@ -903,7 +943,7 @@ class Database:
                 for query in queries
             ]
         return self.engine(**engine_kwargs).search_batch(
-            queries, top_k=top_k, workers=workers
+            queries, top_k=top_k, workers=workers, deadline=deadline
         )
 
     def alignment(

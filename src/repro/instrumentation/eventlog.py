@@ -82,6 +82,7 @@ class QueryEventLog:
         self._lock = Lock()
         self._seen = 0
         self._written = 0
+        self._dropped = 0
         if hasattr(sink, "write"):
             self._file: IO[str] = sink  # type: ignore[assignment]
             self._owns_file = False
@@ -100,6 +101,11 @@ class QueryEventLog:
     def written(self) -> int:
         """Events that passed the gates and were written."""
         return self._written
+
+    @property
+    def dropped(self) -> int:
+        """Events lost to sink write failures (disk full, closed fd)."""
+        return self._dropped
 
     def emit(self, event: dict) -> bool:
         """Offer one event; returns True when it was written.
@@ -126,8 +132,16 @@ class QueryEventLog:
             event["seq"] = self._seen
             if slow:
                 event["slow"] = True
-            self._file.write(json.dumps(event, sort_keys=True) + "\n")
-            self._file.flush()
+            try:
+                self._file.write(json.dumps(event, sort_keys=True) + "\n")
+                self._file.flush()
+            except (OSError, ValueError):
+                # Observability must never fail the query it observes:
+                # a full disk or a closed sink costs this event line
+                # (counted in ``dropped``), nothing more.  ValueError is
+                # what a closed file object raises on write.
+                self._dropped += 1
+                return False
             self._written += 1
             return True
 

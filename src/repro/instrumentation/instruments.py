@@ -63,9 +63,17 @@ class Instruments:
         return self.tracer.span(name)
 
     def emit_event(self, event: dict) -> None:
-        """Offer a per-query event to the attached log (if any)."""
+        """Offer a per-query event to the attached log (if any).
+
+        A sink write failure never propagates (the log swallows and
+        counts it); the cumulative loss is mirrored into the
+        ``eventlog.dropped`` gauge so scrapes see it.
+        """
         if self.eventlog is not None:
             self.eventlog.emit(event)
+            dropped = self.eventlog.dropped
+            if dropped:
+                self.metrics.set_gauge("eventlog.dropped", dropped)
 
     @property
     def wants_events(self) -> bool:

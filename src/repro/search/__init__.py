@@ -1,6 +1,19 @@
 """Search engines: partitioned (coarse + fine) and exhaustive baselines."""
 
 from repro.search.blast_like import BlastLikeSearcher
+from repro.search.deadline import (
+    NO_DEADLINE,
+    Deadline,
+    DeadlineIndexView,
+    ensure_deadline,
+)
+from repro.search.resilience import (
+    CircuitBreaker,
+    RetryPolicy,
+    ShardResilience,
+    ShardTimeout,
+    ShardUnavailable,
+)
 from repro.search.coarse import (
     CoarseRanker,
     CoarseScorer,
@@ -28,11 +41,15 @@ from repro.search.seeds import SeedTable, query_seed_groups
 
 __all__ = [
     "FINE_MODES",
+    "NO_DEADLINE",
     "BlastLikeSearcher",
+    "CircuitBreaker",
     "CoarseCandidate",
     "CoarseRanker",
     "CoarseScorer",
     "CountScorer",
+    "Deadline",
+    "DeadlineIndexView",
     "DiagonalScorer",
     "ExhaustiveSearcher",
     "FastaLikeSearcher",
@@ -43,9 +60,14 @@ __all__ = [
     "IdfScorer",
     "NormalisedScorer",
     "PartitionedSearchEngine",
+    "RetryPolicy",
     "SearchHit",
     "SearchReport",
     "SeedTable",
+    "ShardResilience",
+    "ShardTimeout",
+    "ShardUnavailable",
+    "ensure_deadline",
     "make_scorer",
     "query_seed_groups",
 ]

@@ -26,6 +26,11 @@ import numpy as np
 from repro.errors import SearchError
 from repro.index.builder import IndexReader
 from repro.index.intervals import IntervalExtractor
+from repro.search.deadline import (
+    Deadline,
+    DeadlineIndexView,
+    ensure_deadline,
+)
 from repro.instrumentation.instruments import (
     NULL_INSTRUMENTS,
     Instruments,
@@ -389,7 +394,7 @@ class CoarseRanker:
         return unique_ids, counts.astype(np.int64), groups
 
     def _limited_scores(
-        self, unique_ids: np.ndarray, counts: np.ndarray
+        self, index: IndexReader, unique_ids: np.ndarray, counts: np.ndarray
     ) -> np.ndarray:
         """Count accumulation under a bounded accumulator table.
 
@@ -403,7 +408,7 @@ class CoarseRanker:
         instruments = self.instruments
         with_df = []
         for interval, query_count in zip(unique_ids, counts):
-            entry = self.index.lookup_entry(int(interval))
+            entry = index.lookup_entry(int(interval))
             if entry is not None:
                 with_df.append((entry.df, int(interval), int(query_count)))
         with_df.sort()
@@ -417,7 +422,7 @@ class CoarseRanker:
                     len(with_df) - slot,
                 )
                 break
-            decoded = self.index.docs_counts(interval)
+            decoded = index.docs_counts(interval)
             if decoded is None:
                 # The vocabulary row existed a moment ago, but the
                 # posting blob failed integrity under a quarantining
@@ -448,18 +453,26 @@ class CoarseRanker:
         return scores
 
     def rank(
-        self, query_codes: np.ndarray, cutoff: int
+        self,
+        query_codes: np.ndarray,
+        cutoff: int,
+        deadline: Deadline | None = None,
     ) -> list[CoarseCandidate]:
         """The ``cutoff`` best-scoring sequences, best first.
 
         Sequences with a zero score are never returned, so the result
         may be shorter than ``cutoff``.
 
+        A bounded ``deadline`` is checked between interval fetches: once
+        expired the remaining intervals contribute no evidence and the
+        scores accumulated so far become the (partial) ranking.
+
         Raises:
             SearchError: if ``cutoff`` is not positive.
         """
         if cutoff < 1:
             raise SearchError(f"cutoff must be >= 1, got {cutoff}")
+        deadline = ensure_deadline(deadline)
         unique_ids, counts, groups = self._frequency_filter(
             *self.query_intervals(query_codes)
         )
@@ -468,10 +481,13 @@ class CoarseRanker:
         self.instruments.count(
             "coarse.query_intervals", int(unique_ids.shape[0])
         )
+        index: IndexReader = self.index
+        if deadline.bounded:
+            index = DeadlineIndexView(self.index, deadline)
         if self.max_accumulators is not None:
-            scores = self._limited_scores(unique_ids, counts)
+            scores = self._limited_scores(index, unique_ids, counts)
         else:
-            scores = self.scorer.score(self.index, unique_ids, counts, groups)
+            scores = self.scorer.score(index, unique_ids, counts, groups)
         positive = np.flatnonzero(scores > 0)
         if not positive.shape[0]:
             return []

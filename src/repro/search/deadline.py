@@ -1,0 +1,158 @@
+"""Per-query time budgets, threaded through the whole query path.
+
+A :class:`Deadline` is a point on a monotonic clock after which a query
+should stop doing new work and return whatever it has accumulated —
+*partial, clearly-flagged results instead of a runaway query*.  Both
+engines accept one per ``search`` call and check it cooperatively:
+
+* between coarse intervals (posting-list fetches stop contributing
+  evidence once expired — see :class:`DeadlineIndexView`);
+* between per-shard fan-out steps in the sharded engine;
+* between fine-phase alignment chunks.
+
+A report produced under an expired deadline carries
+``deadline_expired=True`` and whatever hits the completed work ranked;
+an expired deadline never raises.  The shared :data:`NO_DEADLINE`
+sentinel never expires and costs one attribute check per gate, so the
+unbudgeted path stays effectively free.
+
+The clock is injectable so tests can drive expiry deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterator
+
+from repro.errors import SearchError
+
+__all__ = [
+    "Deadline",
+    "DeadlineIndexView",
+    "NO_DEADLINE",
+    "ensure_deadline",
+]
+
+
+class Deadline:
+    """A monotonic-clock expiry point (``None`` = unbounded).
+
+    Args:
+        expires_at: absolute monotonic timestamp after which the
+            deadline is expired; ``None`` never expires.
+        clock: timestamp source; injectable for deterministic tests.
+    """
+
+    __slots__ = ("expires_at", "_clock")
+
+    def __init__(
+        self,
+        expires_at: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.expires_at = expires_at
+        self._clock = clock
+
+    @classmethod
+    def after(
+        cls,
+        seconds: float | None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> "Deadline":
+        """A deadline ``seconds`` from now (``None`` = unbounded).
+
+        Raises:
+            SearchError: if ``seconds`` is negative.
+        """
+        if seconds is None:
+            return NO_DEADLINE
+        if seconds < 0:
+            raise SearchError(f"deadline must be >= 0 seconds, got {seconds}")
+        return cls(clock() + seconds, clock)
+
+    def expired(self) -> bool:
+        """True once the clock has passed the expiry point."""
+        return self.expires_at is not None and self._clock() >= self.expires_at
+
+    def remaining(self) -> float | None:
+        """Seconds of budget left (clamped at 0.0); ``None`` = unbounded."""
+        if self.expires_at is None:
+            return None
+        return max(0.0, self.expires_at - self._clock())
+
+    @property
+    def bounded(self) -> bool:
+        """True when this deadline can actually expire."""
+        return self.expires_at is not None
+
+    def tightened(self, seconds: float | None) -> "Deadline":
+        """The tighter of this deadline and one ``seconds`` from now.
+
+        Used to compose a per-shard attempt timeout with the query's
+        overall budget.
+        """
+        if seconds is None:
+            return self
+        candidate = Deadline.after(seconds, self._clock)
+        if self.expires_at is None:
+            return candidate
+        if candidate.expires_at >= self.expires_at:
+            return self
+        return candidate
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.expires_at is None:
+            return "Deadline(unbounded)"
+        return f"Deadline(remaining={self.remaining():.4f}s)"
+
+
+#: The shared never-expiring deadline every query defaults to.
+NO_DEADLINE = Deadline()
+
+
+def ensure_deadline(deadline: Deadline | None) -> Deadline:
+    """``deadline`` if given, else the shared unbounded sentinel."""
+    return deadline if deadline is not None else NO_DEADLINE
+
+
+class DeadlineIndexView:
+    """Index view that stops yielding evidence once a deadline expires.
+
+    Wrapping the reader (instead of threading the deadline into every
+    scorer) keeps the coarse accumulators untouched: after expiry each
+    remaining interval fetch returns "nothing here" (``None`` entry /
+    ``None`` decode / empty postings), so the scorer loop finishes in
+    microseconds and the scores accumulated *before* expiry become the
+    partial coarse ranking.  Construction is one object per query —
+    allocated only when the deadline is bounded.
+    """
+
+    __slots__ = ("_inner", "_deadline", "params", "collection")
+
+    def __init__(self, inner, deadline: Deadline) -> None:
+        self._inner = inner
+        self._deadline = deadline
+        self.params = inner.params
+        self.collection = inner.collection
+
+    def lookup_entry(self, interval_id: int):
+        if self._deadline.expired():
+            return None
+        return self._inner.lookup_entry(interval_id)
+
+    def docs_counts(self, interval_id: int):
+        if self._deadline.expired():
+            return None
+        return self._inner.docs_counts(interval_id)
+
+    def postings(self, interval_id: int) -> list:
+        if self._deadline.expired():
+            return []
+        return self._inner.postings(interval_id)
+
+    def interval_ids(self) -> Iterator[int]:
+        return self._inner.interval_ids()
+
+    @property
+    def vocabulary_size(self) -> int:
+        return self._inner.vocabulary_size

@@ -44,6 +44,7 @@ from repro.instrumentation.instruments import (
     coalesce,
 )
 from repro.search.coarse import CoarseRanker, CoarseScorer
+from repro.search.deadline import NO_DEADLINE, Deadline, ensure_deadline
 from repro.search.fine import FineSearcher
 from repro.search.frames import FrameFineSearcher, FrameRanker
 from repro.search.results import SearchHit, SearchReport
@@ -55,6 +56,12 @@ FINE_MODES = ("full", "frames")
 
 #: Supported corruption policies.
 CORRUPTION_POLICIES = ("raise", "skip", "fallback")
+
+#: Candidates aligned per fine-phase batch when a bounded deadline is
+#: in force.  The fine kernel is vectorised over its whole candidate
+#: list, so deadline checks can only happen *between* batches: small
+#: enough to bound overshoot, large enough to keep the kernel efficient.
+DEADLINE_FINE_CHUNK = 32
 
 _LOG = logging.getLogger(__name__)
 
@@ -302,7 +309,10 @@ class PartitionedSearchEngine:
                 ]
 
     def coarse_rank(
-        self, codes: np.ndarray, cutoff: int | None = None
+        self,
+        codes: np.ndarray,
+        cutoff: int | None = None,
+        deadline: Deadline | None = None,
     ) -> list:
         """Run only the coarse phase: ranked candidates, best first.
 
@@ -316,35 +326,56 @@ class PartitionedSearchEngine:
         if cutoff is None:
             cutoff = self.coarse_cutoff
         if self.fine_mode == "frames":
-            return self._frame_ranker.rank(codes, cutoff)
-        return self._ranker.rank(codes, cutoff)
+            return self._frame_ranker.rank(codes, cutoff, deadline=deadline)
+        return self._ranker.rank(codes, cutoff, deadline=deadline)
 
-    def fine_align(self, codes: np.ndarray, candidates: list) -> list[SearchHit]:
+    def fine_align(
+        self,
+        codes: np.ndarray,
+        candidates: list,
+        deadline: Deadline | None = None,
+    ) -> list[SearchHit]:
         """Run only the fine phase over pre-selected candidates.
 
         ``candidates`` must be the type :meth:`coarse_rank` produces
         for this engine's fine mode.  The corruption policy applies
         (corrupt store records are quarantined under ``"skip"``).
+
+        Under a bounded ``deadline`` candidates are aligned in batches
+        of :data:`DEADLINE_FINE_CHUNK`; once the deadline expires the
+        remaining batches are dropped and the hits already scored are
+        returned (re-ranked), so a partial fine phase still yields a
+        correctly ordered prefix of the work done.
         """
         if self.fine_mode == "frames":
-            return self._fine_with_policy(
-                self._frame_fine.align_frames, codes, candidates
-            )
-        return self._fine_with_policy(
-            self._fine.align_candidates, codes, candidates
-        )
+            align = self._frame_fine.align_frames
+        else:
+            align = self._fine.align_candidates
+        deadline = ensure_deadline(deadline)
+        if not deadline.bounded or len(candidates) <= DEADLINE_FINE_CHUNK:
+            if deadline.expired():
+                return []
+            return self._fine_with_policy(align, codes, candidates)
+        hits: list[SearchHit] = []
+        for start in range(0, len(candidates), DEADLINE_FINE_CHUNK):
+            if deadline.expired():
+                break
+            chunk = candidates[start : start + DEADLINE_FINE_CHUNK]
+            hits.extend(self._fine_with_policy(align, codes, chunk))
+        hits.sort(key=lambda hit: (-hit.score, -hit.coarse_score, hit.ordinal))
+        return hits
 
     def _evaluate_one_strand(
-        self, codes: np.ndarray
+        self, codes: np.ndarray, deadline: Deadline = NO_DEADLINE
     ) -> tuple[list[SearchHit], int, float, float]:
         """(ranked hits, candidates, coarse seconds, fine seconds)."""
         instruments = self.instruments
         started = time.perf_counter()
         with instruments.span("coarse"):
-            candidates = self.coarse_rank(codes)
+            candidates = self.coarse_rank(codes, deadline=deadline)
         coarse_done = time.perf_counter()
         with instruments.span("fine"):
-            hits = self.fine_align(codes, candidates)
+            hits = self.fine_align(codes, candidates, deadline=deadline)
         fine_done = time.perf_counter()
         return (
             hits,
@@ -354,13 +385,22 @@ class PartitionedSearchEngine:
         )
 
     def search(
-        self, query: Sequence | np.ndarray, top_k: int = 10
+        self,
+        query: Sequence | np.ndarray,
+        top_k: int = 10,
+        deadline: Deadline | None = None,
     ) -> SearchReport:
         """Evaluate one query.
 
         Args:
             query: a :class:`Sequence` or a coded array.
             top_k: answers to return.
+            deadline: optional per-query time budget.  Once expired the
+                engine stops starting new work (coarse interval fetches,
+                fine alignment batches, the reverse strand) and returns
+                whatever it ranked in time, with the report's
+                ``deadline_expired`` flag set.  An expired deadline
+                never raises.
 
         Raises:
             SearchError: if the query is shorter than the interval
@@ -368,6 +408,7 @@ class PartitionedSearchEngine:
         """
         if top_k < 1:
             raise SearchError(f"top_k must be >= 1, got {top_k}")
+        deadline = ensure_deadline(deadline)
         identifier, codes = self._query_codes(query)
         if codes.shape[0] < self.index.params.interval_length:
             raise SearchError(
@@ -379,11 +420,13 @@ class PartitionedSearchEngine:
         try:
             with instruments.span("search"):
                 hits, candidates, coarse_seconds, fine_seconds = (
-                    self._evaluate_one_strand(codes)
+                    self._evaluate_one_strand(codes, deadline)
                 )
-                if self.both_strands:
+                if self.both_strands and not deadline.expired():
                     reverse_hits, reverse_candidates, reverse_coarse, reverse_fine = (
-                        self._evaluate_one_strand(reverse_complement(codes))
+                        self._evaluate_one_strand(
+                            reverse_complement(codes), deadline
+                        )
                     )
                     hits = _merge_strand_hits(hits, reverse_hits)
                     # Fine-phase work is done for BOTH orientations, so
@@ -420,6 +463,9 @@ class PartitionedSearchEngine:
                 )
             return report
         instruments.count("partitioned.queries")
+        deadline_expired = deadline.expired()
+        if deadline_expired:
+            instruments.count("partitioned.deadline_expired")
         instruments.count("partitioned.candidates", candidates)
         instruments.observe("partitioned.coarse_seconds", coarse_seconds)
         instruments.observe("partitioned.fine_seconds", fine_seconds)
@@ -441,11 +487,12 @@ class PartitionedSearchEngine:
             instruments.emit_event(
                 self._query_event(
                     identifier,
-                    "ok",
+                    "partial" if deadline_expired else "ok",
                     candidates=candidates,
                     hits=len(hits[:top_k]),
                     coarse_seconds=coarse_seconds,
                     fine_seconds=fine_seconds,
+                    deadline_expired=deadline_expired,
                 )
             )
         return SearchReport(
@@ -456,6 +503,7 @@ class PartitionedSearchEngine:
             fine_seconds=fine_seconds,
             quarantined_intervals=self.quarantined_intervals,
             quarantined_sequences=len(self._quarantined_sequences),
+            deadline_expired=deadline_expired,
         )
 
     def _query_event(
@@ -524,6 +572,7 @@ class PartitionedSearchEngine:
         queries: list[Sequence],
         top_k: int = 10,
         workers: int | None = None,
+        deadline: Deadline | None = None,
     ) -> list[SearchReport]:
         """Evaluate a list of queries, reports in query order.
 
@@ -536,12 +585,16 @@ class PartitionedSearchEngine:
                 run in numpy, which releases the GIL, so batches see
                 real wall-clock overlap.  Results are identical to the
                 sequential loop (per-query timings aside).
+            deadline: optional time budget shared by the *whole* batch;
+                queries evaluated after expiry return flagged empty
+                partials.
 
         Raises:
             SearchError: if ``workers`` < 1.
         """
         return run_search_batch(
-            self.search, queries, top_k, workers, self.instruments
+            self.search, queries, top_k, workers, self.instruments,
+            deadline=deadline,
         )
 
 
@@ -551,12 +604,17 @@ def run_search_batch(
     top_k: int,
     workers: int | None,
     instruments: Instruments | None = None,
+    deadline: Deadline | None = None,
 ) -> list[SearchReport]:
     """Drive a batch through a ``search(query, top_k=...)`` callable.
 
     ``workers`` > 1 fans the queries out over a thread pool; report
     order always matches query order.  Shared by the partitioned and
     sharded engines (and any engine with the same ``search`` shape).
+
+    A ``deadline`` (if given) is shared by every query in the batch and
+    forwarded to the underlying ``search`` callable, which must then
+    accept a ``deadline`` keyword.
 
     With instrumentation attached the batch reports ``batch.queries``,
     the ``batch.workers`` gauge, a ``batch.wall_seconds`` histogram,
@@ -571,6 +629,12 @@ def run_search_batch(
         raise SearchError(f"workers must be >= 1, got {workers}")
     if not queries:
         return []
+    if deadline is not None:
+        import functools
+
+        # Only wrap when a deadline was actually given, so callables
+        # without a deadline keyword keep working unchanged.
+        search = functools.partial(search, deadline=deadline)
     instruments = coalesce(instruments)
     started = time.perf_counter()
     if workers is None or workers == 1 or len(queries) == 1:

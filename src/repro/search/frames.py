@@ -30,6 +30,11 @@ from repro.instrumentation.instruments import (
     coalesce,
 )
 from repro.search.coarse import CoarseRanker, band_hit_counts
+from repro.search.deadline import (
+    Deadline,
+    DeadlineIndexView,
+    ensure_deadline,
+)
 from repro.search.results import SearchHit
 
 
@@ -91,31 +96,40 @@ class FrameRanker:
         self._ranker.set_instruments(instruments)
 
     def rank(
-        self, query_codes: np.ndarray, cutoff: int
+        self,
+        query_codes: np.ndarray,
+        cutoff: int,
+        deadline: Deadline | None = None,
     ) -> list[FrameCandidate]:
         """The ``cutoff`` best candidates with their frames.
 
         Scoring is the diagonal-band hit count (collinear evidence), so
-        the frame and the score come from the same band.
+        the frame and the score come from the same band.  A bounded
+        ``deadline`` is checked between interval fetches (expired
+        intervals stop contributing hits).
 
         Raises:
             SearchError: if ``cutoff`` < 1.
         """
         if cutoff < 1:
             raise SearchError(f"cutoff must be >= 1, got {cutoff}")
+        deadline = ensure_deadline(deadline)
         query_ids, _, groups = self._ranker.query_intervals(query_codes)
         if not query_ids.shape[0]:
             return []
 
+        index: IndexReader = self.index
+        if deadline.bounded:
+            index = DeadlineIndexView(self.index, deadline)
         doc_chunks: list[np.ndarray] = []
         diagonal_chunks: list[np.ndarray] = []
         instruments = self.instruments
         instruments.count("coarse.query_intervals", int(query_ids.shape[0]))
         for slot, interval in enumerate(query_ids):
-            entry = self.index.lookup_entry(int(interval))
+            entry = index.lookup_entry(int(interval))
             if entry is None:
                 continue
-            postings = self.index.postings(int(interval))
+            postings = index.postings(int(interval))
             instruments.count("coarse.postings_fetched")
             instruments.count("coarse.dgaps_decoded", len(postings))
             offsets = groups[slot]

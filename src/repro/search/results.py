@@ -67,6 +67,20 @@ class SearchReport:
     #: True when the engine answered this query by falling back to an
     #: exhaustive scan because the index was unusable.
     degraded: bool = False
+    #: True when the query's deadline expired before evaluation
+    #: finished: the hits are a partial ranking over the work completed
+    #: inside the budget (an expired deadline never raises).
+    deadline_expired: bool = False
+    #: Shard slots whose evidence is missing from this report because
+    #: the shard failed and resilience dropped it (sharded engines with
+    #: a :class:`~repro.search.resilience.ShardResilience` only).
+    shards_degraded: tuple[int, ...] = ()
+
+    @property
+    def partial(self) -> bool:
+        """True when any part of the collection went unexamined —
+        deadline expiry or degraded shards."""
+        return self.deadline_expired or bool(self.shards_degraded)
 
     @property
     def total_seconds(self) -> float:

@@ -1,0 +1,32 @@
+"""The search service layer: a resilient HTTP/JSON server + load harness.
+
+Everything below ``repro.serving`` treats the engines as backends:
+
+* :mod:`repro.serving.admission` — bounded-concurrency admission
+  control (max in-flight, bounded wait queue, load shedding);
+* :mod:`repro.serving.server` — a long-lived threaded HTTP server over
+  a :class:`~repro.database.Database` or engine, with per-request
+  deadlines, degraded-shard annotations, and Prometheus metrics;
+* :mod:`repro.serving.loadgen` — closed/open-loop load generation
+  emitting latency percentiles and shed/degraded counts as a
+  ``repro.bench/v1`` document.
+
+See ``docs/SERVING.md`` for the endpoint and response contracts.
+"""
+
+from repro.serving.admission import AdmissionController
+from repro.serving.loadgen import (
+    LoadgenResult,
+    run_loadgen,
+    run_serving_benchmark,
+)
+from repro.serving.server import SearchServer, ServerConfig
+
+__all__ = [
+    "AdmissionController",
+    "LoadgenResult",
+    "SearchServer",
+    "ServerConfig",
+    "run_loadgen",
+    "run_serving_benchmark",
+]

@@ -1,0 +1,126 @@
+"""Admission control: bound the work a saturated server accepts.
+
+A search request is expensive (posting decodes + alignment kernels), so
+an overloaded server must *shed* load — answer 429 quickly — rather
+than queue unboundedly and time every request out.  The controller
+enforces two limits:
+
+* ``max_in_flight`` — requests actually evaluating at once;
+* ``queue_limit`` — requests allowed to *wait* for an execution slot;
+  anyone beyond that is shed immediately, and a queued request that
+  cannot start within its wait budget is shed too.
+
+Implemented with a condition variable rather than a semaphore so the
+queue depth is observable and the shed decision (queue full) is taken
+atomically with the wait.
+"""
+
+from __future__ import annotations
+
+import time
+from threading import Condition
+
+from repro.errors import SearchError
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Bounded-concurrency gate with a bounded wait queue.
+
+    Args:
+        max_in_flight: concurrent admissions (execution slots).
+        queue_limit: callers allowed to block waiting for a slot; a
+            caller arriving with the queue full is rejected at once.
+            0 disables queueing (immediate shed when saturated).
+
+    Raises:
+        SearchError: if a limit is out of range.
+    """
+
+    def __init__(self, max_in_flight: int = 4, queue_limit: int = 16) -> None:
+        if max_in_flight < 1:
+            raise SearchError(
+                f"max_in_flight must be >= 1, got {max_in_flight}"
+            )
+        if queue_limit < 0:
+            raise SearchError(f"queue_limit must be >= 0, got {queue_limit}")
+        self.max_in_flight = max_in_flight
+        self.queue_limit = queue_limit
+        self._condition = Condition()
+        self._in_flight = 0
+        self._waiting = 0
+        self._shed = 0
+
+    @property
+    def in_flight(self) -> int:
+        """Requests currently holding an execution slot."""
+        with self._condition:
+            return self._in_flight
+
+    @property
+    def waiting(self) -> int:
+        """Requests currently queued for a slot."""
+        with self._condition:
+            return self._waiting
+
+    @property
+    def shed(self) -> int:
+        """Requests rejected since construction."""
+        with self._condition:
+            return self._shed
+
+    def try_admit(self, wait_seconds: float = 0.0) -> bool:
+        """Claim an execution slot, waiting up to ``wait_seconds``.
+
+        Returns True when admitted — the caller **must** pair it with
+        :meth:`release`.  False means the request was shed: the queue
+        was already full, or no slot freed up within the wait budget.
+        """
+        with self._condition:
+            if self._in_flight < self.max_in_flight:
+                self._in_flight += 1
+                return True
+            if wait_seconds <= 0 or self._waiting >= self.queue_limit:
+                self._shed += 1
+                return False
+            self._waiting += 1
+            expires_at = time.monotonic() + wait_seconds
+            try:
+                while self._in_flight >= self.max_in_flight:
+                    remaining = expires_at - time.monotonic()
+                    if remaining <= 0:
+                        self._shed += 1
+                        return False
+                    # Re-check the predicate after every wake-up, timed
+                    # out or not — a slot freed at the timeout boundary
+                    # should still admit.
+                    self._condition.wait(remaining)
+                self._in_flight += 1
+                return True
+            finally:
+                self._waiting -= 1
+
+    def release(self) -> None:
+        """Return an execution slot (wakes one queued waiter).
+
+        Raises:
+            SearchError: when called with nothing admitted (a pairing
+                bug in the caller).
+        """
+        with self._condition:
+            if self._in_flight < 1:
+                raise SearchError("release() without a matching admit")
+            self._in_flight -= 1
+            self._condition.notify()
+
+    def snapshot(self) -> dict[str, int]:
+        """Current occupancy + lifetime shed count (one lock trip)."""
+        with self._condition:
+            return {
+                "in_flight": self._in_flight,
+                "waiting": self._waiting,
+                "shed": self._shed,
+                "max_in_flight": self.max_in_flight,
+                "queue_limit": self.queue_limit,
+            }

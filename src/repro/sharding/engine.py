@@ -30,16 +30,20 @@ score-identity guarantee silently.
 from __future__ import annotations
 
 import logging
+import random
 import time
 from bisect import bisect_right
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 from dataclasses import replace
-from typing import Sequence as TypingSequence
+from threading import Lock
+from typing import Callable, Sequence as TypingSequence
 
 import numpy as np
 
 from repro.align.scoring import ScoringScheme
 from repro.align.statistics import GumbelParameters
-from repro.errors import CorruptionError, SearchError
+from repro.errors import CorruptionError, SearchError, StorageError
 from repro.index.builder import IndexReader
 from repro.index.store import SequenceSource
 from repro.instrumentation.eventlog import options_digest
@@ -48,11 +52,17 @@ from repro.instrumentation.instruments import (
     Instruments,
     coalesce,
 )
+from repro.search.deadline import Deadline, ensure_deadline
 from repro.search.engine import (
     CORRUPTION_POLICIES,
     PartitionedSearchEngine,
     _merge_strand_hits,
     run_search_batch,
+)
+from repro.search.resilience import (
+    ShardResilience,
+    ShardTimeout,
+    ShardUnavailable,
 )
 from repro.search.results import SearchHit, SearchReport
 from repro.sequences.alphabet import reverse_complement
@@ -61,6 +71,13 @@ from repro.sequences.record import Sequence
 #: Coarse scorers whose per-shard scores equal global scores (they
 #: accumulate per-sequence evidence only, no collection statistics).
 SHARDABLE_COARSE_SCORERS = ("count", "diagonal")
+
+#: Exceptions a resilient engine treats as one shard failing (instead
+#: of the whole query): storage/index damage, OS-level I/O trouble,
+#: and a per-shard attempt timeout.  ``CorruptionError`` is a
+#: ``StorageError`` subclass, so a corrupt shard retries and then trips
+#: its breaker rather than aborting the fan-out.
+SHARD_FAILURE_EXCEPTIONS = (StorageError, OSError, ShardTimeout)
 
 _LOG = logging.getLogger(__name__)
 
@@ -131,6 +148,16 @@ class ShardedSearchEngine:
         query_workers: default thread count for :meth:`search_batch`
             (``None`` keeps batches sequential unless the call says
             otherwise).
+        resilience: per-shard fault tolerance (see
+            :class:`~repro.search.resilience.ShardResilience`).  When
+            given, a shard failure (storage damage, I/O error, attempt
+            timeout) is retried with jittered backoff and counted
+            against that shard's circuit breaker; a shard that stays
+            broken is *dropped* for the query — the report's
+            ``shards_degraded`` names it — instead of failing the
+            query.  ``None`` (the default) keeps the historical
+            behaviour: shard exceptions propagate per
+            ``on_corruption``.
 
     Raises:
         SearchError: if no shards are given, shard parameters disagree,
@@ -150,6 +177,7 @@ class ShardedSearchEngine:
         on_corruption: str = "raise",
         instruments: Instruments | None = None,
         query_workers: int | None = None,
+        resilience: ShardResilience | None = None,
     ) -> None:
         if not shards:
             raise SearchError("a sharded engine needs at least one shard")
@@ -215,6 +243,19 @@ class ShardedSearchEngine:
             [source for _, source in shards]
         )
         self._exhaustive = None
+        self.resilience = resilience
+        self._breakers = (
+            [resilience.make_breaker() for _ in self._engines]
+            if resilience is not None
+            else None
+        )
+        self._rng = (
+            random.Random(resilience.seed) if resilience is not None else None
+        )
+        # Lazily created: only queries under a per-shard attempt timeout
+        # need the executor (the future's result() carries the budget).
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = Lock()
         self.options_digest = options_digest(
             {
                 "engine": "sharded",
@@ -274,8 +315,152 @@ class ShardedSearchEngine:
             return query.identifier, query.codes
         return "query", np.asarray(query, dtype=np.uint8)
 
+    def breaker_states(self) -> dict[int, str]:
+        """Current circuit-breaker state per shard slot (empty when the
+        engine has no resilience configured)."""
+        if self._breakers is None:
+            return {}
+        return {
+            slot: breaker.state
+            for slot, breaker in enumerate(self._breakers)
+        }
+
+    def close(self) -> None:
+        """Release the per-shard timeout executor, if one was created.
+
+        A timed-out attempt's thread may still be running (the future
+        is abandoned, not interrupted); shutdown does not wait for it.
+        Safe to call more than once, and a closed engine recreates the
+        executor on demand if searched again.
+        """
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def _shard_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=max(2, len(self._engines)),
+                    thread_name_prefix="shard-attempt",
+                )
+            return self._pool
+
+    def _attempt_with_timeout(self, slot: int, fn: Callable, timeout):
+        """One shard call, bounded by ``timeout`` seconds (None = no
+        bound).
+
+        Raises:
+            ShardTimeout: when the attempt overran its budget.  The
+                attempt's thread is abandoned, not interrupted — it
+                keeps running on the executor until it finishes on its
+                own, which is why the executor has more threads than
+                shards.
+        """
+        if timeout is None:
+            return fn()
+        future = self._shard_pool().submit(fn)
+        try:
+            return future.result(timeout=timeout)
+        except FuturesTimeout:
+            future.cancel()
+            raise ShardTimeout(
+                f"shard {slot} attempt exceeded its {timeout:.3f}s budget"
+            ) from None
+
+    def _run_shard(self, slot: int, fn: Callable, deadline: Deadline):
+        """Run one shard call under the resilience policy.
+
+        Without resilience this is a plain call (failures propagate as
+        before).  With it, the shard's breaker gates the call, each
+        failed attempt (see :data:`SHARD_FAILURE_EXCEPTIONS`) is
+        retried with jittered backoff, and exhaustion raises
+        :class:`ShardUnavailable` so the caller can degrade.
+
+        Raises:
+            ShardUnavailable: breaker open, retries exhausted, or no
+                deadline budget left to retry in.
+        """
+        resilience = self.resilience
+        if resilience is None:
+            return fn()
+        instruments = self.instruments
+        breaker = self._breakers[slot]
+        if not breaker.allow():
+            instruments.count(f"sharded.shard.{slot}.breaker_skips")
+            raise ShardUnavailable(
+                slot, "breaker_open", f"shard {slot}: circuit breaker open"
+            )
+        retry = resilience.retry
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                result = self._attempt_with_timeout(
+                    slot, fn, resilience.shard_timeout
+                )
+            except SHARD_FAILURE_EXCEPTIONS as exc:
+                breaker.record_failure()
+                instruments.count(f"sharded.shard.{slot}.failures")
+                _LOG.warning(
+                    "shard %d attempt %d/%d failed: %s",
+                    slot, attempt, retry.max_attempts, exc,
+                )
+                if attempt >= retry.max_attempts:
+                    raise ShardUnavailable(
+                        slot,
+                        "retries_exhausted",
+                        f"shard {slot}: {retry.max_attempts} attempts "
+                        f"failed, last: {exc}",
+                    ) from exc
+                if not breaker.allow():
+                    # Our own failures tripped it mid-retry: stop
+                    # burning budget on a shard the breaker now rejects.
+                    raise ShardUnavailable(
+                        slot,
+                        "breaker_open",
+                        f"shard {slot}: breaker opened during retries",
+                    ) from exc
+                delay = retry.delay(attempt, self._rng)
+                remaining = deadline.remaining()
+                if remaining is not None and remaining <= delay:
+                    raise ShardUnavailable(
+                        slot,
+                        "deadline",
+                        f"shard {slot}: no deadline budget left to retry",
+                    ) from exc
+                if delay > 0:
+                    time.sleep(delay)
+                instruments.count(f"sharded.shard.{slot}.retries")
+            else:
+                breaker.record_success()
+                return result
+
+    def _note_degraded(
+        self, slot: int, exc: ShardUnavailable, degraded: set[int]
+    ) -> None:
+        if slot not in degraded:
+            degraded.add(slot)
+            self.instruments.count(f"sharded.shard.{slot}.degraded")
+            # A breaker-open skip recurs on every query until the reset
+            # window elapses; warning once per query would flood a soak.
+            level = (
+                logging.DEBUG
+                if exc.reason == "breaker_open"
+                else logging.WARNING
+            )
+            _LOG.log(
+                level,
+                "dropping shard %d for this query (%s): %s",
+                slot, exc.reason, exc,
+            )
+
     def _evaluate_one_strand(
-        self, codes: np.ndarray
+        self,
+        codes: np.ndarray,
+        deadline: Deadline,
+        degraded: set[int],
     ) -> tuple[list[SearchHit], int, float, float, list[dict]]:
         """(globally ranked hits, candidates, coarse s, fine s,
         per-shard timing/volume breakdown)."""
@@ -299,10 +484,22 @@ class ShardedSearchEngine:
         rows: list[tuple[float, int, int, object]] = []
         with instruments.span("coarse"):
             for slot, engine in enumerate(self._engines):
+                if slot in degraded:
+                    continue
                 base = self.bases[slot]
                 shard_started = time.perf_counter()
                 with instruments.span(f"shard[{slot}].coarse") as span:
-                    candidates = engine.coarse_rank(codes)
+                    try:
+                        candidates = self._run_shard(
+                            slot,
+                            lambda engine=engine: engine.coarse_rank(
+                                codes, deadline=deadline
+                            ),
+                            deadline,
+                        )
+                    except ShardUnavailable as exc:
+                        self._note_degraded(slot, exc, degraded)
+                        continue
                     if span is not None:
                         span.annotate("shard", slot)
                         span.annotate("candidates", len(candidates))
@@ -343,7 +540,19 @@ class ShardedSearchEngine:
                 base = self.bases[slot]
                 shard_started = time.perf_counter()
                 with instruments.span(f"shard[{slot}].fine") as span:
-                    shard_hits = engine.fine_align(codes, candidates)
+                    try:
+                        shard_hits = self._run_shard(
+                            slot,
+                            lambda engine=engine, candidates=candidates: (
+                                engine.fine_align(
+                                    codes, candidates, deadline=deadline
+                                )
+                            ),
+                            deadline,
+                        )
+                    except ShardUnavailable as exc:
+                        self._note_degraded(slot, exc, degraded)
+                        continue
                     if span is not None:
                         span.annotate("shard", slot)
                         span.annotate("candidates", len(candidates))
@@ -369,9 +578,25 @@ class ShardedSearchEngine:
         )
 
     def search(
-        self, query: Sequence | np.ndarray, top_k: int = 10
+        self,
+        query: Sequence | np.ndarray,
+        top_k: int = 10,
+        deadline: Deadline | None = None,
     ) -> SearchReport:
         """Evaluate one query across every shard.
+
+        Args:
+            query: a :class:`Sequence` or a coded array.
+            top_k: answers to return.
+            deadline: optional per-query time budget, checked between
+                per-shard fan-out steps and threaded into every shard's
+                coarse and fine phases.  Expiry yields a flagged
+                partial report, never an exception.
+
+        A resilient engine (``resilience`` given at construction) drops
+        failing shards instead of raising: the report's
+        ``shards_degraded`` lists every dropped shard slot, and even an
+        all-shards-down query returns an (empty, flagged) report.
 
         Raises:
             SearchError: if the query is shorter than the interval
@@ -379,6 +604,7 @@ class ShardedSearchEngine:
         """
         if top_k < 1:
             raise SearchError(f"top_k must be >= 1, got {top_k}")
+        deadline = ensure_deadline(deadline)
         identifier, codes = self._query_codes(query)
         if codes.shape[0] < self.params.interval_length:
             raise SearchError(
@@ -386,19 +612,22 @@ class ShardedSearchEngine:
                 f"length {self.params.interval_length}"
             )
         instruments = self.instruments
+        degraded: set[int] = set()
         try:
             with instruments.span("search"):
                 hits, candidates, coarse_seconds, fine_seconds, shard_detail = (
-                    self._evaluate_one_strand(codes)
+                    self._evaluate_one_strand(codes, deadline, degraded)
                 )
-                if self.both_strands:
+                if self.both_strands and not deadline.expired():
                     (
                         reverse_hits,
                         reverse_candidates,
                         reverse_coarse,
                         reverse_fine,
                         reverse_detail,
-                    ) = self._evaluate_one_strand(reverse_complement(codes))
+                    ) = self._evaluate_one_strand(
+                        reverse_complement(codes), deadline, degraded
+                    )
                     hits = _merge_strand_hits(hits, reverse_hits)
                     candidates = candidates + reverse_candidates
                     coarse_seconds += reverse_coarse
@@ -441,6 +670,11 @@ class ShardedSearchEngine:
                 )
             return report
         instruments.count("sharded.queries")
+        deadline_expired = deadline.expired()
+        if deadline_expired:
+            instruments.count("sharded.deadline_expired")
+        if degraded:
+            instruments.count("sharded.degraded_queries")
         instruments.count("sharded.candidates", candidates)
         instruments.observe("sharded.coarse_seconds", coarse_seconds)
         instruments.observe("sharded.fine_seconds", fine_seconds)
@@ -458,16 +692,20 @@ class ShardedSearchEngine:
                 )
                 for hit in hits
             ]
+        shards_degraded = tuple(sorted(degraded))
         if instruments.wants_events:
+            partial = deadline_expired or bool(shards_degraded)
             instruments.emit_event(
                 self._query_event(
                     identifier,
-                    "ok",
+                    "partial" if partial else "ok",
                     candidates=candidates,
                     hits=len(hits[:top_k]),
                     coarse_seconds=coarse_seconds,
                     fine_seconds=fine_seconds,
                     shards=shard_detail,
+                    deadline_expired=deadline_expired,
+                    shards_degraded=list(shards_degraded),
                 )
             )
         return SearchReport(
@@ -478,6 +716,8 @@ class ShardedSearchEngine:
             fine_seconds=fine_seconds,
             quarantined_intervals=self.quarantined_intervals,
             quarantined_sequences=self.quarantined_sequences,
+            deadline_expired=deadline_expired,
+            shards_degraded=shards_degraded,
         )
 
     def _query_event(
@@ -537,12 +777,14 @@ class ShardedSearchEngine:
         queries: list[Sequence],
         top_k: int = 10,
         workers: int | None = None,
+        deadline: Deadline | None = None,
     ) -> list[SearchReport]:
         """Evaluate a batch of queries, reports in query order.
 
         ``workers`` defaults to the engine's ``query_workers``; values
         above 1 evaluate queries on a thread pool (the numpy kernels
-        release the GIL, so shards and queries genuinely overlap).
+        release the GIL, so shards and queries genuinely overlap).  A
+        ``deadline`` is shared by the whole batch.
 
         Raises:
             SearchError: if ``workers`` < 1.
@@ -550,5 +792,6 @@ class ShardedSearchEngine:
         if workers is None:
             workers = self.query_workers
         return run_search_batch(
-            self.search, queries, top_k, workers, self.instruments
+            self.search, queries, top_k, workers, self.instruments,
+            deadline=deadline,
         )

@@ -107,6 +107,24 @@ class TestCompare:
         assert report.missing_in_current == ["gone"]
         assert report.missing_in_baseline == ["new"]
 
+    def test_missing_metric_warnings(self):
+        baseline = _document("t", gone=(1.0, "lower"), kept=(1.0, "lower"))
+        current = _document("t", new=(1.0, "lower"), kept=(1.0, "lower"))
+        report = compare_documents(baseline, current)
+        lines = report.warnings()
+        assert len(lines) == 2
+        assert any("gone" in line and "dropped or renamed" in line
+                   for line in lines)
+        assert any("new" in line and "not the baseline" in line
+                   for line in lines)
+        assert "1 missing from current" in report.summary()
+        assert "1 missing from baseline" in report.summary()
+
+    def test_no_warnings_when_documents_align(self):
+        baseline = _document("t", ms=(10.0, "lower"))
+        current = _document("t", ms=(11.0, "lower"))
+        assert compare_documents(baseline, current).warnings() == []
+
     def test_per_metric_threshold_override(self):
         baseline = _document("t", ms=(10.0, "lower"))
         current = _document("t", ms=(25.0, "lower"))

@@ -253,3 +253,54 @@ class TestDegradedSearchOptions:
         assert all(report.degraded for report in reports)
         with pytest.raises(SearchError, match="cannot honour"):
             degraded_db.search_batch(queries, both_strands=True)
+
+
+class TestConcurrentEngineCache:
+    def test_concurrent_engine_calls_share_one_cache_entry(self, database):
+        """The engine cache must be safe under concurrent access: every
+        thread gets the same cached engine and the LRU never corrupts
+        (the pre-lock race built duplicate engines and could evict a
+        live one mid-build)."""
+        import threading
+
+        database._engines.clear()
+        engines = []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            for _ in range(25):
+                engines.append(database.engine(coarse_cutoff=64))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(engines) == 200
+        assert len({id(engine) for engine in engines}) == 1
+        assert database.cached_engines == 1
+
+    def test_concurrent_distinct_options_respect_lru_bound(self, database):
+        import threading
+
+        database._engines.clear()
+        errors = []
+
+        def worker(slot):
+            try:
+                for cutoff in range(16, 16 + 12):
+                    database.engine(coarse_cutoff=cutoff + slot)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(slot,))
+            for slot in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert database.cached_engines <= database.ENGINE_CACHE_LIMIT

@@ -1,0 +1,251 @@
+"""Per-query deadlines: units + partial-result behaviour end to end.
+
+The contract under test: an expired deadline never raises — the engine
+returns whatever ranking the work completed before expiry produced,
+with ``deadline_expired=True`` on the report.  A generous deadline
+changes nothing (score identity with the unbudgeted path).
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import SearchError
+from repro.index.builder import IndexParameters, build_index
+from repro.index.store import MemorySequenceSource
+from repro.search.deadline import (
+    NO_DEADLINE,
+    Deadline,
+    DeadlineIndexView,
+    ensure_deadline,
+)
+from repro.search.engine import PartitionedSearchEngine
+from repro.sequences.record import Sequence
+from repro.sharding import ShardedSearchEngine
+
+
+class FakeClock:
+    """A manually-advanced monotonic clock."""
+
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestDeadline:
+    def test_unbounded_never_expires(self):
+        deadline = Deadline()
+        assert not deadline.bounded
+        assert not deadline.expired()
+        assert deadline.remaining() is None
+
+    def test_after_none_is_shared_sentinel(self):
+        assert Deadline.after(None) is NO_DEADLINE
+
+    def test_after_negative_raises(self):
+        with pytest.raises(SearchError):
+            Deadline.after(-0.5)
+
+    def test_expiry_follows_clock(self):
+        clock = FakeClock()
+        deadline = Deadline.after(2.0, clock)
+        assert deadline.bounded
+        assert not deadline.expired()
+        assert deadline.remaining() == pytest.approx(2.0)
+        clock.advance(1.5)
+        assert not deadline.expired()
+        clock.advance(0.5)
+        assert deadline.expired()
+        assert deadline.remaining() == 0.0
+        clock.advance(10.0)
+        assert deadline.expired()
+
+    def test_zero_budget_expires_immediately(self):
+        clock = FakeClock()
+        assert Deadline.after(0.0, clock).expired()
+
+    def test_tightened_keeps_the_tighter(self):
+        clock = FakeClock()
+        wide = Deadline.after(10.0, clock)
+        assert wide.tightened(None) is wide
+        assert wide.tightened(20.0) is wide
+        tight = wide.tightened(1.0)
+        assert tight.remaining() == pytest.approx(1.0)
+        unbounded = Deadline(clock=clock)
+        assert unbounded.tightened(3.0).remaining() == pytest.approx(3.0)
+
+    def test_ensure_deadline(self):
+        assert ensure_deadline(None) is NO_DEADLINE
+        deadline = Deadline.after(1.0, FakeClock())
+        assert ensure_deadline(deadline) is deadline
+
+
+class TestDeadlineIndexView:
+    @pytest.fixture()
+    def index(self, tiny_collection):
+        return build_index(
+            tiny_collection, IndexParameters(interval_length=6)
+        )
+
+    def test_passthrough_before_expiry(self, index):
+        clock = FakeClock()
+        view = DeadlineIndexView(index, Deadline.after(5.0, clock))
+        assert view.params is index.params
+        assert view.collection is index.collection
+        assert view.vocabulary_size == index.vocabulary_size
+        interval = next(iter(index.interval_ids()))
+        assert view.lookup_entry(interval) == index.lookup_entry(interval)
+        assert view.postings(interval) == index.postings(interval)
+
+    def test_empty_evidence_after_expiry(self, index):
+        clock = FakeClock()
+        view = DeadlineIndexView(index, Deadline.after(1.0, clock))
+        interval = next(iter(index.interval_ids()))
+        clock.advance(2.0)
+        assert view.lookup_entry(interval) is None
+        assert view.docs_counts(interval) is None
+        assert view.postings(interval) == []
+
+
+@pytest.fixture(scope="module")
+def shard_pairs(small_workload):
+    """Three (index, source) shards over the small-workload collection."""
+    collection, _ = small_workload
+    records = list(collection.sequences)
+    params = IndexParameters(interval_length=8)
+    pairs = []
+    for slot in range(3):
+        part = records[slot::3]
+        pairs.append(
+            (build_index(part, params), MemorySequenceSource(part))
+        )
+    return pairs
+
+
+@pytest.fixture(scope="module")
+def engine_pair(small_workload, small_index, small_source, shard_pairs):
+    """One partitioned engine and one 3-shard engine over the same data."""
+    _, queries = small_workload
+    single = PartitionedSearchEngine(small_index, small_source)
+    sharded = ShardedSearchEngine(shard_pairs)
+    return single, sharded, queries
+
+
+@pytest.mark.parametrize("which", ["single", "sharded"])
+def test_expired_deadline_returns_partial_not_raise(engine_pair, which):
+    single, sharded, queries = engine_pair
+    engine = single if which == "single" else sharded
+    clock = FakeClock()
+    deadline = Deadline.after(0.0, clock)
+    report = engine.search(queries[0].query, top_k=5, deadline=deadline)
+    assert report.deadline_expired
+    assert report.partial
+    # Expired before any work: nothing could be ranked.
+    assert report.hits == []
+
+
+@pytest.mark.parametrize("which", ["single", "sharded"])
+def test_generous_deadline_matches_unbudgeted(engine_pair, which):
+    single, sharded, queries = engine_pair
+    engine = single if which == "single" else sharded
+    for case in queries[:3]:
+        free = engine.search(case.query, top_k=8)
+        budgeted = engine.search(
+            case.query, top_k=8, deadline=Deadline.after(60.0)
+        )
+        assert not budgeted.deadline_expired
+        assert not budgeted.partial
+        assert [h.ordinal for h in budgeted.hits] == [
+            h.ordinal for h in free.hits
+        ]
+        assert [h.score for h in budgeted.hits] == [
+            h.score for h in free.hits
+        ]
+
+
+def test_mid_query_expiry_yields_prefix_partial(engine_pair):
+    """Expire between phases: hits (if any) come from completed work and
+    the report is flagged; no exception regardless of where the clock
+    lands."""
+    single, _, queries = engine_pair
+    query = queries[0].query
+    full = single.search(query, top_k=10)
+    # A clock that jumps past the expiry point after a fixed number of
+    # reads lands expiry at different pipeline stages.
+    for reads_before_expiry in (1, 3, 10, 50, 200):
+        class CountingClock:
+            def __init__(self, budget):
+                self.calls = 0
+                self.budget = budget
+
+            def __call__(self):
+                self.calls += 1
+                return 0.0 if self.calls <= self.budget else 100.0
+
+        clock = CountingClock(reads_before_expiry)
+        deadline = Deadline.after(1.0, clock)
+        report = single.search(query, top_k=10, deadline=deadline)
+        # Partial hits are genuine scored alignments, in sorted order.
+        scores = [h.score for h in report.hits]
+        assert scores == sorted(scores, reverse=True)
+        if report.deadline_expired:
+            assert report.partial
+            full_ordinals = {h.ordinal for h in full.hits}
+            for hit in report.hits:
+                assert hit.ordinal in full_ordinals or hit.score > 0
+        else:
+            # The query finished before it burned through the clock
+            # budget: results must be the unbudgeted ones.
+            assert [h.ordinal for h in report.hits] == [
+                h.ordinal for h in full.hits
+            ]
+
+
+def test_both_strands_skips_reverse_after_expiry(engine_pair):
+    single, _, queries = engine_pair
+    engine = PartitionedSearchEngine(
+        single.index, single.source, both_strands=True
+    )
+    clock = FakeClock()
+    report = engine.search(
+        queries[0].query, top_k=5, deadline=Deadline.after(0.0, clock)
+    )
+    assert report.deadline_expired
+    assert report.hits == []
+
+
+def test_search_batch_threads_deadline(engine_pair):
+    single, _, queries = engine_pair
+    clock = FakeClock()
+    deadline = Deadline.after(0.0, clock)
+    reports = single.search_batch(
+        [c.query for c in queries[:3]], top_k=5, deadline=deadline
+    )
+    assert len(reports) == 3
+    assert all(r.deadline_expired for r in reports)
+
+
+def test_sharded_deadline_event_annotations(
+    engine_pair, shard_pairs, tmp_path
+):
+    from repro.instrumentation.eventlog import QueryEventLog, read_events
+    from repro.instrumentation.instruments import Instruments
+
+    _, _, queries = engine_pair
+    log_path = tmp_path / "events.jsonl"
+    with QueryEventLog(log_path) as eventlog:
+        instruments = Instruments(eventlog=eventlog)
+        engine = ShardedSearchEngine(shard_pairs, instruments=instruments)
+        engine.search(
+            queries[0].query, top_k=5, deadline=Deadline.after(0.0, FakeClock())
+        )
+    events = read_events(log_path)
+    assert events, "expected one query event"
+    event = events[-1]
+    assert event["outcome"] == "partial"
+    assert event["deadline_expired"] is True
+    assert event["shards_degraded"] == []

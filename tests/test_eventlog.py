@@ -234,3 +234,58 @@ class TestCliEventLog:
         events = read_events(target)
         assert len(events) == 1
         assert events[0]["outcome"] == "ok"
+
+
+class TestSinkFailureDrops:
+    """A failing sink must never fail the query: the event is dropped
+    and counted, nothing propagates."""
+
+    class _BrokenFile:
+        def __init__(self, fail_after=0):
+            self.fail_after = fail_after
+            self.writes = 0
+            self.closed = False
+
+        def write(self, text):
+            self.writes += 1
+            if self.writes > self.fail_after:
+                raise OSError(28, "No space left on device")
+            return len(text)
+
+        def flush(self):
+            pass
+
+    def test_oserror_dropped_and_counted(self):
+        sink = self._BrokenFile()
+        log = QueryEventLog(sink)
+        assert log.emit({"query": "q0"}) is False
+        assert log.emit({"query": "q1"}) is False
+        assert log.dropped == 2
+        assert log.written == 0
+        assert log.seen == 2
+
+    def test_recovery_after_transient_failure(self):
+        import io
+
+        sink = io.StringIO()
+        log = QueryEventLog(sink)
+        assert log.emit({"query": "ok"}) is True
+
+        broken = self._BrokenFile(fail_after=0)
+        log_broken = QueryEventLog(broken)
+        log_broken.emit({"query": "lost"})
+        assert log_broken.dropped == 1
+
+    def test_closed_sink_write_is_dropped_not_raised(self, tmp_path):
+        log = QueryEventLog(tmp_path / "events.jsonl")
+        log.close()
+        assert log.emit({"query": "after-close"}) is False
+        assert log.dropped == 1
+
+    def test_dropped_counter_mirrored_as_gauge(self):
+        from repro.instrumentation.instruments import Instruments
+
+        instruments = Instruments(eventlog=QueryEventLog(self._BrokenFile()))
+        instruments.emit_event({"query": "q"})
+        snapshot = instruments.metrics.snapshot()
+        assert snapshot["gauges"]["eventlog.dropped"] == 1
