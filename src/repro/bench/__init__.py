@@ -7,7 +7,8 @@ Three pieces sit on top of the observability layer:
   metrics with units and better-directions);
 * :mod:`repro.bench.runner` — producers: a self-contained synthetic
   *quick* suite (CI-sized), the E1–E8 experiment tables driven through
-  ``benchmarks/harness.py``, and the shard sweep;
+  ``benchmarks/harness.py``, the shard sweep, and the decode-kernel
+  tier suite;
 * :mod:`repro.bench.compare` — the regression gate ``repro bench
   --compare BASELINE CURRENT`` applies: per-metric thresholds on the
   current/baseline ratio, nonzero exit when any gated metric regresses.
@@ -21,7 +22,12 @@ from repro.bench.schema import (
     machine_metadata,
     metric,
 )
-from repro.bench.runner import run_experiments, run_quick, run_shard_sweep
+from repro.bench.runner import (
+    run_experiments,
+    run_kernel_bench,
+    run_quick,
+    run_shard_sweep,
+)
 
 __all__ = [
     "BenchDocument",
@@ -33,6 +39,7 @@ __all__ = [
     "machine_metadata",
     "metric",
     "run_experiments",
+    "run_kernel_bench",
     "run_quick",
     "run_shard_sweep",
 ]

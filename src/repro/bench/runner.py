@@ -1,6 +1,6 @@
 """Benchmark producers: every suite ends in one canonical document.
 
-Three producers, one output shape (:class:`~repro.bench.schema.BenchDocument`):
+Four producers, one output shape (:class:`~repro.bench.schema.BenchDocument`):
 
 * :func:`run_quick` — a self-contained synthetic workload (CI-sized,
   seconds not minutes): index build time, per-phase latency
@@ -12,6 +12,10 @@ Three producers, one output shape (:class:`~repro.bench.schema.BenchDocument`):
   (``PYTHONPATH=src:.``), like CI runs it.
 * :func:`run_shard_sweep` — wraps the shard-scaling sweep in
   ``benchmarks/bench_e3_scaling.py``.
+* :func:`run_kernel_bench` — times the coarse phase on the
+  pure-Python decode floor versus the resolved vector tier
+  (interleaved, min-of-rounds) and asserts hit-for-hit ranking
+  identity between them.  Needs ``benchmarks/workload_setup.py``.
 
 Flattened metric names are stable — ``e3.150.part_ms_q`` — because the
 regression gate matches baseline and current by name.
@@ -20,10 +24,13 @@ regression gate matches baseline and current by name.
 from __future__ import annotations
 
 import importlib
+import math
 import re
 import statistics
 import time
 from pathlib import Path
+
+import numpy as np
 
 from repro.bench.schema import BenchDocument, standard_meta
 from repro.errors import ReproError
@@ -337,4 +344,119 @@ def run_shard_sweep(
             f"{prefix}.parity",
             1.0 if row["parity_with_one_shard"] else 0.0, "", "higher",
         )
+    return document
+
+
+def run_kernel_bench(
+    num_sequences: int = 1200,
+    rounds: int = 12,
+    scorers=("count", "idf", "normalised", "diagonal"),
+) -> BenchDocument:
+    """The decode-kernel suite: coarse phase, vector tier vs floor.
+
+    Times the coarse phase — posting-list decode through per-document
+    accumulation, the work the E3 engine's own scorer does per query —
+    over the E3 family queries on the pure-Python floor and on the
+    resolved vector tier.  Vocabulary lookups are resolved once
+    outside the timed region: they are tier-independent and belong to
+    the lookup phase, not the decode phase, and both tiers run the
+    exact same call sequence so only the tier flag differs.  The two
+    tiers are timed strictly interleaved, one block each per round, so
+    machine drift hits both sides equally; min-of-rounds is the point
+    estimate (the most noise-robust statistic on a shared machine).
+
+    Raw block times are recorded as ``info`` — they are facts about
+    the machine, not the code.  What the regression gate holds are the
+    machine-normalised ``kernel.speedup`` ratio and the correctness
+    bit ``kernel.rank_identical``, which is 1.0 only when every one of
+    ``scorers`` produces a bit-identical score vector on both tiers
+    for every query.  A fast kernel that moves one score is a broken
+    kernel.
+    """
+    from repro.compression import fastunpack
+    from repro.search.coarse import make_scorer
+
+    workload = _load_benchmarks(module="workload_setup")
+    _records, engine, _exhaustive, cases = workload.scaled_setup(
+        num_sequences
+    )
+    ranker = engine._ranker
+    index = engine.index
+    stats = [
+        ranker._frequency_filter(*ranker.query_intervals(case.query.codes))
+        for case in cases
+    ]
+    timed_scorer = ranker.scorer
+    scorer_objects = [make_scorer(name) for name in scorers]
+    active = fastunpack.resolve_tier()
+    num = index.collection.num_sequences
+    prepared = []
+    for unique_ids, query_counts, _groups in stats:
+        ids = unique_ids.tolist()
+        prepared.append(
+            (ids, [index.lookup_entry(i) for i in ids], query_counts)
+        )
+
+    def coarse_block() -> float:
+        started = time.perf_counter()
+        for ids, entries, query_counts in prepared:
+            lens, docs, counts = index.docs_counts_flat_from_entries(
+                ids, entries
+            )
+            caps = np.repeat(query_counts, lens)
+            np.bincount(
+                docs, weights=np.minimum(counts, caps), minlength=num
+            )
+        return time.perf_counter() - started
+
+    def scores_for(tier: str) -> list:
+        with fastunpack.forced_tier(tier):
+            return [
+                scorer.score(index, *stat)
+                for stat in stats
+                for scorer in scorer_objects
+            ]
+
+    mismatches = sum(
+        not np.array_equal(floor_scores, tier_scores)
+        for floor_scores, tier_scores in zip(
+            scores_for("python"), scores_for(active)
+        )
+    )
+
+    floor_ms = math.inf
+    active_ms = math.inf
+    for _ in range(max(1, rounds)):
+        with fastunpack.forced_tier("python"):
+            floor_ms = min(floor_ms, coarse_block() * 1000.0)
+        with fastunpack.forced_tier(active):
+            active_ms = min(active_ms, coarse_block() * 1000.0)
+
+    document = BenchDocument(
+        "kernel",
+        meta=standard_meta(
+            {
+                "active_tier": active,
+                "num_sequences": num_sequences,
+                "queries": len(cases),
+                "timed_scorer": type(timed_scorer).__name__,
+                "identity_scorers": list(scorers),
+                "rounds": max(1, rounds),
+            }
+        ),
+    )
+    document.add("kernel.coarse_python_ms", floor_ms, "ms", "info")
+    document.add("kernel.coarse_active_ms", active_ms, "ms", "info")
+    document.add(
+        "kernel.speedup",
+        floor_ms / active_ms if active_ms > 0 else 1.0,
+        "x",
+        "higher",
+    )
+    document.add(
+        "kernel.rank_identical",
+        0.0 if mismatches else 1.0,
+        "",
+        "higher",
+    )
     return document

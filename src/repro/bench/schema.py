@@ -185,10 +185,18 @@ class BenchDocument:
 
 
 def standard_meta(extra: dict | None = None) -> dict:
-    """machine + git metadata every producer stamps on its document."""
+    """machine + git metadata every producer stamps on its document.
+
+    Includes the active decode kernel tier: two BENCH documents are
+    only comparable when they ran the same tier, so the compare layer
+    (and a human reading the file) must be able to see it.
+    """
+    from repro.compression import fastunpack
+
     meta = {
         "machine": machine_metadata(),
         "git_rev": git_revision(),
+        "kernel_tier": fastunpack.active_tier(),
     }
     meta.update(extra or {})
     return meta

@@ -242,7 +242,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print("PASS: no regressions")
         return 0
 
-    from repro.bench import run_experiments, run_quick, run_shard_sweep
+    from repro.bench import (
+        run_experiments,
+        run_kernel_bench,
+        run_quick,
+        run_shard_sweep,
+    )
 
     sleep_seconds = (args.inject_sleep_ms or 0.0) / 1000.0
     if args.suite == "quick":
@@ -253,11 +258,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             inject_sleep_seconds=sleep_seconds,
         )
         default_output = Path("BENCH_quick.json")
+    elif args.suite == "kernel":
+        document = run_kernel_bench(
+            num_sequences=args.sequences or 1200,
+            rounds=args.repeat if args.repeat > 2 else 12,
+        )
+        default_output = Path("BENCH_kernel.json")
     elif args.suite == "shards":
         document = run_shard_sweep(
             shard_counts=args.shards,
             workers=args.workers,
-            num_sequences=args.sequences,
+            num_sequences=args.sequences or 400,
             num_queries=args.num_queries,
         )
         default_output = Path("BENCH_shards.json")
@@ -683,7 +694,7 @@ def build_parser() -> argparse.ArgumentParser:
         "gate one document against a baseline",
     )
     bench.add_argument(
-        "--suite", choices=("quick", "shards", "experiments"),
+        "--suite", choices=("quick", "kernel", "shards", "experiments"),
         default="quick",
         help="which producer to run (ignored with --compare)",
     )
@@ -718,7 +729,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard counts for --suite shards",
     )
     bench.add_argument("--workers", type=int, default=4)
-    bench.add_argument("--sequences", type=int, default=400)
+    bench.add_argument(
+        "--sequences", type=int, default=None,
+        help="collection size (default: 400 for shards, 1200 for kernel)",
+    )
     bench.add_argument(
         "--inject-sleep-ms", type=float, default=None,
         help=argparse.SUPPRESS,

@@ -1,0 +1,111 @@
+"""Compiled (numba) postings-decode kernels — the optional top tier.
+
+Importing this module requires numba; :mod:`repro.compression.fastunpack`
+probes the import once and silently falls back to its numpy block
+decoder when the compiler is missing, so nothing outside this file may
+assume numba exists.
+
+The kernels are deliberately scalar bit-cursor loops — exactly the
+shape the pure-Python decoder has — because that is what a JIT turns
+into tight branch-free machine code.  They return ``None`` for any
+stream they cannot finish (truncation, preposterous code lengths); the
+caller then re-decodes on the numpy tier, which reproduces the scalar
+path's values or exception bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit  # noqa: F401 — the probe import that gates this tier
+
+
+@njit(cache=True)
+def _section_a_kernel(
+    buf: np.ndarray,
+    df: int,
+    parameter: int,
+    remainder_bits: int,
+    threshold: int,
+    docs: np.ndarray,
+    counts: np.ndarray,
+) -> int:
+    """Decode ``df`` (Golomb gap, gamma count) pairs from bit 0.
+
+    Returns the bit position after the last code, or -1 when the
+    stream ends early or a code is too long for int64 arithmetic.
+    """
+    total_bits = buf.shape[0] * 8
+    position = 0
+    previous_doc = -1
+    for slot in range(df):
+        quotient = 0
+        while True:
+            if position >= total_bits:
+                return -1
+            bit = (buf[position >> 3] >> (7 - (position & 7))) & 1
+            position += 1
+            if bit == 0:
+                break
+            quotient += 1
+        remainder = 0
+        if remainder_bits > 0:
+            width = remainder_bits - 1
+            if position + width > total_bits:
+                return -1
+            for _ in range(width):
+                remainder = (remainder << 1) | (
+                    (buf[position >> 3] >> (7 - (position & 7))) & 1
+                )
+                position += 1
+            if remainder >= threshold:
+                if position >= total_bits:
+                    return -1
+                remainder = (
+                    (remainder << 1)
+                    | ((buf[position >> 3] >> (7 - (position & 7))) & 1)
+                ) - threshold
+                position += 1
+        previous_doc += quotient * parameter + remainder + 1
+        docs[slot] = previous_doc
+
+        low_bits = 0
+        while True:
+            if position >= total_bits:
+                return -1
+            bit = (buf[position >> 3] >> (7 - (position & 7))) & 1
+            position += 1
+            if bit == 0:
+                break
+            low_bits += 1
+        if low_bits > 62 or position + low_bits > total_bits:
+            return -1
+        shifted = 1
+        for _ in range(low_bits):
+            shifted = (shifted << 1) | (
+                (buf[position >> 3] >> (7 - (position & 7))) & 1
+            )
+            position += 1
+        counts[slot] = shifted  # gamma value + 1 == the stored count
+    return position
+
+
+def decode_docs_counts(
+    raw: np.ndarray, df: int, parameter: int
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """Section-A decode on the compiled tier, or None to fall back."""
+    docs = np.empty(df, dtype=np.int64)
+    counts = np.empty(df, dtype=np.int64)
+    if not df:
+        return docs, counts
+    if parameter > 1:
+        remainder_bits = (parameter - 1).bit_length()
+        threshold = (1 << remainder_bits) - parameter
+    else:
+        remainder_bits = 0
+        threshold = 0
+    end = _section_a_kernel(
+        raw, df, parameter, remainder_bits, threshold, docs, counts
+    )
+    if end < 0:
+        return None
+    return docs, counts

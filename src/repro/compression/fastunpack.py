@@ -1,0 +1,1150 @@
+"""Vectorised variable-length code unpacking — the decode twin of
+:mod:`repro.compression.fastpack`.
+
+Query evaluation decodes millions of small Golomb/Elias codes; doing
+that one ``read_bits`` call at a time dominates the coarse phase.  This
+module block-decodes a whole d-gap stream in one numpy pass:
+
+1. **bit unpack** — the blob becomes a bit array plus an aligned
+   64-bit window per byte offset, so any code of up to
+   :data:`~repro.compression.fastpack.MAX_VECTOR_BITS` bits can be read
+   at any bit position with one gather;
+2. **terminator location** — every unary run ends at the first zero
+   bit at or after its start, found for *all* positions at once with a
+   reversed ``minimum.accumulate`` (a suffix-min);
+3. **transition tables** — for every bit position the table answers
+   "if a Golomb (or gamma) code started here, what value would it
+   decode to and where would the next code start";
+4. **chain resolution** — the code boundaries of one list are the
+   orbit of position 0 under the table's next-pointer, computed in
+   O(log n) gather rounds by pointer doubling.
+
+The rare code the vector window cannot hold (a huge unary run) and any
+truncated stream are *spliced*: the vector prefix is kept and the
+scalar codec finishes from the first bad position, so the result —
+values or exception — is bit-identical to
+:meth:`~repro.compression.integer.IntegerCodec.decode_array`.
+
+The batched entry points decode the posting lists of many intervals in
+one table build (per-position Golomb parameters, one 2-D doubling
+pass), which is what makes tiny-df lists profitable to vectorise: the
+per-bit table cost is paid once per *query*, not once per list, and it
+scales with the total compressed size rather than with the entry
+count.  :func:`decode_docs_counts_flat` goes one step further and
+returns lane-major *flat* arrays so a scorer can accumulate evidence
+without ever materialising per-list objects.
+
+Tier selection lives here too (see :func:`resolve_tier`): the
+``REPRO_KERNEL`` environment variable picks ``numba`` (compiled kernel,
+silently falling back when numba is not importable), ``numpy`` (this
+module's block decoder), or ``python`` (the scalar floor); ``auto``
+takes the best available.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+import numpy as np
+
+from repro.compression.bitio import BitReader
+from repro.compression.fastpack import MAX_VECTOR_BITS, _bit_lengths
+from repro.errors import ReproError
+
+__all__ = [
+    "KERNEL_ENV_VAR",
+    "TIERS",
+    "active_tier",
+    "decode_docs_counts",
+    "decode_docs_counts_batch",
+    "decode_docs_counts_flat",
+    "decode_gap_stream",
+    "decode_postings",
+    "forced_tier",
+    "numba_available",
+    "resolve_tier",
+    "set_active_tier",
+]
+
+#: Environment variable selecting the decode tier.
+KERNEL_ENV_VAR = "REPRO_KERNEL"
+
+#: Selectable tiers, fastest first ("auto" resolves to the best available).
+TIERS = ("numba", "numpy", "python")
+
+# -- tier selection ---------------------------------------------------
+
+_NUMBA_MODULE = None
+_NUMBA_CHECKED = False
+_ACTIVE: str | None = None
+
+
+def _numba_kernels():
+    """The compiled kernel module, or None when numba is unavailable."""
+    global _NUMBA_MODULE, _NUMBA_CHECKED
+    if not _NUMBA_CHECKED:
+        try:
+            from repro.compression import _kernels_numba
+
+            _NUMBA_MODULE = _kernels_numba
+        except Exception:
+            _NUMBA_MODULE = None
+        _NUMBA_CHECKED = True
+    return _NUMBA_MODULE
+
+
+def numba_available() -> bool:
+    """Whether the compiled (numba) tier can actually run here."""
+    return _numba_kernels() is not None
+
+
+def resolve_tier(requested: str | None = None) -> str:
+    """Resolve a tier request to a runnable tier name.
+
+    Args:
+        requested: ``"auto"``, ``"numba"``, ``"numpy"`` or ``"python"``;
+            ``None`` reads the ``REPRO_KERNEL`` environment variable
+            (missing/empty means ``"auto"``).
+
+    ``numba`` silently degrades to ``numpy`` when the compiler is not
+    importable — the flag states a *preference*, not a hard dependency.
+
+    Raises:
+        ReproError: if the name is not a known tier.
+    """
+    name = requested
+    if name is None:
+        name = os.environ.get(KERNEL_ENV_VAR, "auto")
+    name = (name or "auto").strip().lower() or "auto"
+    if name == "auto":
+        return "numba" if numba_available() else "numpy"
+    if name not in TIERS:
+        raise ReproError(
+            f"unknown {KERNEL_ENV_VAR} tier {name!r}; expected one of "
+            f"{('auto',) + TIERS}"
+        )
+    if name == "numba" and not numba_available():
+        return "numpy"
+    return name
+
+
+def active_tier() -> str:
+    """The tier decodes run on (resolved once, then cached)."""
+    global _ACTIVE
+    if _ACTIVE is None:
+        _ACTIVE = resolve_tier()
+    return _ACTIVE
+
+
+def set_active_tier(name: str | None) -> str | None:
+    """Force the active tier (``None`` re-resolves lazily from the
+    environment).  Returns the previous cached value."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = resolve_tier(name) if name is not None else None
+    return previous
+
+
+@contextmanager
+def forced_tier(name: str | None):
+    """Context manager pinning the active tier (tests, benchmarks)."""
+    previous = set_active_tier(name)
+    try:
+        yield active_tier() if name is not None else None
+    finally:
+        global _ACTIVE
+        _ACTIVE = previous
+
+
+# -- bit-stream tables ------------------------------------------------
+
+_ARANGE_CACHE = np.arange(0, dtype=np.int64)
+
+
+def _shared_arange(size: int) -> np.ndarray:
+    """A read-only view of a shared, growing ``arange`` buffer.
+
+    Every stream build and ragged expansion needs ``arange(n)``; the
+    buffer amortises that allocation across calls.  Callers must treat
+    the view as immutable.
+    """
+    global _ARANGE_CACHE
+    if _ARANGE_CACHE.shape[0] < size:
+        _ARANGE_CACHE = np.arange(
+            max(size, 2 * _ARANGE_CACHE.shape[0]), dtype=np.int64
+        )
+    return _ARANGE_CACHE[:size]
+
+
+
+#: Extra sentinel slots on the extended next-zero table: an unclamped
+#: Golomb pointer can overshoot ``total_bits`` by at most 1 (terminator)
+#: + 63 (short field) + 1 (extension bit), so 65 slots of ``total_bits``
+#: fixed point make every such gather safe without a clamping pass.
+_POINTER_SLACK = 65
+
+
+class _StreamTables:
+    """Precomputed per-position views of one byte buffer.
+
+    Attributes:
+        total_bits: stream length in bits (zero padding included — the
+            scalar reader serves padding bits too, so they are real).
+        windows: uint64 per byte offset, holding that byte and the next
+            seven big-endian (zero-padded past the end).  Built lazily:
+            only the single-list ``read_bits`` path needs fields wider
+            than the 32-bit window.
+        windows32: uint32 per byte offset (that byte and the next
+            three) — every batched read fits it, at half the memory
+            traffic of the 64-bit gathers.
+        next_zero: per bit position, the index of the first zero bit at
+            or after it (``total_bits`` when none remains).
+        positions: cached ``arange(total_bits + 1)`` — every transition
+            table needs it, so it is built once per stream.
+    """
+
+    __slots__ = (
+        "total_bits", "windows32", "next_zero",
+        "next_zero_ext", "positions", "_padded", "_windows",
+    )
+
+    def __init__(self, raw: np.ndarray) -> None:
+        num_bytes = raw.shape[0]
+        total_bits = num_bytes * 8
+        padded = np.zeros(num_bytes + 8, dtype=np.uint8)
+        padded[:num_bytes] = raw
+        windows32 = padded[0 : num_bytes + 1].astype(np.uint32)
+        for lane in range(1, 4):
+            windows32 <<= np.uint32(8)
+            windows32 |= padded[lane : lane + num_bytes + 1]
+        positions = _shared_arange(total_bits + 1)
+        # next_zero[i] = index of the first zero bit at or after i.  It
+        # is a step function that jumps at each zero bit, so build it by
+        # run-length expansion: zero k covers the positions after zero
+        # k-1 up to and including itself, and the total_bits sentinel
+        # covers everything past the last zero (including slot
+        # total_bits itself, which is why no separate sentinel store is
+        # needed).  This is a prefix-sum-free construction — plain
+        # cumsum over the bit array is several times slower, and so is
+        # ``np.diff(..., prepend=...)``, whose internal concatenation
+        # costs more than the subtraction it wraps.  The extended
+        # table carries _POINTER_SLACK extra sentinel slots so the
+        # unclamped Golomb pointer table can be gathered as-is.
+        zeros = np.flatnonzero(np.unpackbits(raw) == 0)
+        targets = np.empty(zeros.shape[0] + 1, dtype=np.int64)
+        targets[:-1] = zeros
+        targets[-1] = total_bits
+        reps = np.empty_like(targets)
+        reps[0] = targets[0] + 1
+        np.subtract(targets[1:], targets[:-1], out=reps[1:])
+        reps[-1] += _POINTER_SLACK
+        next_zero_ext = np.repeat(targets, reps)
+        self.total_bits = total_bits
+        self.windows32 = windows32
+        self.next_zero = next_zero_ext[: total_bits + 1]
+        self.next_zero_ext = next_zero_ext
+        self.positions = positions
+        self._padded = padded
+        self._windows: np.ndarray | None = None
+
+    @property
+    def windows(self) -> np.ndarray:
+        """The 64-bit windows, built on first (single-list) use."""
+        windows = self._windows
+        if windows is None:
+            padded = self._padded
+            num_windows = padded.shape[0] - 7
+            windows = padded[0:num_windows].astype(np.uint64)
+            for lane in range(1, 8):
+                windows <<= np.uint64(8)
+                windows |= padded[lane : lane + num_windows]
+            self._windows = windows
+        return windows
+
+    def read_bits(
+        self, positions: np.ndarray, widths: np.ndarray
+    ) -> np.ndarray:
+        """Gather ``widths`` bits (<= 57 each) at each bit position."""
+        byte_index = positions >> 3
+        widths64 = widths.astype(np.uint64)
+        shift = (
+            np.uint64(64)
+            - (positions & 7).astype(np.uint64)
+            - widths64
+        )
+        # width 0 at offset 0 would shift by 64 (undefined); the mask
+        # below already forces those reads to 0, so clamp the shift.
+        shift = np.minimum(shift, np.uint64(63))
+        mask = (np.uint64(1) << widths64) - np.uint64(1)
+        return (self.windows[byte_index] >> shift) & mask
+
+
+def _golomb_table(
+    tables: _StreamTables,
+    parameters: np.ndarray | int,
+    remainder_bits: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(value, next position, valid) for a Golomb code at every position.
+
+    ``parameters`` is a scalar or a per-position int64 array (the
+    batched decoder concatenates lists with different parameters);
+    ``remainder_bits`` may carry the matching precomputed
+    ``bit_length(parameter - 1)`` values.  Positions where the code
+    runs off the stream, or whose remainder field exceeds the vector
+    window, are invalid and pin to the ``total_bits`` fixed point.
+    """
+    total_bits = tables.total_bits
+    position = tables.positions
+    terminator = tables.next_zero
+    quotient = terminator - position
+    tail = np.minimum(terminator + 1, total_bits)
+
+    parameters = np.broadcast_to(
+        np.asarray(parameters, dtype=np.int64), position.shape
+    )
+    if remainder_bits is None:
+        remainder_bits = _bit_lengths(np.maximum(parameters - 1, 0))
+    thresholds = (
+        np.int64(1) << np.minimum(remainder_bits, MAX_VECTOR_BITS)
+    ) - parameters
+
+    # One windowed read of the full remainder field: its top bits *are*
+    # the short field (``full >> 1``), so the short/extended split costs
+    # no second gather.  The stray low bit read past a short code's end
+    # never leaks: it is only used when the code is extended.
+    short_width = np.maximum(remainder_bits - 1, 0)
+    full = tables.read_bits(
+        tail, np.minimum(remainder_bits, MAX_VECTOR_BITS)
+    ).astype(np.int64)
+    first = full >> 1
+    extended = (remainder_bits > 0) & (first >= thresholds)
+    remainder = np.where(extended, full - thresholds, first)
+    value = quotient * parameters + remainder
+    following = tail + short_width + extended
+    valid = (
+        (terminator < total_bits)
+        & (following <= total_bits)
+        & (remainder_bits <= MAX_VECTOR_BITS)
+    )
+    following = np.where(valid, following, total_bits)
+    return value, following, valid
+
+
+def _gamma_table(
+    tables: _StreamTables,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(value, next position, valid) for an Elias-gamma code at every
+    position.  A suffix longer than the vector window (value >= 2**57)
+    is invalid here and spliced through the scalar codec by the caller.
+    """
+    total_bits = tables.total_bits
+    position = tables.positions
+    terminator = tables.next_zero
+    low_bits = terminator - position
+    tail = np.minimum(terminator + 1, total_bits)
+    readable = np.minimum(low_bits, MAX_VECTOR_BITS)
+    suffix = tables.read_bits(tail, readable).astype(np.int64)
+    value = ((np.int64(1) << readable) | suffix) - 1
+    following = tail + readable
+    valid = (
+        (terminator < total_bits)
+        & (position + 2 * low_bits + 1 <= total_bits)
+        & (low_bits <= MAX_VECTOR_BITS)
+    )
+    following = np.where(valid, following, total_bits)
+    return value, following, valid
+
+
+def _chain(next_table: np.ndarray, count: int, start: int) -> np.ndarray:
+    """``count + 1`` chained positions from ``start`` by pointer
+    doubling: O(log count) gather rounds instead of a scalar walk."""
+    positions = np.empty(count + 1, dtype=np.int64)
+    positions[0] = start
+    filled = 1
+    total = count + 1
+    jump = next_table
+    while filled < total:
+        take = min(filled, total - filled)
+        positions[filled : filled + take] = jump[positions[:take]]
+        filled += take
+        if filled < total:
+            jump = jump[jump]
+    return positions
+
+
+def _ragged_arange(counts: np.ndarray) -> np.ndarray:
+    """Concatenation of ``arange(c)`` for each c in ``counts``."""
+    total = int(counts.sum())
+    if not total:
+        return np.empty(0, dtype=np.int64)
+    ends = np.cumsum(counts)
+    return _shared_arange(total) - np.repeat(ends - counts, counts)
+
+
+def _grouped_prefix_values(
+    gaps: np.ndarray, group_sizes: np.ndarray
+) -> np.ndarray:
+    """Per group, ``cumsum(gaps + 1) - 1`` restarted at each group —
+    the gap-to-absolute rule both sections share (previous starts at
+    -1, each code advances by gap + 1)."""
+    if not gaps.shape[0]:
+        return np.zeros(0, dtype=np.int64)
+    steps = gaps + 1
+    running = np.cumsum(steps)
+    # Size-0 groups contribute nothing to the repeat; clamp their first
+    # index so a trailing empty group cannot index past the last gap.
+    group_first = np.minimum(
+        np.cumsum(group_sizes) - group_sizes, gaps.shape[0] - 1
+    )
+    base = np.repeat(
+        running[group_first] - steps[group_first], group_sizes
+    )
+    return running - base - 1
+
+
+# -- single-list decode -----------------------------------------------
+
+
+def _scalar_docs_counts_from(
+    data: bytes,
+    df: int,
+    parameter: int,
+    start_slot: int,
+    start_bit: int,
+    previous_doc: int,
+    docs: np.ndarray,
+    counts: np.ndarray,
+) -> int:
+    """Finish section A with the scalar codec from a bit position.
+
+    Used to splice past a code the vector window cannot hold; raises
+    exactly what the scalar decoder would on truncated data.  Returns
+    the bit position after the last decoded entry.
+    """
+    from repro.compression.elias import EliasGammaCodec
+    from repro.compression.golomb import GolombCodec
+
+    doc_codec = GolombCodec(parameter)
+    count_codec = EliasGammaCodec()
+    reader = BitReader(data)
+    reader.skip_bits(start_bit)
+    for slot in range(start_slot, df):
+        previous_doc += doc_codec.decode_value(reader) + 1
+        docs[slot] = previous_doc
+        counts[slot] = count_codec.decode_value(reader) + 1
+    return 8 * len(data) - reader.bits_remaining
+
+
+def _decode_section_a(
+    data: bytes, df: int, parameter: int
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Decode section A, returning (docs, counts, end bit position)."""
+    docs = np.empty(df, dtype=np.int64)
+    counts = np.empty(df, dtype=np.int64)
+    if not df:
+        return docs, counts, 0
+    raw = np.frombuffer(bytes(data), dtype=np.uint8)
+    tables = _StreamTables(raw)
+    g_value, g_next, g_valid = _golomb_table(tables, parameter)
+    c_value, c_next, c_valid = _gamma_table(tables)
+    entry_next = c_next[g_next]
+    starts = _chain(entry_next, df, start=0)
+    heads = starts[:df]
+    mids = g_next[heads]
+    entry_valid = g_valid[heads] & c_valid[mids]
+    good = int(df if bool(entry_valid.all()) else np.argmin(entry_valid))
+    if good:
+        gaps = g_value[heads[:good]]
+        docs[:good] = np.cumsum(gaps + 1) - 1
+        counts[:good] = c_value[mids[:good]] + 1
+    if good == df:
+        return docs, counts, int(starts[df])
+    # Splice: the scalar codec takes over at the first code the vector
+    # pass could not decode (overflow or truncation — the latter raises
+    # the same BitStreamError the pure path would).
+    previous_doc = int(docs[good - 1]) if good else -1
+    end_bit = _scalar_docs_counts_from(
+        data, df, parameter, good, int(starts[good]), previous_doc,
+        docs, counts,
+    )
+    return docs, counts, end_bit
+
+
+def decode_docs_counts(
+    data: bytes, df: int, parameter: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Block-decode one section-A stream (doc gaps + counts).
+
+    Bit-identical to the scalar interleaved decode, including raising
+    :class:`~repro.errors.BitStreamError` on truncated data.
+
+    Args:
+        data: the compressed blob (section A at bit 0).
+        df: number of (gap, count) entries.
+        parameter: the list's derived Golomb parameter.
+    """
+    if active_tier() == "numba":
+        kernels = _numba_kernels()
+        if kernels is not None:
+            decoded = kernels.decode_docs_counts(
+                np.frombuffer(bytes(data), dtype=np.uint8), df, parameter
+            )
+            if decoded is not None:
+                return decoded[0], decoded[1]
+    docs, counts, _ = _decode_section_a(data, df, parameter)
+    return docs, counts
+
+
+def decode_gap_stream(
+    data: bytes, count: int, parameter: int, start_bit: int = 0
+) -> tuple[np.ndarray, int]:
+    """Decode ``count`` Golomb gaps from ``start_bit``, with splice.
+
+    The decode twin of :func:`repro.compression.fastpack.encode_gap_stream`.
+    Returns the gap array and the bit position after the last code.
+    """
+    gaps = np.empty(count, dtype=np.int64)
+    if not count:
+        return gaps, start_bit
+    raw = np.frombuffer(bytes(data), dtype=np.uint8)
+    tables = _StreamTables(raw)
+    g_value, g_next, g_valid = _golomb_table(tables, parameter)
+    starts = _chain(g_next, count, start=start_bit)
+    heads = starts[:count]
+    valid = g_valid[heads]
+    good = int(count if bool(valid.all()) else np.argmin(valid))
+    gaps[:good] = g_value[heads[:good]]
+    if good == count:
+        return gaps, int(starts[count])
+    from repro.compression.golomb import GolombCodec
+
+    codec = GolombCodec(parameter)
+    reader = BitReader(data)
+    reader.skip_bits(int(starts[good]))
+    for slot in range(good, count):
+        gaps[slot] = codec.decode_value(reader)
+    return gaps, 8 * len(data) - reader.bits_remaining
+
+
+def decode_postings(
+    data: bytes, df: int, doc_parameter: int, position_parameter: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Decode a full posting list: section A then the offset gaps.
+
+    Returns ``(docs, counts, flat_positions)`` where ``flat_positions``
+    concatenates every entry's absolute offsets (split on
+    ``cumsum(counts)`` to recover per-entry arrays).
+    """
+    docs, counts, end_bit = _decode_section_a(data, df, doc_parameter)
+    total = int(counts.sum()) if df else 0
+    gaps, _ = decode_gap_stream(
+        data, total, position_parameter, start_bit=end_bit
+    )
+    positions = _grouped_prefix_values(gaps, counts)
+    return docs, counts, positions
+
+
+# -- batched decode ---------------------------------------------------
+
+#: Upper bound on rows x columns of one pointer-doubling grid; batches
+#: whose (lists x max codes) area exceeds it are split so a single
+#: stop-word-dense interval cannot balloon memory.
+_BATCH_GRID_LIMIT = 2_000_000
+
+#: Below this many lists the per-bit table build costs more than the
+#: scalar loop it replaces; the batch wrapper reports ``None`` and the
+#: caller falls back (which is also the correct answer — the scalar
+#: codec *is* the reference).
+_MIN_BATCH_LISTS = 4
+
+
+def _concatenate_blobs(
+    blobs: list[bytes],
+) -> tuple[_StreamTables, np.ndarray, np.ndarray]:
+    """One stream-table build over every blob back to back.
+
+    Returns ``(tables, byte_offsets, lengths)``; blob ``i`` occupies
+    bits ``byte_offsets[i] * 8`` up to ``(byte_offsets[i] +
+    lengths[i]) * 8`` of the shared stream.
+    """
+    lengths = np.fromiter(
+        (len(blob) for blob in blobs), dtype=np.int64, count=len(blobs)
+    )
+    buffer = np.frombuffer(b"".join(blobs), dtype=np.uint8)
+    byte_offsets = np.zeros(len(blobs) + 1, dtype=np.int64)
+    np.cumsum(lengths, out=byte_offsets[1:])
+    return _StreamTables(buffer), byte_offsets[:-1], lengths
+
+
+def _grid_chunks(counts: np.ndarray) -> list[np.ndarray]:
+    """Lane subsets whose doubling grids stay within the area cap.
+
+    The common case — every lane in one grid — preserves lane order and
+    costs one ``arange``; only oversized batches pay the sort + greedy
+    split (grouping similar code counts so padding stays small).
+    """
+    lanes = counts.shape[0]
+    width = int(counts.max(initial=0)) + 1
+    if lanes * width <= _BATCH_GRID_LIMIT:
+        return [np.arange(lanes, dtype=np.int64)]
+    order = np.argsort(counts, kind="stable")
+    chunks: list[np.ndarray] = []
+    chunk: list[int] = []
+    for slot in order.tolist():
+        width = int(counts[slot]) + 1
+        if chunk and (len(chunk) + 1) * width > _BATCH_GRID_LIMIT:
+            chunks.append(np.array(chunk, dtype=np.int64))
+            chunk = []
+        chunk.append(slot)
+    if chunk:
+        chunks.append(np.array(chunk, dtype=np.int64))
+    return chunks
+
+
+def _chain_grid(
+    next_table: np.ndarray, starts: np.ndarray, counts: np.ndarray
+) -> np.ndarray:
+    """Per-lane code boundaries by 2-D pointer doubling.
+
+    Row ``i`` holds the first ``counts[i] + 1`` chained positions from
+    ``starts[i]`` (padded to the widest lane with fixed-point noise —
+    callers index only each lane's own prefix).
+
+    Short, numerous lanes step column by column — that evaluates the
+    table only at visited positions, O(width) tiny gathers.  Doubling
+    squares the whole table per round, O(log width) stream-sized
+    gathers, and wins only when one lane is much longer than the
+    stream is wide.
+    """
+    lanes = starts.shape[0]
+    width = int(counts.max(initial=0)) + 1
+    grid = np.empty((lanes, width), dtype=np.int64)
+    grid[:, 0] = starts
+    if width * 128 < next_table.shape[0]:
+        for col in range(1, width):
+            grid[:, col] = next_table[grid[:, col - 1]]
+        return grid
+    filled = 1
+    jump = next_table
+    while filled < width:
+        take = min(filled, width - filled)
+        grid[:, filled : filled + take] = jump[grid[:, :take]]
+        filled += take
+        if filled < width:
+            jump = jump[jump]
+    return grid
+
+
+def _section_a_byte_bounds(
+    dfs: np.ndarray,
+    parameters: np.ndarray,
+    cfs: np.ndarray,
+    universe: int,
+) -> np.ndarray:
+    """Provable per-list byte bound on the section-A prefix.
+
+    For a *valid* list the document gaps sum below the universe size,
+    which caps the total unary length at ``df + universe / parameter``;
+    remainders cost ``rb`` bits each and the gamma counts at most
+    ``df + 2 * df * log2(cf / df)`` bits (concavity of ``log``).  The
+    coarse batch decoder clips each blob to this bound so the per-bit
+    tables never pay for section B, which coarse ranking never reads.
+    A corrupt list that overruns the bound simply decodes past the
+    clipped end, fails validation, and falls back to the scalar codec.
+    """
+    rb = _bit_lengths(np.maximum(parameters - 1, 0))
+    unary = dfs + universe // np.maximum(parameters, 1)
+    safe_dfs = np.maximum(dfs, 1)
+    ratio = np.maximum(cfs, safe_dfs) / safe_dfs
+    gamma = dfs + 2 * np.ceil(
+        safe_dfs * np.log2(ratio)
+    ).astype(np.int64)
+    bound_bits = unary + dfs * rb + gamma
+    return (bound_bits >> 3) + 2
+
+
+def _lane_read_constants(
+    parameters: np.ndarray,
+) -> tuple[np.ndarray, ...]:
+    """Per-lane read constants for the 32-bit Golomb field reads.
+
+    Returns ``(rb, narrow, short, thresholds)``: remainder bit widths;
+    which lanes those widths let the 32-bit window serve (wide lanes
+    must be excluded at lane level — their other constants are pinned
+    to safe values so the shared passes stay branch-free); the
+    short-field widths; and the truncated-binary thresholds as uint32
+    (pinned to a large sentinel when ``rb`` is 0 or the lane is wide,
+    so the extension test always fails there).
+    """
+    rb = _bit_lengths(np.maximum(parameters - 1, 0))
+    narrow = rb <= _TABLE_MAX_BITS
+    short = np.where(narrow & (rb > 0), rb - 1, 0).astype(np.uint8)
+    thresholds = np.where(
+        narrow & (rb > 0),
+        (np.int64(1) << np.minimum(rb, _TABLE_MAX_BITS)) - parameters,
+        np.int64(1) << 30,
+    ).astype(np.uint32)
+    return rb, narrow, short, thresholds
+
+
+#: Widest remainder field the 32-bit pointer-table reads can serve
+#: (up to 7 offset bits + the field must fit the 32-bit window).  A
+#: lane with a wider document-gap parameter is flagged for the scalar
+#: fallback — real posting lists have single-digit ``rb``.
+_TABLE_MAX_BITS = 25
+
+#: Doubled-threshold sentinel for the pointer-table pass: above any
+#: real doubled threshold (< 2**26), so pinned lanes never extend.
+_TABLE_SENTINEL = np.uint32(1) << np.uint32(31)
+
+
+def _golomb_next_table(
+    tables: _StreamTables,
+    short_pos: np.ndarray,
+    thr_pos: np.ndarray,
+) -> np.ndarray:
+    """Where the next code starts if a Golomb code began at each bit.
+
+    Only the *pointer* is computed here — values and validity are
+    evaluated later at the O(entries) chain heads, so the O(bits) pass
+    stays as thin as possible: 32-bit window reads (``short_pos`` must
+    be pinned to :data:`_TABLE_MAX_BITS`-safe values), shift-only field
+    extraction, and a deliberately UNCLAMPED result — positions past
+    the stream overshoot ``total_bits`` by at most
+    :data:`_POINTER_SLACK`, which the extended next-zero table absorbs.
+    Callers that chain this table directly must clamp it themselves.
+    """
+    tail = tables.next_zero + 1
+    full = tables.windows32[tail >> 3]
+    # Shift the field's leading bits off the top, then align: cheaper
+    # than subtract + shift + mask, and needs no mask array at all.
+    full <<= (tail & 7).astype(np.uint32)
+    full >>= np.uint32(31) - short_pos
+    # full >> 1 >= threshold  <=>  full >= 2 * threshold, so the caller
+    # passes doubled thresholds and the short/extended split costs one
+    # comparison on the unshifted field.
+    extended = full >= thr_pos
+    np.add(tail, short_pos, out=tail)
+    np.add(tail, extended, out=tail)
+    return tail
+
+
+def _entry_next_from(
+    tables: _StreamTables, g_next: np.ndarray
+) -> np.ndarray:
+    """Compose the gamma pointer directly onto a Golomb pointer table.
+
+    A gamma code is the unary length then that many suffix bits, so its
+    pointer is pure arithmetic on the terminator position — evaluating
+    it only at the Golomb pointers (rather than building a full gamma
+    table and gathering) keeps this a single extended-table gather plus
+    in-place passes.  The result is clamped to ``[0, total_bits]`` so
+    every downstream chain stays in bounds, and position
+    ``total_bits`` maps back to itself (the fixed point).
+    """
+    out = tables.next_zero_ext[g_next]
+    out += out
+    out += 1
+    out -= g_next
+    np.minimum(out, tables.total_bits, out=out)
+    if tables.total_bits < 64:
+        # In-bounds pointers always compose to a non-negative position;
+        # only an overshot pointer into a stream shorter than the
+        # overshoot slack can go negative, so the lower clamp is only
+        # ever needed for tiny streams.
+        np.maximum(out, 0, out=out)
+    return out
+
+
+def _golomb_at(
+    tables: _StreamTables,
+    heads: np.ndarray,
+    parameters: np.ndarray,
+    short: np.ndarray,
+    thresholds: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """(value, valid) of the Golomb codes at selected head positions.
+
+    The per-lane constant arrays must already be expanded per head.
+    Works on O(entries)-sized arrays — the expensive full-stream pass
+    only ever computes pointers.  Reads go through the 32-bit windows:
+    callers guarantee (via the lane-level ``narrow`` gate) that only
+    lanes whose remainder fields fit them can ever count as decoded,
+    so no per-head width check is needed here.
+    """
+    total_bits = tables.total_bits
+    terminator = tables.next_zero_ext[heads]
+    tail = terminator + 1
+    quotient = terminator - heads
+    full = tables.windows32[tail >> 3]
+    full <<= (tail & 7).astype(np.uint32)
+    full >>= np.uint32(31) - short
+    first = full >> np.uint32(1)
+    extended = first >= thresholds
+    remainder = np.where(extended, full - thresholds, first).astype(np.int64)
+    value = quotient * parameters + remainder
+    valid = (
+        (terminator < total_bits)
+        & (tail + short + extended <= total_bits)
+    )
+    return value, valid
+
+
+def _gamma_counts_at(
+    tables: _StreamTables, mids: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """(count, valid) of the gamma codes at selected positions.
+
+    The wire stores ``count - 1``; gamma encodes ``value + 1``, so the
+    decoded count is directly ``(1 << length) | suffix``.  Reads go
+    through the 32-bit windows, so a suffix longer than
+    :data:`_TABLE_MAX_BITS` (a count of 2**25 or more — far past any
+    real occurrence count) is invalid here and sends its lane to the
+    scalar fallback, same as truncation.
+    """
+    total_bits = tables.total_bits
+    terminator = tables.next_zero_ext[mids]
+    # mids may overshoot the stream (unclamped pointer table), making
+    # the nominal length negative; clip so the shift arithmetic stays
+    # defined — the validity test rejects those positions regardless.
+    length = terminator - mids
+    readable = np.clip(length, 0, _TABLE_MAX_BITS)
+    tail = terminator + 1
+    masks = (np.uint32(1) << readable.astype(np.uint32)) - np.uint32(1)
+    shifts = (np.minimum(32 - readable, 31) - (tail & 7)).astype(np.uint32)
+    suffix = (tables.windows32[tail >> 3] >> shifts) & masks
+    count = (np.int64(1) << readable) | suffix.astype(np.int64)
+    valid = (
+        (terminator < total_bits)
+        & (mids + 2 * length + 1 <= total_bits)
+        & (length <= _TABLE_MAX_BITS)
+    )
+    return count, valid
+
+
+def _repeat_with_sentinel(
+    values: np.ndarray, repeats: np.ndarray, size: int, sentinel
+) -> np.ndarray:
+    """Per-position array: per-lane ``values`` repeated to ``size``
+    positions plus one trailing ``sentinel`` (the fixed-point slot)."""
+    out = np.empty(size + 1, dtype=values.dtype)
+    out[size] = sentinel
+    out[:size] = np.repeat(values, repeats)
+    return out
+
+
+def _batch_entries(
+    tables: _StreamTables,
+    lane_starts: np.ndarray,
+    dfs: np.ndarray,
+    parameters: np.ndarray,
+    lengths: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Decode every lane's (Golomb gap, gamma count) entries at once.
+
+    The full-stream work is pointer-only (one Golomb next table with
+    per-position parameters repeated from the per-lane values, one
+    arithmetic gamma next table, one composition); values, counts and
+    validity are then evaluated only at each lane's chain heads, so the
+    per-bit cost is paid once per batch and stays independent of how
+    the entries distribute across lists.
+
+    Returns ``(gaps, counts, ends, ok)``: flat lane-major gap/count
+    arrays (lanes with ``ok`` False hold garbage in their segment),
+    each lane's bit position after its last entry, and the per-lane
+    validity flags.
+    """
+    total_bits = tables.total_bits
+    lanes = dfs.shape[0]
+    bits_per = lengths * 8
+    rb, narrow, short, thresholds = _lane_read_constants(parameters)
+    # The pointer pass compares the undivided field against doubled
+    # thresholds (full >> 1 >= thr <=> full >= 2 * thr); the pinned
+    # sentinel doubles to _TABLE_SENTINEL, above any 26-bit field.
+    g_next = _golomb_next_table(
+        tables,
+        _repeat_with_sentinel(short, bits_per, total_bits, 0),
+        _repeat_with_sentinel(
+            thresholds + thresholds, bits_per, total_bits, _TABLE_SENTINEL
+        ),
+    )
+    entry_next = _entry_next_from(tables, g_next)
+
+    total = int(dfs.sum())
+    ok = narrow.copy()
+    chunks = _grid_chunks(dfs)
+    if len(chunks) == 1:
+        # The common case: every lane in one grid, in lane order.  The
+        # flat outputs are lane-major, so the evaluated head arrays ARE
+        # the outputs — no scatter, and per-head constants come from
+        # cheap repeats instead of fancy gathers.
+        grid = _chain_grid(entry_next, lane_starts, dfs)
+        width = grid.shape[1]
+        rows = np.repeat(_shared_arange(lanes), dfs)
+        heads = grid.ravel()[rows * width + _ragged_arange(dfs)]
+        gaps, g_ok = _golomb_at(
+            tables, heads,
+            np.repeat(parameters, dfs), np.repeat(short, dfs),
+            np.repeat(thresholds, dfs),
+        )
+        counts, c_ok = _gamma_counts_at(tables, g_next[heads])
+        good = g_ok & c_ok
+        if not good.all():
+            ok &= np.bincount(rows[~good], minlength=lanes) == 0
+        ends = grid[_shared_arange(lanes), dfs]
+        return gaps, counts, ends, ok
+
+    gaps = np.empty(total, dtype=np.int64)
+    counts = np.empty(total, dtype=np.int64)
+    ends = lane_starts.astype(np.int64).copy()
+    lane_first = np.cumsum(dfs) - dfs
+    for subset in chunks:
+        sub_dfs = dfs[subset]
+        grid = _chain_grid(entry_next, lane_starts[subset], sub_dfs)
+        width = grid.shape[1]
+        rows = np.repeat(
+            np.arange(subset.shape[0], dtype=np.int64), sub_dfs
+        )
+        cols = _ragged_arange(sub_dfs)
+        heads = grid.ravel()[rows * width + cols]
+        lids = subset[rows]
+        gap_values, g_ok = _golomb_at(
+            tables, heads, parameters[lids], short[lids],
+            thresholds[lids],
+        )
+        count_values, c_ok = _gamma_counts_at(tables, g_next[heads])
+        dest = np.repeat(lane_first[subset], sub_dfs) + cols
+        gaps[dest] = gap_values
+        counts[dest] = count_values
+        good = g_ok & c_ok
+        if not good.all():
+            ok[subset] &= (
+                np.bincount(rows[~good],
+                            minlength=subset.shape[0]) == 0
+            )
+        ends[subset] = grid.ravel()[
+            np.arange(subset.shape[0], dtype=np.int64) * width + sub_dfs
+        ]
+    return gaps, counts, ends, ok
+
+
+def decode_docs_counts_flat(
+    blobs: list[bytes],
+    dfs: np.ndarray,
+    parameters: np.ndarray,
+    cfs: np.ndarray | None = None,
+    universe: int | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Block-decode many section-A streams into flat lane-major arrays.
+
+    Returns ``(docs, counts, ok)`` where ``docs``/``counts`` concatenate
+    every list's entries in order (list ``i`` occupies
+    ``cumsum(dfs)[i-1] : cumsum(dfs)[i]``) and ``ok`` flags the lists
+    the vector pass decoded.  A list with ``ok`` False — overflow code,
+    truncation, a stream that ran past its own blob — holds garbage in
+    its segment: the caller must re-decode it with the scalar codec,
+    which reproduces the pure path's values or exception exactly.
+
+    When ``cfs`` (per-list total occurrence counts) and ``universe``
+    (the document count) are given, each blob is clipped to its
+    provable section-A bound first (:func:`_section_a_byte_bounds`),
+    so the per-bit tables skip the offset section entirely.
+
+    The flat layout is the point: a scorer can weight and accumulate
+    the whole batch with a handful of array ops and never materialise a
+    per-list object.
+    """
+    num_lists = len(blobs)
+    dfs = np.asarray(dfs, dtype=np.int64)
+    parameters = np.asarray(parameters, dtype=np.int64)
+    total = int(dfs.sum()) if num_lists else 0
+    if not total:
+        return (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.ones(num_lists, dtype=bool),
+        )
+
+    if active_tier() == "numba":
+        kernels = _numba_kernels()
+        if kernels is not None:
+            docs = np.empty(total, dtype=np.int64)
+            counts = np.empty(total, dtype=np.int64)
+            ok = np.zeros(num_lists, dtype=bool)
+            start = 0
+            for slot in range(num_lists):
+                stop = start + int(dfs[slot])
+                decoded = kernels.decode_docs_counts(
+                    np.frombuffer(bytes(blobs[slot]), dtype=np.uint8),
+                    int(dfs[slot]),
+                    int(parameters[slot]),
+                )
+                if decoded is not None:
+                    docs[start:stop] = decoded[0]
+                    counts[start:stop] = decoded[1]
+                    ok[slot] = True
+                start = stop
+            return docs, counts, ok
+
+    if cfs is not None and universe is not None:
+        bounds = _section_a_byte_bounds(
+            dfs, parameters, np.asarray(cfs, dtype=np.int64), int(universe)
+        ).tolist()
+        blobs = [
+            blob if len(blob) <= bound else blob[:bound]
+            for blob, bound in zip(blobs, bounds)
+        ]
+    tables, byte_offsets, lengths = _concatenate_blobs(blobs)
+    gaps, counts, ends, ok = _batch_entries(
+        tables, byte_offsets * 8, dfs, parameters, lengths
+    )
+    # Positions only ever advance, so "the last entry ended inside this
+    # list's own blob" bounds every intermediate position too: a stream
+    # that leaks into its neighbour is caught here and sent to the
+    # scalar fallback.  (With clipped blobs the check is stricter than
+    # the full-blob one — never looser — so identity is preserved.)
+    ok &= ends <= (byte_offsets + lengths) * 8
+    docs = _grouped_prefix_values(gaps, dfs)
+    return docs, counts, ok
+
+
+def decode_docs_counts_batch(
+    blobs: list[bytes],
+    dfs: np.ndarray,
+    parameters: np.ndarray,
+    cfs: np.ndarray | None = None,
+    universe: int | None = None,
+) -> list[tuple[np.ndarray, np.ndarray] | None]:
+    """Per-list view of :func:`decode_docs_counts_flat`.
+
+    Returns one ``(docs, counts)`` per blob, or ``None`` for a list the
+    vector pass did not decode (or a batch too small to beat the scalar
+    loop): the caller must decode those with the scalar codec.
+    """
+    num_lists = len(blobs)
+    if not num_lists:
+        return []
+    if num_lists < _MIN_BATCH_LISTS and active_tier() != "numba":
+        return [None] * num_lists
+    dfs = np.asarray(dfs, dtype=np.int64)
+    docs, counts, ok = decode_docs_counts_flat(
+        blobs, dfs, parameters, cfs, universe
+    )
+    first = np.cumsum(dfs) - dfs
+    results: list[tuple[np.ndarray, np.ndarray] | None] = [None] * num_lists
+    for slot in np.flatnonzero(ok).tolist():
+        start = int(first[slot])
+        stop = start + int(dfs[slot])
+        results[slot] = (docs[start:stop], counts[start:stop])
+    return results
+
+
+def decode_postings_batch(
+    blobs: list[bytes],
+    dfs: np.ndarray,
+    doc_parameters: np.ndarray,
+    position_parameters: np.ndarray,
+) -> list[tuple[np.ndarray, np.ndarray, np.ndarray] | None]:
+    """Block-decode many full posting lists (sections A and B) at once.
+
+    Per list the result is ``(docs, counts, flat_positions)`` as in
+    :func:`decode_postings`, or ``None`` under exactly the fallback
+    rules of :func:`decode_docs_counts_flat` (extended to the offset
+    stream).  Section B builds a second Golomb table under the
+    position parameters and chains it from each lane's section-A end —
+    a corrupt count that would balloon the offset grid is detected
+    against the lane's remaining bit budget and sent to the scalar
+    fallback instead.
+    """
+    num_lists = len(blobs)
+    if not num_lists:
+        return []
+    results: list[tuple[np.ndarray, np.ndarray, np.ndarray] | None]
+    results = [None] * num_lists
+    if num_lists < _MIN_BATCH_LISTS:
+        return results
+    dfs = np.asarray(dfs, dtype=np.int64)
+    doc_parameters = np.asarray(doc_parameters, dtype=np.int64)
+    position_parameters = np.asarray(position_parameters, dtype=np.int64)
+    if not int(dfs.sum()):
+        return results
+
+    tables, byte_offsets, lengths = _concatenate_blobs(blobs)
+    own_end = (byte_offsets + lengths) * 8
+    gaps, counts, a_ends, a_ok = _batch_entries(
+        tables, byte_offsets * 8, dfs, doc_parameters, lengths
+    )
+    lane_of_entry = np.repeat(
+        np.arange(num_lists, dtype=np.int64), dfs
+    )
+    totals = np.bincount(
+        lane_of_entry, weights=counts, minlength=num_lists
+    ).astype(np.int64)
+    # A Golomb code is at least one bit, so more offset codes than
+    # remaining bits is corrupt: zero the lane (skip its grid rows) and
+    # let the scalar fallback raise or decode as appropriate.
+    feasible = a_ok & (totals <= own_end - a_ends)
+    totals = np.where(feasible, totals, 0)
+
+    bits_per = lengths * 8
+    total_bits = tables.total_bits
+    rb_b, narrow_b, short_b, thr_b = _lane_read_constants(
+        position_parameters
+    )
+    b_next = _golomb_next_table(
+        tables,
+        _repeat_with_sentinel(short_b, bits_per, total_bits, 0),
+        _repeat_with_sentinel(
+            thr_b + thr_b, bits_per, total_bits, _TABLE_SENTINEL
+        ),
+    )
+    # Section B chains this table directly, so the unclamped pointers
+    # must be pinned back inside the stream here.
+    np.minimum(b_next, total_bits, out=b_next)
+
+    pos_total = int(totals.sum())
+    pos_gaps = np.empty(pos_total, dtype=np.int64)
+    b_ends = a_ends.copy()
+    b_ok = feasible & narrow_b
+    pos_first = np.cumsum(totals) - totals
+    for subset in _grid_chunks(totals):
+        sub_totals = totals[subset]
+        grid = _chain_grid(b_next, a_ends[subset], sub_totals)
+        width = grid.shape[1]
+        rows = np.repeat(
+            np.arange(subset.shape[0], dtype=np.int64), sub_totals
+        )
+        cols = _ragged_arange(sub_totals)
+        heads = grid.ravel()[rows * width + cols]
+        lids = subset[rows]
+        gap_values, code_ok = _golomb_at(
+            tables, heads, position_parameters[lids],
+            short_b[lids], thr_b[lids],
+        )
+        dest = np.repeat(pos_first[subset], sub_totals) + cols
+        pos_gaps[dest] = gap_values
+        if not code_ok.all():
+            b_ok[subset] &= (
+                np.bincount(rows[~code_ok],
+                            minlength=subset.shape[0]) == 0
+            )
+        b_ends[subset] = grid.ravel()[
+            np.arange(subset.shape[0], dtype=np.int64) * width
+            + sub_totals
+        ]
+    list_ok = b_ok & (b_ends <= own_end)
+
+    # Positions restart per entry; entries of infeasible lanes occupy
+    # no space in the flat gap array, so zero their group sizes.
+    group_counts = np.where(feasible[lane_of_entry], counts, 0)
+    positions = _grouped_prefix_values(pos_gaps, group_counts)
+    docs = _grouped_prefix_values(gaps, dfs)
+    doc_first = np.cumsum(dfs) - dfs
+    for slot in np.flatnonzero(list_ok).tolist():
+        a0 = int(doc_first[slot])
+        a1 = a0 + int(dfs[slot])
+        b0 = int(pos_first[slot])
+        b1 = b0 + int(totals[slot])
+        results[slot] = (docs[a0:a1], counts[a0:a1], positions[b0:b1])
+    return results

@@ -213,16 +213,21 @@ class IndexReader(ABC):
         self._decode_cache_limit = 0
 
     def docs_counts(
-        self, interval_id: int
+        self, interval_id: int, entry: VocabEntry | None = None
     ) -> tuple[np.ndarray, np.ndarray] | None:
-        """Section-A decode: (sequence ordinals, counts), or None."""
+        """Section-A decode: (sequence ordinals, counts), or None.
+
+        Callers that already hold the interval's :class:`VocabEntry`
+        pass it as ``entry`` to skip the second vocabulary lookup.
+        """
         instruments = self.instruments
         cache = getattr(self, "_decode_cache", None)
         if cache is not None and interval_id in cache:
             cache.move_to_end(interval_id)
             instruments.count("index.decode_cache.hits")
             return cache[interval_id]
-        entry = self.lookup_entry(interval_id)
+        if entry is None:
+            entry = self.lookup_entry(interval_id)
         if entry is None:
             return None
         decoded = self.codec.decode_docs_counts(
@@ -237,16 +242,221 @@ class IndexReader(ABC):
                 instruments.count("index.decode_cache.evictions")
         return decoded
 
-    def postings(self, interval_id: int) -> list[PostingEntry]:
+    def docs_counts_batch(
+        self, interval_ids: TypingSequence[int]
+    ) -> list[tuple[VocabEntry, np.ndarray, np.ndarray] | None]:
+        """Section-A decode of many intervals in one vectorised pass.
+
+        One result per requested interval, in order: ``(entry, docs,
+        counts)``, or ``None`` for intervals not in the vocabulary.
+        Returning the resolved :class:`VocabEntry` alongside the decode
+        means a scorer that needs per-list statistics (df for idf
+        weighting) performs exactly one vocabulary lookup per interval.
+        """
+        entries = [self.lookup_entry(int(i)) for i in interval_ids]
+        return self.docs_counts_from_entries(interval_ids, entries)
+
+    def docs_counts_from_entries(
+        self,
+        interval_ids: TypingSequence[int],
+        entries: TypingSequence[VocabEntry | None],
+    ) -> list[tuple[VocabEntry, np.ndarray, np.ndarray] | None]:
+        """:meth:`docs_counts_batch` given pre-resolved entries.
+
+        The split exists for delegating views (quarantine, deadline)
+        that must intercept the lookups but still want the wrapped
+        reader's decode cache and batch decode.
+        """
+        if type(self).docs_counts is not IndexReader.docs_counts:
+            # The batch is only a sound shortcut past docs_counts when
+            # docs_counts is the stock implementation.  A subclass that
+            # re-defines it (integrity guards, fault injection, extra
+            # accounting) must see every read, so degrade to its
+            # per-interval method.
+            results = []
+            for interval_id, entry in zip(interval_ids, entries):
+                if entry is None:
+                    results.append(None)
+                    continue
+                decoded = self.docs_counts(int(interval_id), entry)
+                results.append(
+                    None if decoded is None else (entry, *decoded)
+                )
+            return results
+        instruments = self.instruments
+        cache = getattr(self, "_decode_cache", None)
+        results: list[tuple[VocabEntry, np.ndarray, np.ndarray] | None]
+        results = [None] * len(entries)
+        miss_slots: list[int] = []
+        for slot, (interval_id, entry) in enumerate(
+            zip(interval_ids, entries)
+        ):
+            if entry is None:
+                continue
+            if cache is not None and interval_id in cache:
+                cache.move_to_end(interval_id)
+                instruments.count("index.decode_cache.hits")
+                docs, counts = cache[interval_id]
+                results[slot] = (entry, docs, counts)
+            else:
+                miss_slots.append(slot)
+        if not miss_slots:
+            return results
+        miss_entries = [entries[slot] for slot in miss_slots]
+        decoded = self.codec.decode_docs_counts_batch(
+            [entry.data for entry in miss_entries],
+            [entry.df for entry in miss_entries],
+            self.context,
+            cfs=[entry.cf for entry in miss_entries],
+        )
+        instruments.count("index.postings_decoded", len(miss_slots))
+        for slot, entry, (docs, counts) in zip(
+            miss_slots, miss_entries, decoded
+        ):
+            results[slot] = (entry, docs, counts)
+            if cache is not None:
+                interval_id = interval_ids[slot]
+                instruments.count("index.decode_cache.misses")
+                cache[int(interval_id)] = (docs, counts)
+                if len(cache) > self._decode_cache_limit:
+                    cache.popitem(last=False)
+                    instruments.count("index.decode_cache.evictions")
+        return results
+
+    def docs_counts_flat(
+        self, interval_ids: TypingSequence[int]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Section-A decode of many intervals as flat lane-major arrays.
+
+        Returns ``(lens, docs, counts)``: ``lens[i]`` is interval
+        ``i``'s entry count (0 when the interval is absent — or yields
+        no evidence, for delegating views), and ``docs``/``counts``
+        concatenate the entries in request order, so interval ``i``
+        occupies ``cumsum(lens)[i-1] : cumsum(lens)[i]``.  This is the
+        zero-materialisation fast path for coarse scoring: one decode,
+        one weighting, one accumulation for the whole batch.
+        """
+        if hasattr(interval_ids, "tolist"):
+            interval_ids = interval_ids.tolist()
+        entries = [self.lookup_entry(i) for i in interval_ids]
+        return self.docs_counts_flat_from_entries(interval_ids, entries)
+
+    def docs_counts_flat_from_entries(
+        self,
+        interval_ids: TypingSequence[int],
+        entries: TypingSequence[VocabEntry | None],
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """:meth:`docs_counts_flat` given pre-resolved entries.
+
+        Soundness mirrors :meth:`docs_counts_from_entries`: a subclass
+        that re-defines :meth:`docs_counts`, or an enabled decode
+        cache, routes through the per-interval method so every read is
+        observed (and cached lists stay cached).
+        """
+        lens = np.zeros(len(entries), dtype=np.int64)
+        cache = getattr(self, "_decode_cache", None)
+        if (
+            type(self).docs_counts is not IndexReader.docs_counts
+            or cache is not None
+        ):
+            pieces: list[tuple[np.ndarray, np.ndarray]] = []
+            for slot, (interval_id, entry) in enumerate(
+                zip(interval_ids, entries)
+            ):
+                if entry is None:
+                    continue
+                decoded = self.docs_counts(int(interval_id), entry)
+                if decoded is None:
+                    continue
+                lens[slot] = decoded[0].shape[0]
+                pieces.append(decoded)
+            if not pieces:
+                empty = np.empty(0, dtype=np.int64)
+                return lens, empty, empty
+            return (
+                lens,
+                np.concatenate([docs for docs, _ in pieces]),
+                np.concatenate([counts for _, counts in pieces]),
+            )
+        if None in entries:
+            slots = [
+                slot for slot, entry in enumerate(entries)
+                if entry is not None
+            ]
+            present: TypingSequence[VocabEntry] = [
+                entries[slot] for slot in slots
+            ]
+            present_dfs = [entry.df for entry in present]
+            lens[slots] = present_dfs
+        else:
+            present = entries
+            present_dfs = [entry.df for entry in present]
+            lens[:] = present_dfs
+        docs, counts = self.codec.decode_docs_counts_flat(
+            [entry.data for entry in present],
+            present_dfs,
+            self.context,
+            cfs=[entry.cf for entry in present],
+        )
+        self.instruments.count("index.postings_decoded", len(present))
+        return lens, docs, counts
+
+    def postings(
+        self, interval_id: int, entry: VocabEntry | None = None
+    ) -> list[PostingEntry]:
         """Full decode including occurrence offsets.
 
         Raises:
             IndexLookupError: if the interval is not in the vocabulary.
         """
-        entry = self.lookup_entry(interval_id)
+        if entry is None:
+            entry = self.lookup_entry(interval_id)
         if entry is None:
             raise IndexLookupError(f"interval {interval_id} not indexed")
         return self.codec.decode(entry.data, entry.df, entry.cf, self.context)
+
+    def postings_batch(
+        self, interval_ids: TypingSequence[int]
+    ) -> list[list[PostingEntry] | None]:
+        """Full decode (offsets included) of many intervals at once.
+
+        One result per requested interval, in order; unlike
+        :meth:`postings` an absent interval yields ``None`` rather than
+        raising, so callers can fan a whole query out in one call.
+        """
+        entries = [self.lookup_entry(int(i)) for i in interval_ids]
+        return self.postings_from_entries(interval_ids, entries)
+
+    def postings_from_entries(
+        self,
+        interval_ids: TypingSequence[int],
+        entries: TypingSequence[VocabEntry | None],
+    ) -> list[list[PostingEntry] | None]:
+        """:meth:`postings_batch` given pre-resolved entries."""
+        if type(self).postings is not IndexReader.postings:
+            # Same soundness rule as docs_counts_from_entries: a
+            # subclass that re-defines the per-interval read must see
+            # every read.
+            return [
+                None if entry is None
+                else self.postings(int(interval_id), entry)
+                for interval_id, entry in zip(interval_ids, entries)
+            ]
+        present = [
+            slot for slot, entry in enumerate(entries) if entry is not None
+        ]
+        results: list[list[PostingEntry] | None] = [None] * len(entries)
+        if not present:
+            return results
+        batch = self.codec.decode_batch(
+            [entries[slot].data for slot in present],
+            [entries[slot].df for slot in present],
+            [entries[slot].cf for slot in present],
+            self.context,
+        )
+        for slot, postings in zip(present, batch):
+            results[slot] = postings
+        return results
 
     @property
     def pointer_count(self) -> int:

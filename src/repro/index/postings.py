@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.compression import fastunpack
 from repro.compression.bitio import BitReader, BitWriter
 from repro.compression.golomb import GolombCodec, optimal_golomb_parameter
 from repro.compression.integer import IntegerCodec, make_codec
@@ -96,12 +97,57 @@ class PostingsCodec:
         self._position_codec_static = (
             None if position_codec == "golomb" else make_codec(position_codec)
         )
+        # Derived-parameter memo, one table per universe size (the
+        # parameter depends only on df and the collection size).
+        self._doc_param_tables: dict[int, np.ndarray] = {}
 
     def _doc_codec(self, df: int, context: PostingsContext) -> IntegerCodec:
         if self._doc_codec_static is not None:
             return self._doc_codec_static
-        return GolombCodec(
-            optimal_golomb_parameter(max(df, 1), max(context.num_sequences, 1))
+        return GolombCodec(self._doc_parameter(df, context))
+
+    def _doc_parameter(self, df: int, context: PostingsContext) -> int:
+        """The derived document-gap Golomb parameter for one list."""
+        return optimal_golomb_parameter(
+            max(df, 1), max(context.num_sequences, 1)
+        )
+
+    def _doc_parameters(
+        self, dfs: np.ndarray, context: PostingsContext
+    ) -> np.ndarray:
+        """Per-list document-gap parameters, via a memo table.
+
+        The table is filled by the scalar rule itself (not a vectorised
+        transcendental, whose last-ulp differences from libm could flip
+        a ``ceil`` at a boundary and silently desynchronise decoder and
+        encoder), so batch decodes see exactly the per-list parameters.
+        """
+        universe = max(context.num_sequences, 1)
+        max_df = int(dfs.max()) if dfs.shape[0] else 0
+        table = self._doc_param_tables.get(universe)
+        if table is None or table.shape[0] <= max_df:
+            size = max(max_df + 1, 64)
+            table = np.fromiter(
+                (
+                    optimal_golomb_parameter(max(df, 1), universe)
+                    for df in range(size)
+                ),
+                dtype=np.int64,
+                count=size,
+            )
+            self._doc_param_tables[universe] = table
+        return table[dfs]
+
+    def _fast_decodable(self) -> bool:
+        """Whether the block-decode tier applies: the default codec
+        configuration (Golomb gaps, gamma counts, Golomb offsets) with
+        a tier above the pure-Python floor."""
+        return (
+            self.doc_codec_name == "golomb"
+            and self.count_codec_name == "gamma"
+            and (not self.include_positions
+                 or self.position_codec_name == "golomb")
+            and fastunpack.active_tier() != "python"
         )
 
     def _position_codec(
@@ -109,9 +155,15 @@ class PostingsCodec:
     ) -> IntegerCodec:
         if self._position_codec_static is not None:
             return self._position_codec_static
+        return GolombCodec(self._position_parameter(df, cf, context))
+
+    def _position_parameter(
+        self, df: int, cf: int, context: PostingsContext
+    ) -> int:
+        """The derived offset-gap Golomb parameter for one list."""
         per_sequence = max(1, round(cf / max(df, 1)))
-        return GolombCodec(
-            optimal_golomb_parameter(per_sequence, round(context.mean_length))
+        return optimal_golomb_parameter(
+            per_sequence, round(context.mean_length)
         )
 
     def encode(
@@ -237,7 +289,111 @@ class PostingsCodec:
     def decode_docs_counts(
         self, data: bytes, df: int, context: PostingsContext
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Decode section A only: (ordinals, counts) as int64 arrays."""
+        """Decode section A only: (ordinals, counts) as int64 arrays.
+
+        Runs on the active kernel tier (see docs/KERNELS.md) when the
+        codec configuration allows; every tier is bit-identical to the
+        scalar loop below, including the errors raised on bad data.
+
+        A lone list only beats the scalar loop on the compiled tier —
+        the numpy tier pays its dispatch cost per *batch*, so it serves
+        :meth:`decode_docs_counts_batch` instead.
+        """
+        if self._fast_decodable() and fastunpack.active_tier() == "numba":
+            return fastunpack.decode_docs_counts(
+                data, df, self._doc_parameter(df, context)
+            )
+        return self._decode_docs_counts_scalar(data, df, context)
+
+    def decode_docs_counts_batch(
+        self,
+        blobs: list[bytes],
+        dfs: list[int],
+        context: PostingsContext,
+        cfs: list[int] | None = None,
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Section-A decode of many lists in one vectorised pass.
+
+        One result per blob, in order.  Lists the block decoder cannot
+        finish cleanly (overflow codes, truncation) are re-decoded with
+        the scalar loop, so values and exceptions match the
+        per-list path exactly.  Passing ``cfs`` (per-list occurrence
+        totals) lets the block decoder clip each blob to its provable
+        section-A bound and skip the offset section entirely.
+        """
+        decoded: list[tuple[np.ndarray, np.ndarray] | None]
+        if self._fast_decodable() and blobs:
+            dfs_array = np.asarray(dfs, dtype=np.int64)
+            decoded = fastunpack.decode_docs_counts_batch(
+                blobs,
+                dfs_array,
+                self._doc_parameters(dfs_array, context),
+                None if cfs is None else np.asarray(cfs, dtype=np.int64),
+                context.num_sequences,
+            )
+        else:
+            decoded = [None] * len(blobs)
+        return [
+            result
+            if result is not None
+            else self._decode_docs_counts_scalar(blob, df, context)
+            for blob, df, result in zip(blobs, dfs, decoded)
+        ]
+
+    def decode_docs_counts_flat(
+        self,
+        blobs: list[bytes],
+        dfs: list[int],
+        context: PostingsContext,
+        cfs: list[int] | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Section-A decode of many lists into flat lane-major arrays.
+
+        Returns ``(docs, counts)`` int64 arrays concatenating every
+        list's entries in request order (list ``i`` occupies
+        ``cumsum(dfs)[i-1] : cumsum(dfs)[i]``).  On the vector tiers
+        the whole batch decodes in one table build; lists the block
+        decoder cannot finish are spliced through the scalar loop, so
+        the values (and any exception) match the per-list path exactly.
+        On the scalar floor this is just the per-list decode
+        concatenated — same arrays, same order.
+        """
+        dfs_array = np.asarray(dfs, dtype=np.int64)
+        total = int(dfs_array.sum()) if len(blobs) else 0
+        if self._fast_decodable() and blobs and total:
+            docs, counts, ok = fastunpack.decode_docs_counts_flat(
+                blobs,
+                dfs_array,
+                self._doc_parameters(dfs_array, context),
+                None if cfs is None else np.asarray(cfs, dtype=np.int64),
+                context.num_sequences,
+            )
+            if not ok.all():
+                first = np.cumsum(dfs_array) - dfs_array
+                for slot in np.flatnonzero(~ok).tolist():
+                    start = int(first[slot])
+                    stop = start + int(dfs_array[slot])
+                    d, c = self._decode_docs_counts_scalar(
+                        blobs[slot], int(dfs_array[slot]), context
+                    )
+                    docs[start:stop] = d
+                    counts[start:stop] = c
+            return docs, counts
+        docs = np.empty(total, dtype=np.int64)
+        counts = np.empty(total, dtype=np.int64)
+        start = 0
+        for blob, df in zip(blobs, dfs):
+            stop = start + int(df)
+            d, c = self.decode_docs_counts(blob, int(df), context)
+            docs[start:stop] = d
+            counts[start:stop] = c
+            start = stop
+        return docs, counts
+
+    def _decode_docs_counts_scalar(
+        self, data: bytes, df: int, context: PostingsContext
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The pure-Python section-A reference decode."""
         doc_codec = self._doc_codec(df, context)
         reader = BitReader(data)
         docs = np.empty(df, dtype=np.int64)
@@ -278,6 +434,59 @@ class PostingsCodec:
                 positions[occurrence] = previous_position
             entries.append(PostingEntry(int(docs[slot]), positions))
         return entries
+
+    def decode_batch(
+        self,
+        blobs: list[bytes],
+        dfs: list[int],
+        cfs: list[int],
+        context: PostingsContext,
+    ) -> list[list[PostingEntry]]:
+        """Full decode (offsets included) of many lists at once.
+
+        One result per blob, in order.  Lists the block decoder cannot
+        finish cleanly are re-decoded with the scalar loop, so values
+        and exceptions match :meth:`decode` exactly.
+        """
+        decoded: list[
+            tuple[np.ndarray, np.ndarray, np.ndarray] | None
+        ]
+        if self._fast_decodable() and self.include_positions and blobs:
+            doc_parameters = self._doc_parameters(
+                np.asarray(dfs, dtype=np.int64), context
+            )
+            position_parameters = np.fromiter(
+                (
+                    self._position_parameter(df, cf, context)
+                    for df, cf in zip(dfs, cfs)
+                ),
+                dtype=np.int64,
+                count=len(dfs),
+            )
+            decoded = fastunpack.decode_postings_batch(
+                blobs,
+                np.asarray(dfs, dtype=np.int64),
+                doc_parameters,
+                position_parameters,
+            )
+        else:
+            decoded = [None] * len(blobs)
+        results: list[list[PostingEntry]] = []
+        for blob, df, cf, fast in zip(blobs, dfs, cfs, decoded):
+            if fast is None:
+                results.append(self.decode(blob, df, cf, context))
+                continue
+            docs, counts, positions = fast
+            results.append(
+                [
+                    PostingEntry(int(doc), chunk)
+                    for doc, chunk in zip(
+                        docs.tolist(),
+                        np.split(positions, np.cumsum(counts)[:-1]),
+                    )
+                ]
+            )
+        return results
 
     def describe(self) -> dict[str, object]:
         """Codec configuration as a plain dict (for index headers)."""

@@ -23,6 +23,7 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
+from repro.compression import fastunpack
 from repro.errors import SearchError
 from repro.index.builder import IndexReader
 from repro.index.intervals import IntervalExtractor
@@ -66,6 +67,125 @@ class CoarseScorer(ABC):
         """
 
 
+def count_decoded_postings(instruments: Instruments, num_postings: int) -> None:
+    """Record one posting-list fetch for the coarse phase.
+
+    This is the single definition of the two counters' units, shared by
+    every scorer and ranker (``coarse.py`` and ``frames.py`` alike):
+
+    * ``coarse.postings_fetched`` — +1 per posting *list* decoded;
+    * ``coarse.dgaps_decoded`` — +df per list: one per posting (one
+      document gap per document entry), regardless of whether the
+      consumer also decoded the occurrence offsets.
+    """
+    instruments.count("coarse.postings_fetched")
+    instruments.count("coarse.dgaps_decoded", int(num_postings))
+
+
+def fetch_docs_counts_batch(index, interval_ids: list[int]) -> list:
+    """``index.docs_counts_batch`` with a duck-typing fallback.
+
+    Readers that predate the batch protocol (including lightweight test
+    doubles and third-party wrappers) are served per interval through
+    ``lookup_entry`` + ``docs_counts``, yielding the same
+    ``(entry, docs, counts) | None`` triples as the batched path.
+    """
+    batch = getattr(index, "docs_counts_batch", None)
+    if batch is not None:
+        return batch(interval_ids)
+    results: list = []
+    for interval_id in interval_ids:
+        entry = index.lookup_entry(interval_id)
+        if entry is None:
+            results.append(None)
+            continue
+        decoded = index.docs_counts(interval_id)
+        results.append(None if decoded is None else (entry, *decoded))
+    return results
+
+
+def fetch_postings_batch(index, interval_ids: list[int]) -> list:
+    """``index.postings_batch`` with a duck-typing fallback.
+
+    Per interval the result is the posting list, or ``None`` when the
+    interval is absent (or expired under a deadline view).
+    """
+    batch = getattr(index, "postings_batch", None)
+    if batch is not None:
+        return batch(interval_ids)
+    results: list = []
+    for interval_id in interval_ids:
+        entry = index.lookup_entry(interval_id)
+        results.append(
+            None if entry is None else index.postings(interval_id)
+        )
+    return results
+
+
+def fetch_docs_counts_flat(index, interval_ids: list[int]):
+    """``index.docs_counts_flat`` with a duck-typing fallback.
+
+    Returns ``(lens, docs, counts)``: per-interval posting counts (0
+    for absent / expired / quarantined intervals) and the documents and
+    occurrence counts of every present list concatenated in interval
+    order — the layout the vectorised scorers consume whole.
+    """
+    flat = getattr(index, "docs_counts_flat", None)
+    if flat is not None:
+        return flat(interval_ids)
+    lens = np.zeros(len(interval_ids), dtype=np.int64)
+    docs_parts: list[np.ndarray] = []
+    counts_parts: list[np.ndarray] = []
+    for slot, decoded in enumerate(
+        fetch_docs_counts_batch(index, interval_ids)
+    ):
+        if decoded is None:
+            continue
+        _, docs, counts = decoded
+        lens[slot] = docs.shape[0]
+        docs_parts.append(docs)
+        counts_parts.append(counts)
+    empty = np.empty(0, dtype=np.int64)
+    return (
+        lens,
+        np.concatenate(docs_parts) if docs_parts else empty,
+        np.concatenate(counts_parts) if counts_parts else empty,
+    )
+
+
+def _count_flat_postings(instruments: Instruments, lens: np.ndarray) -> None:
+    """Batched :func:`count_decoded_postings`: same units, one call.
+
+    ``lens > 0`` marks the lists actually decoded (+1 fetch each) and
+    ``lens.sum()`` is their total document gaps (+df each), so the two
+    counters read identically whichever decode path served the query.
+    """
+    fetched = int(np.count_nonzero(lens))
+    if fetched:
+        instruments.count("coarse.postings_fetched", fetched)
+        instruments.count("coarse.dgaps_decoded", int(lens.sum()))
+
+
+def _accumulate_evidence(
+    num_sequences: int,
+    doc_chunks: list[np.ndarray],
+    weight_chunks: list[np.ndarray],
+) -> np.ndarray:
+    """Sum per-interval contributions into a dense score vector.
+
+    One ``bincount`` over the concatenated evidence replaces the old
+    per-interval ``np.add.at`` scatters — a single weighted histogram
+    pass instead of many small indexed adds.
+    """
+    if not doc_chunks:
+        return np.zeros(num_sequences, dtype=np.float64)
+    return np.bincount(
+        np.concatenate(doc_chunks),
+        weights=np.concatenate(weight_chunks),
+        minlength=num_sequences,
+    )
+
+
 class CountScorer(CoarseScorer):
     """Number of matching interval occurrences."""
 
@@ -78,17 +198,41 @@ class CountScorer(CoarseScorer):
         query_counts: np.ndarray,
         query_positions: list[np.ndarray],
     ) -> np.ndarray:
-        scores = np.zeros(index.collection.num_sequences, dtype=np.float64)
         instruments = self.instruments
-        for interval_id, query_count in zip(query_ids, query_counts):
-            decoded = index.docs_counts(int(interval_id))
+        num_sequences = index.collection.num_sequences
+        interval_ids = query_ids.tolist()
+        if fastunpack.active_tier() != "python":
+            # Vector tier: one flat decode, one weighted histogram.
+            # Element order matches the per-list path (interval order,
+            # documents ascending within each list), so the float sums
+            # are bit-identical to the python-tier floor.
+            lens, docs, counts = fetch_docs_counts_flat(
+                index, interval_ids
+            )
+            _count_flat_postings(instruments, lens)
+            if not docs.shape[0]:
+                return np.zeros(num_sequences, dtype=np.float64)
+            caps = np.repeat(query_counts, lens)
+            return np.bincount(
+                docs,
+                weights=np.minimum(counts, caps),
+                minlength=num_sequences,
+            )
+        fetched = fetch_docs_counts_batch(index, interval_ids)
+        doc_chunks: list[np.ndarray] = []
+        weight_chunks: list[np.ndarray] = []
+        for query_count, decoded in zip(query_counts, fetched):
             if decoded is None:
                 continue
-            docs, counts = decoded
-            instruments.count("coarse.postings_fetched")
-            instruments.count("coarse.dgaps_decoded", int(docs.shape[0]))
-            np.add.at(scores, docs, np.minimum(counts, int(query_count)))
-        return scores
+            _, docs, counts = decoded
+            count_decoded_postings(instruments, docs.shape[0])
+            doc_chunks.append(docs)
+            weight_chunks.append(
+                np.minimum(counts, int(query_count)).astype(np.float64)
+            )
+        return _accumulate_evidence(
+            num_sequences, doc_chunks, weight_chunks
+        )
 
 
 class IdfScorer(CoarseScorer):
@@ -109,28 +253,49 @@ class IdfScorer(CoarseScorer):
         query_positions: list[np.ndarray],
     ) -> np.ndarray:
         num_sequences = index.collection.num_sequences
-        scores = np.zeros(num_sequences, dtype=np.float64)
         instruments = self.instruments
-        for interval_id, query_count in zip(query_ids, query_counts):
-            entry = index.lookup_entry(int(interval_id))
-            if entry is None:
-                continue
-            decoded = index.docs_counts(int(interval_id))
-            if decoded is None:
-                # A quarantining reader can fail the blob decode even
-                # after the vocabulary lookup succeeded (corrupt
-                # postings under on_corruption="skip"): drop the
-                # interval's evidence, exactly like CountScorer.
-                continue
-            docs, counts = decoded
-            instruments.count("coarse.postings_fetched")
-            instruments.count("coarse.dgaps_decoded", int(docs.shape[0]))
-            weight = np.log1p(num_sequences / max(entry.df, 1))
-            np.add.at(
-                scores, docs,
-                weight * np.minimum(counts, int(query_count)),
+        interval_ids = query_ids.tolist()
+        if fastunpack.active_tier() != "python":
+            # Vector tier: df == decoded list length, so the idf weight
+            # needs no vocabulary access at all — repeat each list's
+            # weight across its postings and histogram once.
+            lens, docs, counts = fetch_docs_counts_flat(
+                index, interval_ids
             )
-        return scores
+            _count_flat_postings(instruments, lens)
+            if not docs.shape[0]:
+                return np.zeros(num_sequences, dtype=np.float64)
+            weights = np.log1p(num_sequences / np.maximum(lens, 1))
+            caps = np.repeat(query_counts, lens)
+            return np.bincount(
+                docs,
+                weights=np.repeat(weights, lens)
+                * np.minimum(counts, caps),
+                minlength=num_sequences,
+            )
+        # The batch returns each interval's VocabEntry with its decode,
+        # so the idf weight's df costs no second vocabulary lookup
+        # (the old flow paid lookup_entry *and* docs_counts per
+        # interval — two full lookups on a disk-backed reader).
+        fetched = fetch_docs_counts_batch(index, interval_ids)
+        doc_chunks: list[np.ndarray] = []
+        weight_chunks: list[np.ndarray] = []
+        for query_count, decoded in zip(query_counts, fetched):
+            if decoded is None:
+                # Not in the vocabulary, or a quarantining reader
+                # failed the blob's integrity check: the interval
+                # contributes no evidence, exactly like CountScorer.
+                continue
+            entry, docs, counts = decoded
+            count_decoded_postings(instruments, docs.shape[0])
+            weight = np.log1p(num_sequences / max(entry.df, 1))
+            doc_chunks.append(docs)
+            weight_chunks.append(
+                weight * np.minimum(counts, int(query_count))
+            )
+        return _accumulate_evidence(
+            num_sequences, doc_chunks, weight_chunks
+        )
 
 
 class NormalisedScorer(CoarseScorer):
@@ -149,7 +314,11 @@ class NormalisedScorer(CoarseScorer):
         query_counts: np.ndarray,
         query_positions: list[np.ndarray],
     ) -> np.ndarray:
-        raw = CountScorer().score(
+        inner = CountScorer()
+        # Forward our sink: a bare CountScorer() starts on the class
+        # default, which silently dropped this scorer's fetch counters.
+        inner.instruments = self.instruments
+        raw = inner.score(
             index, query_ids, query_counts, query_positions
         )
         lengths = np.maximum(index.collection.lengths, 1).astype(np.float64)
@@ -188,13 +357,13 @@ class DiagonalScorer(CoarseScorer):
         doc_chunks: list[np.ndarray] = []
         diagonal_chunks: list[np.ndarray] = []
         instruments = self.instruments
-        for slot, interval_id in enumerate(query_ids):
-            entry = index.lookup_entry(int(interval_id))
-            if entry is None:
+        fetched = fetch_postings_batch(
+            index, [int(i) for i in query_ids]
+        )
+        for slot, postings in enumerate(fetched):
+            if postings is None:
                 continue
-            postings = index.postings(int(interval_id))
-            instruments.count("coarse.postings_fetched")
-            instruments.count("coarse.dgaps_decoded", len(postings))
+            count_decoded_postings(instruments, len(postings))
             offsets = query_positions[slot]
             for posting in postings:
                 # Every (query offset, sequence offset) pair is a hit.
@@ -410,27 +579,28 @@ class CoarseRanker:
         for interval, query_count in zip(unique_ids, counts):
             entry = index.lookup_entry(int(interval))
             if entry is not None:
-                with_df.append((entry.df, int(interval), int(query_count)))
-        with_df.sort()
+                with_df.append(
+                    (entry.df, int(interval), int(query_count), entry)
+                )
+        with_df.sort(key=lambda row: row[:3])
 
         accumulators: dict[int, float] = {}
         full = False
-        for slot, (_, interval, query_count) in enumerate(with_df):
+        for slot, (_, interval, query_count, entry) in enumerate(with_df):
             if full and self.accumulator_policy == "quit":
                 instruments.count(
                     "coarse.intervals_skipped_accumulators",
                     len(with_df) - slot,
                 )
                 break
-            decoded = index.docs_counts(interval)
+            decoded = index.docs_counts(interval, entry)
             if decoded is None:
                 # The vocabulary row existed a moment ago, but the
                 # posting blob failed integrity under a quarantining
                 # reader — skip the interval's evidence.
                 continue
             docs, doc_counts = decoded
-            instruments.count("coarse.postings_fetched")
-            instruments.count("coarse.dgaps_decoded", int(docs.shape[0]))
+            count_decoded_postings(instruments, docs.shape[0])
             contributions = np.minimum(doc_counts, query_count)
             for doc, contribution in zip(
                 docs.tolist(), contributions.tolist()

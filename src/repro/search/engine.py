@@ -108,19 +108,105 @@ class QuarantiningIndexReader(IndexReader):
             self._note(interval_id, exc)
             return None
 
-    def docs_counts(self, interval_id: int):
+    def docs_counts(self, interval_id: int, entry=None):
         try:
-            return self._inner.docs_counts(interval_id)
+            return self._inner.docs_counts(interval_id, entry)
         except CorruptionError as exc:
             self._note(interval_id, exc)
             return None
 
-    def postings(self, interval_id: int) -> list[PostingEntry]:
+    def docs_counts_batch(self, interval_ids) -> list:
+        """Batched section-A decode with per-interval quarantine: each
+        lookup is guarded individually, then the surviving entries go
+        through the wrapped reader's batch decode (and its cache)."""
+        entries = [self.lookup_entry(int(i)) for i in interval_ids]
+        from_entries = getattr(self._inner, "docs_counts_from_entries", None)
+        if from_entries is not None:
+            try:
+                return from_entries(interval_ids, entries)
+            except CorruptionError:
+                # A damaged blob surfaced inside the batch: retry the
+                # whole chunk per interval so only the damaged lists
+                # are quarantined, not their healthy neighbours.
+                pass
+        # Per-interval decode: for duck-typed inner readers without the
+        # batch protocol, and as the quarantining retry path above.
+        results: list = []
+        for interval_id, entry in zip(interval_ids, entries):
+            if entry is None:
+                results.append(None)
+                continue
+            decoded = self.docs_counts(int(interval_id), entry)
+            results.append(None if decoded is None else (entry, *decoded))
+        return results
+
+    def docs_counts_flat(self, interval_ids):
+        """Flat section-A decode with per-interval quarantine.
+
+        Quarantined intervals report length 0 in ``lens`` — the flat
+        analogue of "treated as empty".  A corruption surfacing inside
+        the batched decode retries per interval, so only the damaged
+        lists are quarantined, not their healthy neighbours.
+        """
+        entries = [self.lookup_entry(int(i)) for i in interval_ids]
+        from_entries = getattr(
+            self._inner, "docs_counts_flat_from_entries", None
+        )
+        if from_entries is not None:
+            try:
+                return from_entries(interval_ids, entries)
+            except CorruptionError:
+                pass
+        lens = np.zeros(len(entries), dtype=np.int64)
+        docs_parts: list[np.ndarray] = []
+        counts_parts: list[np.ndarray] = []
+        for slot, (interval_id, entry) in enumerate(
+            zip(interval_ids, entries)
+        ):
+            if entry is None:
+                continue
+            decoded = self.docs_counts(int(interval_id), entry)
+            if decoded is None:
+                continue
+            lens[slot] = decoded[0].shape[0]
+            docs_parts.append(decoded[0])
+            counts_parts.append(decoded[1])
+        empty = np.empty(0, dtype=np.int64)
+        return (
+            lens,
+            np.concatenate(docs_parts) if docs_parts else empty,
+            np.concatenate(counts_parts) if counts_parts else empty,
+        )
+
+    def postings(self, interval_id: int, entry=None) -> list[PostingEntry]:
         try:
-            return self._inner.postings(interval_id)
+            return self._inner.postings(interval_id, entry)
         except CorruptionError as exc:
             self._note(interval_id, exc)
             return []
+
+    def postings_batch(self, interval_ids) -> list:
+        """Batched full decode with per-interval quarantine, mirroring
+        :meth:`docs_counts_batch`.  Quarantined intervals yield ``[]``
+        (the same "nothing here" shape as :meth:`postings`)."""
+        entries = [self.lookup_entry(int(i)) for i in interval_ids]
+        from_entries = getattr(self._inner, "postings_from_entries", None)
+        if from_entries is not None:
+            try:
+                return from_entries(interval_ids, entries)
+            except CorruptionError:
+                pass
+        results: list = []
+        for interval_id, entry in zip(interval_ids, entries):
+            if entry is None:
+                results.append(None)
+                continue
+            try:
+                results.append(self._inner.postings(int(interval_id), entry))
+            except CorruptionError as exc:
+                self._note(int(interval_id), exc)
+                results.append([])
+        return results
 
     def interval_ids(self) -> Iterator[int]:
         return self._inner.interval_ids()

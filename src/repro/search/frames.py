@@ -29,7 +29,12 @@ from repro.instrumentation.instruments import (
     Instruments,
     coalesce,
 )
-from repro.search.coarse import CoarseRanker, band_hit_counts
+from repro.search.coarse import (
+    CoarseRanker,
+    band_hit_counts,
+    count_decoded_postings,
+    fetch_postings_batch,
+)
 from repro.search.deadline import (
     Deadline,
     DeadlineIndexView,
@@ -125,13 +130,11 @@ class FrameRanker:
         diagonal_chunks: list[np.ndarray] = []
         instruments = self.instruments
         instruments.count("coarse.query_intervals", int(query_ids.shape[0]))
-        for slot, interval in enumerate(query_ids):
-            entry = index.lookup_entry(int(interval))
-            if entry is None:
+        fetched = fetch_postings_batch(index, [int(i) for i in query_ids])
+        for slot, postings in enumerate(fetched):
+            if postings is None:
                 continue
-            postings = index.postings(int(interval))
-            instruments.count("coarse.postings_fetched")
-            instruments.count("coarse.dgaps_decoded", len(postings))
+            count_decoded_postings(instruments, len(postings))
             offsets = groups[slot]
             for posting in postings:
                 diagonals = (

@@ -165,10 +165,23 @@ class LoadgenResult:
                 }
             ),
         )
-        document.add("serving.p50_ms", self.percentile_ms(50), "ms", "lower")
-        document.add("serving.p90_ms", self.percentile_ms(90), "ms", "lower")
-        document.add("serving.p99_ms", self.percentile_ms(99), "ms", "lower")
-        document.add("serving.mean_ms", self.mean_ms(), "ms", "lower")
+        if self.requests:
+            document.add(
+                "serving.p50_ms", self.percentile_ms(50), "ms", "lower"
+            )
+            document.add(
+                "serving.p90_ms", self.percentile_ms(90), "ms", "lower"
+            )
+            document.add(
+                "serving.p99_ms", self.percentile_ms(99), "ms", "lower"
+            )
+            document.add("serving.mean_ms", self.mean_ms(), "ms", "lower")
+        # With zero completed requests (a dead or unreachable server)
+        # there are no latencies: emitting gated 0.0 percentiles would
+        # either poison a baseline or make every real latency look like
+        # a regression, so the latency metrics are omitted entirely.
+        # The zero throughput stays — a dead server SHOULD fail a
+        # higher-is-better throughput gate.
         document.add(
             "serving.throughput_qps", self.throughput_qps, "q/s", "higher"
         )

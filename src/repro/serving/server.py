@@ -327,9 +327,12 @@ class SearchServer:
         }
 
     def _stats(self) -> dict:
+        from repro.compression import fastunpack
+
         return {
             "admission": self.admission.snapshot(),
             "breakers": self._breaker_states(),
+            "kernel_tier": fastunpack.active_tier(),
             "metrics": self.instruments.metrics.snapshot(),
         }
 

@@ -284,3 +284,25 @@ class TestQuickSuiteGate:
         document = BenchDocument.load(target)
         assert document.suite == "quick"
         assert "wrote benchmark document" in capsys.readouterr().out
+
+
+class TestKernelSuite:
+    def test_kernel_document_shape_and_identity(self):
+        pytest.importorskip("benchmarks.workload_setup")
+        from repro.bench.runner import run_kernel_bench
+
+        document = run_kernel_bench(num_sequences=150, rounds=1)
+        assert document.suite == "kernel"
+        metrics = document.metrics
+        assert metrics["kernel.coarse_python_ms"]["direction"] == "info"
+        assert metrics["kernel.coarse_active_ms"]["direction"] == "info"
+        assert metrics["kernel.speedup"]["direction"] == "higher"
+        assert metrics["kernel.rank_identical"]["direction"] == "higher"
+        # The hard gate: the vector tier may only be faster, never
+        # different — every scorer, every query, bit for bit.
+        assert document.value("kernel.rank_identical") == 1.0
+        assert document.value("kernel.speedup") > 0.0
+        assert document.meta["active_tier"] in ("numpy", "numba")
+        assert document.meta["kernel_tier"] in (
+            "python", "numpy", "numba"
+        )

@@ -12,6 +12,8 @@ from repro.index.builder import (
     build_index,
 )
 from repro.index.postings import PostingEntry
+from repro.compression import fastunpack
+from repro.instrumentation.instruments import Instruments
 from repro.search.coarse import (
     CoarseRanker,
     CountScorer,
@@ -175,10 +177,10 @@ class _HugeOffsetIndex(IndexReader):
             return VocabEntry(interval_id, 2, 2, b"")
         return None
 
-    def postings(self, interval_id):
+    def postings(self, interval_id, entry=None):
         return self._postings[interval_id]
 
-    def docs_counts(self, interval_id):
+    def docs_counts(self, interval_id, entry=None):
         entries = self._postings.get(interval_id)
         if entries is None:
             return None
@@ -244,3 +246,81 @@ class TestNormalisedScorer:
         candidates = ranker.rank(seq("q", motif).codes, cutoff=5)
         by_ordinal = {c.ordinal: c.coarse_score for c in candidates}
         assert by_ordinal[0] > by_ordinal[1]
+
+
+class TestKernelTierParity:
+    """The decode-kernel tiers must be invisible to ranking."""
+
+    SCORERS = ("count", "idf", "normalised", "diagonal")
+
+    def test_rankings_identical_across_tiers(self, index, collection):
+        _, query = collection
+        for name in self.SCORERS:
+            results = {}
+            for tier in ("python", "numpy", "numba"):
+                with fastunpack.forced_tier(tier):
+                    candidates = CoarseRanker(index, name).rank(
+                        query, cutoff=30
+                    )
+                results[tier] = [
+                    (c.ordinal, c.coarse_score) for c in candidates
+                ]
+            assert results["python"] == results["numpy"], name
+            assert results["python"] == results["numba"], name
+
+    def test_decode_counters_agree_across_scorers_and_tiers(
+        self, index, collection
+    ):
+        # One unit definition (see docs/OBSERVABILITY.md): +1 fetch per
+        # list, +df gaps per list — whichever scorer, whichever tier.
+        _, query = collection
+        seen = set()
+        for name in ("count", "idf", "normalised"):
+            for tier in ("python", "numpy"):
+                instruments = Instruments()
+                ranker = CoarseRanker(index, name)
+                ranker.set_instruments(instruments)
+                with fastunpack.forced_tier(tier):
+                    ranker.rank(query, cutoff=10)
+                counters = instruments.metrics.snapshot()["counters"]
+                seen.add(
+                    (
+                        counters["coarse.postings_fetched"],
+                        counters["coarse.dgaps_decoded"],
+                    )
+                )
+        assert len(seen) == 1, seen
+
+
+class TestIdfSingleLookup:
+    def test_one_vocabulary_lookup_per_interval(self):
+        records = [
+            seq("a", "ACGTACGTAAAACCCC"),
+            seq("b", "ACGTTTTTGGGGACGT"),
+            seq("c", "CCCCAAAAACGTACGT"),
+        ]
+        index = build_index(records, IndexParameters(interval_length=4))
+        ids = list(index.interval_ids())[:6]
+        query_ids = np.array(ids, dtype=np.int64)
+        query_counts = np.ones(len(ids), dtype=np.int64)
+        groups = [np.array([0], dtype=np.int64) for _ in ids]
+        for tier in ("python", "numpy"):
+            calls = []
+            original = index.lookup_entry
+            index.lookup_entry = lambda interval_id: (
+                calls.append(interval_id) or original(interval_id)
+            )
+            try:
+                scorer = make_scorer("idf")
+                instruments = Instruments()
+                scorer.instruments = instruments
+                with fastunpack.forced_tier(tier):
+                    scorer.score(index, query_ids, query_counts, groups)
+            finally:
+                del index.lookup_entry
+            # The idf weight reuses the entry the decode already
+            # resolved: exactly one vocabulary access per interval,
+            # not lookup + decode as two separate walks.
+            assert len(calls) == len(ids), tier
+            counters = instruments.metrics.snapshot()["counters"]
+            assert counters["coarse.postings_fetched"] == len(ids)

@@ -50,13 +50,13 @@ class FaultyIndex(IndexReader):
     def lookup_entry(self, interval_id):
         return self._inner.lookup_entry(interval_id)
 
-    def docs_counts(self, interval_id):
+    def docs_counts(self, interval_id, entry=None):
         self._check(interval_id)
-        return self._inner.docs_counts(interval_id)
+        return self._inner.docs_counts(interval_id, entry)
 
-    def postings(self, interval_id):
+    def postings(self, interval_id, entry=None):
         self._check(interval_id)
-        return self._inner.postings(interval_id)
+        return self._inner.postings(interval_id, entry)
 
     def interval_ids(self):
         return self._inner.interval_ids()

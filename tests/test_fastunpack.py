@@ -1,0 +1,264 @@
+"""Round-trip and tier tests for the vectorised block decoder.
+
+Every decode surface — per-list, grouped batch, flat batch, full
+postings with offsets — must be bit-identical across the kernel tiers,
+including which errors surface: the vector tiers are allowed to be
+faster, never different.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import fastunpack
+from repro.errors import CodecError, ReproError
+from repro.index.postings import PostingEntry, PostingsCodec, PostingsContext
+
+CONTEXT = PostingsContext(num_sequences=100, total_length=50_000)
+
+#: Every runnable tier (a "numba" request degrades to numpy when the
+#: compiler is absent, so this is always a valid decode matrix).
+ALL_TIERS = ("python", "numpy", "numba")
+
+
+def make_entries(spec):
+    return [
+        PostingEntry(doc, np.array(positions, dtype=np.int64))
+        for doc, positions in spec
+    ]
+
+
+def encode_batch(codec, batch, context=CONTEXT):
+    """Encode a list of posting-list specs into (blobs, dfs, cfs)."""
+    blobs, dfs, cfs = [], [], []
+    for spec in batch:
+        entries = make_entries(spec)
+        blobs.append(codec.encode(entries, context))
+        dfs.append(len(spec))
+        cfs.append(sum(len(positions) for _, positions in spec))
+    return blobs, dfs, cfs
+
+
+def flat_reference(codec, batch, context=CONTEXT):
+    """The flat layout derived from the scalar per-list decode."""
+    docs_parts, counts_parts = [], []
+    blobs, dfs, cfs = encode_batch(codec, batch, context)
+    with fastunpack.forced_tier("python"):
+        for blob, df, cf in zip(blobs, dfs, cfs):
+            entries = codec.decode(blob, df, cf, context)
+            docs_parts.append([entry.sequence for entry in entries])
+            counts_parts.append(
+                [entry.positions.shape[0] for entry in entries]
+            )
+    docs = np.array(
+        [doc for part in docs_parts for doc in part], dtype=np.int64
+    )
+    counts = np.array(
+        [count for part in counts_parts for count in part], dtype=np.int64
+    )
+    return docs, counts
+
+
+@st.composite
+def posting_batches(draw):
+    """A batch of valid posting lists over the shared context."""
+    num_lists = draw(st.integers(min_value=1, max_value=8))
+    batch = []
+    for _ in range(num_lists):
+        num_docs = draw(st.integers(min_value=1, max_value=10))
+        docs = sorted(
+            draw(
+                st.sets(
+                    st.integers(min_value=0, max_value=99),
+                    min_size=num_docs,
+                    max_size=num_docs,
+                )
+            )
+        )
+        batch.append(
+            [
+                (
+                    doc,
+                    sorted(
+                        draw(
+                            st.sets(
+                                st.integers(min_value=0, max_value=499),
+                                min_size=1,
+                                max_size=6,
+                            )
+                        )
+                    ),
+                )
+                for doc in docs
+            ]
+        )
+    return batch
+
+
+class TestTierResolution:
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(ReproError):
+            fastunpack.resolve_tier("lzw")
+
+    def test_numba_request_degrades_silently(self):
+        resolved = fastunpack.resolve_tier("numba")
+        if fastunpack.numba_available():
+            assert resolved == "numba"
+        else:
+            assert resolved == "numpy"
+
+    def test_auto_resolves_to_a_vector_tier(self):
+        assert fastunpack.resolve_tier("auto") in ("numba", "numpy")
+
+    def test_environment_variable_is_read(self, monkeypatch):
+        monkeypatch.setenv(fastunpack.KERNEL_ENV_VAR, "python")
+        assert fastunpack.resolve_tier(None) == "python"
+        monkeypatch.setenv(fastunpack.KERNEL_ENV_VAR, "")
+        assert fastunpack.resolve_tier(None) in ("numba", "numpy")
+        monkeypatch.setenv(fastunpack.KERNEL_ENV_VAR, "qwerty")
+        with pytest.raises(ReproError):
+            fastunpack.resolve_tier(None)
+
+    def test_forced_tier_restores_previous(self):
+        before = fastunpack.active_tier()
+        with fastunpack.forced_tier("python"):
+            assert fastunpack.active_tier() == "python"
+        assert fastunpack.active_tier() == before
+
+
+class TestFlatRoundTrip:
+    @settings(deadline=None, max_examples=40)
+    @given(posting_batches())
+    def test_every_tier_matches_the_scalar_decode(self, batch):
+        codec = PostingsCodec()
+        blobs, dfs, cfs = encode_batch(codec, batch)
+        docs_ref, counts_ref = flat_reference(codec, batch)
+        for tier in ALL_TIERS:
+            with fastunpack.forced_tier(tier):
+                docs, counts = codec.decode_docs_counts_flat(
+                    blobs, dfs, CONTEXT, cfs=cfs
+                )
+            assert np.array_equal(docs, docs_ref), tier
+            assert np.array_equal(counts, counts_ref), tier
+
+    def test_single_entry_lists(self):
+        codec = PostingsCodec()
+        batch = [[(0, [5])], [(99, [0, 499])], [(42, [250])]]
+        blobs, dfs, cfs = encode_batch(codec, batch)
+        docs_ref, counts_ref = flat_reference(codec, batch)
+        for tier in ALL_TIERS:
+            with fastunpack.forced_tier(tier):
+                docs, counts = codec.decode_docs_counts_flat(
+                    blobs, dfs, CONTEXT, cfs=cfs
+                )
+            assert np.array_equal(docs, docs_ref)
+            assert np.array_equal(counts, counts_ref)
+
+    def test_empty_batch(self):
+        codec = PostingsCodec()
+        for tier in ALL_TIERS:
+            with fastunpack.forced_tier(tier):
+                docs, counts = codec.decode_docs_counts_flat(
+                    [], [], CONTEXT, cfs=[]
+                )
+            assert docs.shape == (0,)
+            assert counts.shape == (0,)
+
+    def test_parameter_one_lists(self):
+        # Every document present: the doc-gap Golomb parameter collapses
+        # to 1 (pure unary), the narrowest remainder field there is.
+        context = PostingsContext(num_sequences=8, total_length=5_000)
+        codec = PostingsCodec()
+        batch = [
+            [(doc, [doc * 3 + 1]) for doc in range(8)],
+            [(doc, [10, 20]) for doc in range(8)],
+        ]
+        blobs, dfs, cfs = encode_batch(codec, batch, context)
+        docs_ref, counts_ref = flat_reference(codec, batch, context)
+        for tier in ALL_TIERS:
+            with fastunpack.forced_tier(tier):
+                docs, counts = codec.decode_docs_counts_flat(
+                    blobs, dfs, context, cfs=cfs
+                )
+            assert np.array_equal(docs, docs_ref)
+            assert np.array_equal(counts, counts_ref)
+
+    def test_wide_parameter_lists_fall_back_identically(self):
+        # A huge universe pushes the Golomb remainder field past the
+        # 32-bit window the table reader serves; those lanes must take
+        # the scalar fallback and still return identical values.
+        context = PostingsContext(
+            num_sequences=2**40, total_length=5_000
+        )
+        codec = PostingsCodec()
+        batch = [
+            [(0, [5]), (2**30, [7]), (2**39, [1, 2])],
+            [(123_456_789, [10])],
+            [(1, [3]), (2, [4]), (2**35 + 17, [5])],
+        ] * 2
+        blobs, dfs, cfs = encode_batch(codec, batch, context)
+        docs_ref, counts_ref = flat_reference(codec, batch, context)
+        for tier in ALL_TIERS:
+            with fastunpack.forced_tier(tier):
+                docs, counts = codec.decode_docs_counts_flat(
+                    blobs, dfs, context, cfs=cfs
+                )
+            assert np.array_equal(docs, docs_ref), tier
+            assert np.array_equal(counts, counts_ref), tier
+
+    def test_truncated_blob_raises_on_every_tier(self):
+        codec = PostingsCodec()
+        batch = [[(doc, [doc + 1, doc + 50]) for doc in range(0, 60, 3)]]
+        blobs, dfs, cfs = encode_batch(codec, batch)
+        clipped = [blobs[0][: max(1, len(blobs[0]) // 4)]]
+        for tier in ALL_TIERS:
+            with fastunpack.forced_tier(tier):
+                with pytest.raises(CodecError):
+                    codec.decode_docs_counts_flat(
+                        clipped, dfs, CONTEXT, cfs=None
+                    )
+
+
+class TestPostingsBatch:
+    @settings(deadline=None, max_examples=25)
+    @given(posting_batches())
+    def test_positions_identical_across_tiers(self, batch):
+        codec = PostingsCodec()
+        blobs, dfs, cfs = encode_batch(codec, batch)
+        with fastunpack.forced_tier("python"):
+            reference = [
+                codec.decode(blob, df, cf, CONTEXT)
+                for blob, df, cf in zip(blobs, dfs, cfs)
+            ]
+        for tier in ALL_TIERS:
+            with fastunpack.forced_tier(tier):
+                decoded = codec.decode_batch(blobs, dfs, cfs, CONTEXT)
+            assert len(decoded) == len(reference)
+            for got, expected in zip(decoded, reference):
+                assert len(got) == len(expected)
+                for a, b in zip(got, expected):
+                    assert a.sequence == b.sequence
+                    assert np.array_equal(a.positions, b.positions)
+
+    def test_grouped_batch_matches_per_list(self):
+        codec = PostingsCodec()
+        batch = [
+            [(doc, [doc, doc + 7]) for doc in range(0, 40, 5)],
+            [(3, [1, 2, 3, 4])],
+            [(doc, [99]) for doc in (1, 2, 50, 99)],
+        ]
+        blobs, dfs, cfs = encode_batch(codec, batch)
+        with fastunpack.forced_tier("python"):
+            expected = [
+                codec.decode_docs_counts(blob, df, CONTEXT)
+                for blob, df in zip(blobs, dfs)
+            ]
+        for tier in ALL_TIERS:
+            with fastunpack.forced_tier(tier):
+                results = codec.decode_docs_counts_batch(
+                    blobs, dfs, CONTEXT, cfs=cfs
+                )
+            for got, want in zip(results, expected):
+                assert np.array_equal(got[0], want[0])
+                assert np.array_equal(got[1], want[1])

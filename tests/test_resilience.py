@@ -168,13 +168,13 @@ class FlakyIndex:
         self._maybe_fail()
         return self._inner.lookup_entry(interval_id)
 
-    def docs_counts(self, interval_id):
+    def docs_counts(self, interval_id, entry=None):
         self._maybe_fail()
-        return self._inner.docs_counts(interval_id)
+        return self._inner.docs_counts(interval_id, entry)
 
-    def postings(self, interval_id):
+    def postings(self, interval_id, entry=None):
         self._maybe_fail()
-        return self._inner.postings(interval_id)
+        return self._inner.postings(interval_id, entry)
 
     def interval_ids(self):
         return self._inner.interval_ids()
@@ -310,13 +310,13 @@ def test_attempt_timeout_drops_slow_shard():
             _time.sleep(0.05)
             return self._inner.lookup_entry(interval_id)
 
-        def docs_counts(self, interval_id):
+        def docs_counts(self, interval_id, entry=None):
             _time.sleep(0.05)
-            return self._inner.docs_counts(interval_id)
+            return self._inner.docs_counts(interval_id, entry)
 
-        def postings(self, interval_id):
+        def postings(self, interval_id, entry=None):
             _time.sleep(0.05)
-            return self._inner.postings(interval_id)
+            return self._inner.postings(interval_id, entry)
 
     pairs = _shard_pairs(records)
     slow = SlowIndex(build_index(records[1::3], PARAMS), 0)

@@ -365,6 +365,25 @@ class TestLoadgenResult:
         assert metrics["serving.requests"]["direction"] == "info"
         assert document.meta["note"] == "unit"
 
+    def test_dead_server_document_omits_latency_metrics(self):
+        # Zero completed requests: percentile-of-nothing must not be
+        # exported as 0.0ms (a gated lower-is-better metric that can
+        # only ever "improve"), so the latency metrics are absent and
+        # the honest zero lands on throughput instead.
+        result = LoadgenResult(
+            mode="closed", clients=4, duration_seconds=2.0
+        )
+        document = result.to_document()
+        for name in (
+            "serving.p50_ms",
+            "serving.p90_ms",
+            "serving.p99_ms",
+            "serving.mean_ms",
+        ):
+            assert name not in document.metrics
+        assert document.metrics["serving.throughput_qps"]["value"] == 0.0
+        assert document.metrics["serving.requests"]["value"] == 0.0
+
 
 def _sharded_with_fault(records, tmp_path, fault_shard=1):
     """Three disk shards, one with its posting blob zeroed."""
