@@ -25,6 +25,7 @@ from repro.bench.schema import (
 from repro.bench.runner import (
     run_experiments,
     run_kernel_bench,
+    run_lsm_bench,
     run_quick,
     run_shard_sweep,
 )
@@ -40,6 +41,7 @@ __all__ = [
     "metric",
     "run_experiments",
     "run_kernel_bench",
+    "run_lsm_bench",
     "run_quick",
     "run_shard_sweep",
 ]

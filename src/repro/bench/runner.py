@@ -1,6 +1,6 @@
 """Benchmark producers: every suite ends in one canonical document.
 
-Four producers, one output shape (:class:`~repro.bench.schema.BenchDocument`):
+Five producers, one output shape (:class:`~repro.bench.schema.BenchDocument`):
 
 * :func:`run_quick` — a self-contained synthetic workload (CI-sized,
   seconds not minutes): index build time, per-phase latency
@@ -16,6 +16,10 @@ Four producers, one output shape (:class:`~repro.bench.schema.BenchDocument`):
   pure-Python decode floor versus the resolved vector tier
   (interleaved, min-of-rounds) and asserts hit-for-hit ranking
   identity between them.  Needs ``benchmarks/workload_setup.py``.
+* :func:`run_lsm_bench` — the live-ingest suite: delta-shard ingest,
+  base+delta+tombstone search, compaction, and hit-for-hit parity
+  against a fresh rebuild of the same logical collection.  Needs
+  nothing outside the installed package.
 
 Flattened metric names are stable — ``e3.150.part_ms_q`` — because the
 regression gate matches baseline and current by name.
@@ -459,4 +463,141 @@ def run_kernel_bench(
         "",
         "higher",
     )
+    return document
+
+
+def run_lsm_bench(
+    num_sequences: int = 240,
+    num_queries: int = 6,
+    delta_batches: int = 3,
+    delete_every: int = 7,
+    seed: int = 5,
+    coarse_cutoff: int = 50,
+    top_k: int = 10,
+) -> BenchDocument:
+    """The live-ingest suite: ingest, delta-phase search, compaction.
+
+    Builds a base database from the front of a synthetic collection,
+    ingests the remainder as ``delta_batches`` delta shards, tombstones
+    every ``delete_every``-th logical record, and times (a) search over
+    base + deltas + tombstones, (b) compaction, and (c) search over the
+    compacted result.  Timings are recorded as ``info`` — what the
+    regression gate holds is ``lsm.parity``, which is 1.0 only when the
+    live database and its compacted form return hit-for-hit identical
+    reports to a fresh single-shard rebuild of the same logical
+    collection for every query.  A fast delta path that moves one hit
+    is a broken delta path.
+    """
+    import tempfile
+
+    from repro.database import Database
+    from repro.sequences.mutate import MutationModel
+    from repro.workloads.queries import make_family_queries
+    from repro.workloads.synthetic import WorkloadSpec, generate_collection
+
+    family_size = 4
+    families = max(2, num_sequences // (family_size * 4))
+    background = max(0, num_sequences - families * family_size)
+    spec = WorkloadSpec(
+        num_families=families,
+        family_size=family_size,
+        num_background=background,
+        mean_length=300,
+        mutation=MutationModel(0.1, 0.02, 0.02),
+        seed=seed,
+    )
+    collection = generate_collection(spec)
+    records = list(collection.sequences)
+    cases = make_family_queries(
+        collection, num_queries, 120, seed=seed + 1
+    )
+    queries = [case.query for case in cases]
+    engine_kwargs = dict(coarse_cutoff=coarse_cutoff)
+
+    base_count = max(1, (len(records) * 7) // 10)
+    base_records = records[:base_count]
+    pending = records[base_count:]
+    batches = [
+        pending[index::delta_batches] for index in range(delta_batches)
+    ]
+    batches = [batch for batch in batches if batch]
+
+    def search_ms(database: Database) -> tuple[float, list]:
+        reports = []
+        started = time.perf_counter()
+        for query in queries:
+            reports.append(
+                database.search(query, top_k=top_k, **engine_kwargs)
+            )
+        elapsed = time.perf_counter() - started
+        return elapsed * 1000.0 / max(1, len(queries)), reports
+
+    def keys(reports) -> list:
+        return [
+            [
+                (hit.ordinal, hit.identifier, hit.score, hit.strand)
+                for hit in report.hits
+            ]
+            for report in reports
+        ]
+
+    with tempfile.TemporaryDirectory() as scratch:
+        root = Path(scratch)
+        live = Database.create(
+            base_records, root / "live", shards=2, workers=1
+        )
+        ingest_started = time.perf_counter()
+        for batch in batches:
+            live.add_records(batch)
+        ingest_ms = (time.perf_counter() - ingest_started) * 1000.0
+        doomed = list(range(0, len(live), max(2, delete_every)))
+        if doomed:
+            live.delete(doomed)
+
+        survivors = [
+            live.record(ordinal) for ordinal in range(len(live))
+        ]
+        oracle = Database.create(survivors, root / "oracle", shards=1)
+        _oracle_ms, oracle_reports = search_ms(oracle)
+        oracle_keys = keys(oracle_reports)
+        oracle.close()
+
+        delta_ms, delta_reports = search_ms(live)
+        delta_parity = keys(delta_reports) == oracle_keys
+
+        compact_started = time.perf_counter()
+        generation = live.compact()
+        compact_ms = (time.perf_counter() - compact_started) * 1000.0
+        compacted_ms, compacted_reports = search_ms(live)
+        compacted_parity = keys(compacted_reports) == oracle_keys
+        live_sequences = len(live)
+        live.close()
+
+    document = BenchDocument(
+        "lsm",
+        meta=standard_meta(
+            {
+                "num_sequences": len(records),
+                "base_records": len(base_records),
+                "delta_batches": len(batches),
+                "tombstones": len(doomed),
+                "queries": len(queries),
+                "coarse_cutoff": coarse_cutoff,
+                "seed": seed,
+                "generation": generation,
+            }
+        ),
+    )
+    document.add("lsm.ingest_ms", ingest_ms, "ms", "info")
+    document.add("lsm.delta_search_ms", delta_ms, "ms", "info")
+    document.add("lsm.compact_ms", compact_ms, "ms", "info")
+    document.add("lsm.compacted_search_ms", compacted_ms, "ms", "info")
+    document.add(
+        "lsm.parity",
+        1.0 if (delta_parity and compacted_parity) else 0.0,
+        "",
+        "higher",
+    )
+    document.add("lsm.live_sequences", live_sequences, "", "info")
+    document.add("lsm.tombstones", len(doomed), "", "info")
     return document

@@ -12,6 +12,9 @@ Subcommands mirror the life cycle of the paper's system::
     repro align     — pretty-print the local alignment of two sequences
     repro verify    — audit a database directory's integrity
     repro repair    — rebuild a database's index from its store
+    repro ingest    — append FASTA records as a delta shard (live layer)
+    repro delete    — tombstone records by identifier
+    repro compact   — fold deltas and tombstones back into base shards
 """
 
 from __future__ import annotations
@@ -272,6 +275,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             num_queries=args.num_queries,
         )
         default_output = Path("BENCH_shards.json")
+    elif args.suite == "lsm":
+        from repro.bench import run_lsm_bench
+
+        document = run_lsm_bench(
+            num_sequences=args.sequences or 240,
+            num_queries=args.num_queries,
+            seed=args.seed,
+        )
+        default_output = Path("BENCH_lsm.json")
     else:
         names = args.experiments or ["E3"]
         document = run_experiments(names)
@@ -549,6 +561,54 @@ def _cmd_repair(args: argparse.Namespace) -> int:
     return 0 if after.ok else 1
 
 
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.database import Database
+
+    records = list(read_fasta(args.collection))
+    with Database.open(args.database) as database:
+        generation = database.add_records(records)
+        print(
+            f"ingested {len(records)} record(s) as one delta shard; "
+            f"generation {generation}, {database.delta_shards} delta "
+            f"shard(s) pending compaction"
+        )
+    return 0
+
+
+def _cmd_delete(args: argparse.Namespace) -> int:
+    from repro.database import Database
+
+    with Database.open(args.database) as database:
+        before = len(database)
+        generation = database.delete(args.identifiers)
+        print(
+            f"deleted {before - len(database)} record(s); "
+            f"generation {generation}, {database.tombstone_count} "
+            f"tombstone(s) pending compaction"
+        )
+    return 0
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    from repro.database import Database
+
+    started = time.perf_counter()
+    with Database.open(args.database) as database:
+        before = database.generation
+        generation = database.compact(
+            shards=args.shards, workers=args.workers
+        )
+        if generation == before:
+            print(f"{args.database}: nothing to compact")
+        else:
+            print(
+                f"compacted into {database.num_shards} base shard(s) in "
+                f"{time.perf_counter() - started:.2f}s; generation "
+                f"{generation}"
+            )
+    return 0
+
+
 def _cmd_oracle(args: argparse.Namespace) -> int:
     from repro.eval.metrics import ranking_overlap
     from repro.search.exhaustive import ExhaustiveSearcher
@@ -694,7 +754,8 @@ def build_parser() -> argparse.ArgumentParser:
         "gate one document against a baseline",
     )
     bench.add_argument(
-        "--suite", choices=("quick", "kernel", "shards", "experiments"),
+        "--suite",
+        choices=("quick", "kernel", "shards", "lsm", "experiments"),
         default="quick",
         help="which producer to run (ignored with --compare)",
     )
@@ -906,6 +967,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="rebuild even when the database verifies as intact",
     )
     repair.set_defaults(handler=_cmd_repair)
+
+    ingest = commands.add_parser(
+        "ingest",
+        help="append FASTA records to a database as one delta shard",
+    )
+    ingest.add_argument("database", type=Path)
+    ingest.add_argument("collection", type=Path, help="FASTA of new records")
+    ingest.set_defaults(handler=_cmd_ingest)
+
+    delete = commands.add_parser(
+        "delete", help="tombstone database records by identifier"
+    )
+    delete.add_argument("database", type=Path)
+    delete.add_argument(
+        "identifiers", nargs="+", metavar="IDENTIFIER",
+        help="record identifiers to delete (every live match)",
+    )
+    delete.set_defaults(handler=_cmd_delete)
+
+    compact = commands.add_parser(
+        "compact",
+        help="fold delta shards and tombstones back into base shards",
+    )
+    compact.add_argument("database", type=Path)
+    compact.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="base shard count to compact into (default: keep current)",
+    )
+    compact.add_argument(
+        "--workers", type=int, default=1, metavar="M",
+        help="rebuild up to M shards in parallel worker processes",
+    )
+    compact.set_defaults(handler=_cmd_compact)
 
     oracle = commands.add_parser(
         "oracle",

@@ -51,12 +51,24 @@ from repro.errors import (
 from repro.index.atomic import file_crc32
 from repro.index.builder import IndexParameters, build_index
 from repro.index.storage import DiskIndex, write_index
-from repro.index.store import SequenceSource, SequenceStore, write_store
+from repro.index.store import (
+    LiveSequenceView,
+    SequenceSource,
+    SequenceStore,
+    write_store,
+)
 from repro.instrumentation.instruments import (
     NULL_INSTRUMENTS,
     Instruments,
     coalesce,
 )
+from repro.lsm.manifest import (
+    LSM_DIRECTORY_PREFIXES,
+    LiveState,
+    live_state_from_manifest,
+    make_live_manifest,
+)
+from repro.lsm.mutate import append_delta, compact_database, tombstone
 from repro.search.deadline import Deadline
 from repro.search.engine import CORRUPTION_POLICIES, PartitionedSearchEngine
 from repro.search.resilience import ShardResilience
@@ -157,20 +169,35 @@ class Database:
         shards: list[ShardHandle],
         manifest: dict,
         on_corruption: str = "raise",
+        live: LiveState | None = None,
     ) -> None:
         if not shards:
             raise IndexFormatError(f"{path}: database has no shards")
         self.path = path
         self.manifest = manifest
         self.on_corruption = on_corruption
+        self.live = live
         self._shards = shards
         self._bases = [shard.base for shard in shards]
+        self._tombstones = np.asarray(
+            live.tombstones if live is not None else (), dtype=np.int64
+        )
         if len(shards) == 1:
-            self._source: SequenceSource = shards[0].store
+            stored: SequenceSource = shards[0].store
         else:
-            self._source = ShardedSequenceSource(
+            stored = ShardedSequenceSource(
                 [shard.store for shard in shards]
             )
+        self._stored_source = stored
+        self._source: SequenceSource = (
+            LiveSequenceView(stored, self._tombstones.tolist())
+            if self._tombstones.size
+            else stored
+        )
+        self._dead_bases = sum(
+            self._stored_length(int(ordinal))
+            for ordinal in self._tombstones
+        )
         self._engines: "OrderedDict[tuple, object]" = OrderedDict()
         # Concurrent server requests share one database: the engine
         # cache's get/build/evict must be atomic or two threads race to
@@ -296,7 +323,12 @@ class Database:
             )
         directory = Path(path)
         manifest = cls._load_manifest(directory)
-        layout = layout_from_manifest(manifest)
+        live = live_state_from_manifest(manifest)
+        layout = (
+            list(live.entries)
+            if live is not None
+            else layout_from_manifest(manifest)
+        )
         shards: list[ShardHandle] = []
         try:
             if layout is None:
@@ -307,17 +339,20 @@ class Database:
                 )
             else:
                 for entry in layout:
+                    shard_dir = (
+                        directory / entry.name if entry.name else directory
+                    )
                     shards.append(
                         cls._open_shard(
                             entry.name,
-                            directory / entry.name,
+                            shard_dir,
                             entry.base,
                             on_corruption,
                         )
                     )
                     if len(shards[-1].store) != entry.sequences:
                         raise IndexFormatError(
-                            f"{directory / entry.name}: manifest promises "
+                            f"{shard_dir}: manifest promises "
                             f"{entry.sequences} sequences but the store "
                             f"holds {len(shards[-1].store)}"
                         )
@@ -337,7 +372,7 @@ class Database:
                         f"{directory}: full verification failed: "
                         + "; ".join(report.issues)
                     )
-            return cls(directory, shards, manifest, on_corruption)
+            return cls(directory, shards, manifest, on_corruption, live=live)
         except Exception:
             # Never leak mmaps/handles when a later step fails.
             for shard in shards:
@@ -387,6 +422,13 @@ class Database:
     @staticmethod
     def _shard_checksums(manifest: dict, shard: ShardHandle) -> dict:
         """The manifest fragment recording a shard's file digests."""
+        lsm = manifest.get("lsm")
+        if lsm is not None:
+            for part in ("base", "deltas"):
+                for description in lsm.get(part, {}).get("layout", []):
+                    if description.get("name") == shard.name:
+                        return {"checksums": description.get("checksums")}
+            return {}
         if not shard.name:
             return manifest
         for description in manifest.get("shards", {}).get("layout", []):
@@ -460,14 +502,28 @@ class Database:
             report.issues.append(str(exc))
             return report
         try:
-            layout = layout_from_manifest(manifest)
+            live = live_state_from_manifest(manifest)
+            layout = (
+                list(live.entries)
+                if live is not None
+                else layout_from_manifest(manifest)
+            )
         except IndexFormatError as exc:
             report.issues.append(str(exc))
             return report
         if layout is None:
             cls._verify_single(directory, manifest, report)
+            cls._note_orphans(directory, set(), report)
             return report
         for entry in layout:
+            if not entry.name:
+                # A live database whose base is the classic top-level
+                # file pair: audit it in place against the digests the
+                # live manifest carries for it.
+                cls._verify_single(
+                    directory, {"checksums": entry.checksums}, report
+                )
+                continue
             shard_dir = directory / entry.name
             inner = cls.verify(shard_dir)
             report.issues.extend(inner.issues)
@@ -490,7 +546,37 @@ class Database:
                     f"{shard_manifest.get('sequences')} sequences but the "
                     f"top-level manifest records {entry.sequences}"
                 )
+        cls._note_orphans(
+            directory, {entry.name for entry in layout if entry.name}, report
+        )
         return report
+
+    @staticmethod
+    def _note_orphans(
+        directory: Path, referenced: set, report: VerificationReport
+    ) -> None:
+        """Flag shard/delta directories no manifest references.
+
+        These are interrupted-mutation leftovers (or a completed
+        compaction whose cleanup was interrupted): invisible to
+        readers, safe to delete, reclaimed by the next compaction —
+        notes, not problems.
+        """
+        try:
+            children = sorted(directory.iterdir())
+        except OSError:
+            return
+        for child in children:
+            if (
+                child.is_dir()
+                and child.name.startswith(LSM_DIRECTORY_PREFIXES)
+                and child.name not in referenced
+            ):
+                report.notes.append(
+                    f"{child}: not referenced by the live manifest "
+                    "(interrupted ingest/compaction leftover; the next "
+                    "compaction reclaims it)"
+                )
 
     @classmethod
     def _verify_single(
@@ -562,6 +648,13 @@ class Database:
             manifest = cls._load_manifest(directory)
         except IndexFormatError:
             manifest = None
+        live = (
+            live_state_from_manifest(manifest)
+            if manifest is not None
+            else None
+        )
+        if live is not None:
+            return cls._repair_live(directory, live, params)
         layout = (
             layout_from_manifest(manifest) if manifest is not None else None
         )
@@ -598,8 +691,65 @@ class Database:
         return cls.open(directory)
 
     @classmethod
+    def _repair_live(
+        cls,
+        directory: Path,
+        live: LiveState,
+        params: IndexParameters | None,
+    ) -> "Database":
+        """Rebuild every entry of a live (LSM) database.
+
+        Each base and delta entry is repaired like an ordinary shard;
+        for a classic top-level base (name ``""``) the rebuilt files
+        share the database directory, so its per-shard manifest write
+        is suppressed — the live manifest, rewritten once at the end
+        with the tombstones preserved and the generation bumped, is the
+        only top-level commit.
+        """
+        shard_manifests: list[dict] = []
+        for entry in live.entries:
+            if entry.name:
+                shard_manifests.append(
+                    cls._repair_single(directory / entry.name, params)
+                )
+            else:
+                shard_manifests.append(
+                    cls._repair_single(directory, params, write=False)
+                )
+        coding = str(shard_manifests[0]["coding"])
+        repaired_params = IndexParameters.from_description(
+            shard_manifests[0]["params"]
+        )
+        entries = []
+        base = 0
+        for entry, shard_manifest in zip(live.entries, shard_manifests):
+            entries.append(
+                ShardLayoutEntry(
+                    name=entry.name,
+                    base=base,
+                    sequences=shard_manifest["sequences"],
+                    bases=shard_manifest["bases"],
+                    index_bytes=shard_manifest["index_bytes"],
+                    store_bytes=shard_manifest["store_bytes"],
+                    checksums=dict(shard_manifest["checksums"]),
+                )
+            )
+            base += int(shard_manifest["sequences"])
+        split = len(live.base)
+        state = LiveState(
+            live.generation + 1,
+            tuple(entries[:split]),
+            tuple(entries[split:]),
+            live.tombstones,
+        )
+        _write_manifest(
+            directory, make_live_manifest(coding, repaired_params, state)
+        )
+        return cls.open(directory)
+
+    @classmethod
     def _repair_single(
-        cls, directory: Path, params: IndexParameters | None
+        cls, directory: Path, params: IndexParameters | None, write: bool = True
     ) -> dict:
         """Rebuild one shard directory's index; returns its manifest."""
         store_path = directory / _STORE_NAME
@@ -638,7 +788,8 @@ class Database:
             index_bytes,
             store_bytes,
         )
-        _write_manifest(directory, manifest)
+        if write:
+            _write_manifest(directory, manifest)
         return manifest
 
     def close(self) -> None:
@@ -695,33 +846,73 @@ class Database:
         return any(shard.degraded for shard in self._shards)
 
     def __len__(self) -> int:
+        """Live sequences (tombstoned records are not presented)."""
+        return self.stored_sequences - int(self._tombstones.size)
+
+    @property
+    def stored_sequences(self) -> int:
+        """Sequences on disk, tombstoned ones included."""
         return sum(len(shard.store) for shard in self._shards)
 
     @property
+    def generation(self) -> int:
+        """The live manifest's generation (0 for a never-mutated
+        database)."""
+        return self.live.generation if self.live is not None else 0
+
+    @property
+    def delta_shards(self) -> int:
+        """Delta shards appended since the last compaction."""
+        return len(self.live.deltas) if self.live is not None else 0
+
+    @property
+    def tombstone_count(self) -> int:
+        """Records deleted but not yet compacted away."""
+        return int(self._tombstones.size)
+
+    def _stored_length(self, stored: int) -> int:
+        """Residues of the record at a *stored* ordinal."""
+        shard = self._shards[shard_of(self._bases, stored)]
+        local = stored - shard.base
+        if shard.index is not None:
+            return int(shard.index.collection.lengths[local])
+        return int(shard.store.codes(local).shape[0])
+
+    def _stored_of(self, ordinal: int) -> int:
+        """Stored ordinal behind a logical (live) ordinal."""
+        if isinstance(self._source, LiveSequenceView):
+            return self._source.stored_ordinal(ordinal)
+        return ordinal
+
+    @property
     def total_bases(self) -> int:
+        """Live residues (tombstoned records' bases excluded)."""
         if not self.degraded:
-            return sum(
-                shard.index.collection.total_length
-                for shard in self._shards
+            return (
+                sum(
+                    shard.index.collection.total_length
+                    for shard in self._shards
+                )
+                - self._dead_bases
             )
-        return int(self.manifest.get("bases", 0))
+        return int(self.manifest.get("bases", 0)) - self._dead_bases
 
     def shard_of(self, ordinal: int) -> ShardHandle:
-        """The shard holding a global ordinal.
+        """The shard holding a (logical) global ordinal.
 
         Raises:
             SearchError: if ``ordinal`` is out of range.
         """
         if not 0 <= ordinal < len(self):
             raise SearchError(f"no sequence with ordinal {ordinal}")
-        return self._shards[shard_of(self._bases, ordinal)]
+        return self._shards[shard_of(self._bases, self._stored_of(ordinal))]
 
     def record(self, ordinal: int) -> Sequence:
-        """Fetch one sequence record by global ordinal."""
+        """Fetch one sequence record by (logical) global ordinal."""
         return self._source.record(ordinal)
 
     def records(self) -> Iterator[Sequence]:
-        """Iterate every record in global ordinal order."""
+        """Iterate every live record in logical ordinal order."""
         for ordinal in range(len(self)):
             yield self._source.record(ordinal)
 
@@ -737,6 +928,135 @@ class Database:
         ``None`` detaches.
         """
         self._instruments = coalesce(instruments)
+        self._publish_lsm_gauges()
+
+    def _publish_lsm_gauges(self) -> None:
+        instruments = self._instruments
+        if not instruments.enabled:
+            return
+        instruments.set_gauge("lsm.generation", self.generation)
+        instruments.set_gauge("lsm.delta_shards", self.delta_shards)
+        instruments.set_gauge("lsm.tombstones", self.tombstone_count)
+
+    # -- mutation (the live/LSM layer) -----------------------------------
+
+    def _reload(self) -> None:
+        """Adopt the directory's current generation in place.
+
+        Opens the new generation first, then releases the superseded
+        readers and cached engines, so a failed reopen leaves the
+        database usable on its old generation.
+        """
+        instruments = self._instruments
+        with self._engine_lock:
+            engines = list(self._engines.values())
+            self._engines.clear()
+        old_shards = self._shards
+        fresh = type(self).open(self.path, on_corruption=self.on_corruption)
+        self.__dict__.update(fresh.__dict__)
+        self._instruments = instruments
+        for engine in engines:
+            close = getattr(engine, "close", None)
+            if close is not None:
+                close()
+        for shard in old_shards:
+            shard.close()
+        self._publish_lsm_gauges()
+
+    def add_records(self, records: Iterable[Sequence]) -> int:
+        """Ingest new records as one delta shard; returns the new
+        generation.
+
+        The delta is a complete checksummed v2 database built under
+        ``delta-g<generation>/``; the atomic manifest swap referencing
+        it is the last write, so a crash mid-ingest leaves the previous
+        generation serving and an orphan directory ``verify`` merely
+        notes.  The database reflects the new generation on return.
+
+        Raises:
+            IndexParameterError: if ``records`` is empty.
+        """
+        records = list(records)
+        with self._instruments.span("lsm.append") as span:
+            state = append_delta(self.path, records)
+            if span is not None:
+                span.annotate("records", len(records))
+                span.annotate("generation", state.generation)
+        self._instruments.count("lsm.records_added", len(records))
+        self._reload()
+        return state.generation
+
+    def delete(self, targets: Iterable[str | int]) -> int:
+        """Tombstone records by identifier or logical ordinal; returns
+        the new generation.
+
+        A string target deletes *every* live record carrying that
+        identifier; an integer target deletes the record at that
+        logical ordinal.  Deletion is one atomic manifest swap — no
+        shard file is rewritten — and later ordinals shift down,
+        exactly as a rebuild without the records would number them.
+
+        Raises:
+            SearchError: if a target matches nothing (unknown
+                identifier or out-of-range ordinal).
+        """
+        live_count = len(self)
+        stored: set[int] = set()
+        for target in targets:
+            if isinstance(target, str):
+                matches = [
+                    self._stored_of(ordinal)
+                    for ordinal in range(live_count)
+                    if self._source.identifier(ordinal) == target
+                ]
+                if not matches:
+                    raise SearchError(
+                        f"{self.path}: no live record with identifier "
+                        f"{target!r}"
+                    )
+                stored.update(matches)
+            else:
+                ordinal = int(target)
+                if not 0 <= ordinal < live_count:
+                    raise SearchError(
+                        f"no sequence with ordinal {ordinal}"
+                    )
+                stored.add(self._stored_of(ordinal))
+        with self._instruments.span("lsm.delete") as span:
+            state = tombstone(self.path, sorted(stored))
+            if span is not None:
+                span.annotate("records", len(stored))
+                span.annotate("generation", state.generation)
+        self._instruments.count("lsm.records_deleted", len(stored))
+        self._reload()
+        return state.generation
+
+    def compact(self, shards: int | None = None, workers: int = 1) -> int:
+        """Fold deltas and tombstones back into base shards; returns
+        the (possibly unchanged) generation.
+
+        New base shards land in fresh ``shard-g...`` directories and
+        the generation is committed by one atomic manifest replace — a
+        compaction killed at any point is invisible on reopen.  With no
+        tombstones and a single-shard target the index is produced by
+        the streaming ``merge_index_files`` path (identical to a fresh
+        build); otherwise the survivors are re-planned and rebuilt,
+        optionally on ``workers`` processes.  No-op (and no generation
+        bump) when there is nothing to compact.
+
+        Raises:
+            IndexParameterError: if every record is tombstoned (an
+                index cannot be empty) or ``workers`` < 1.
+        """
+        with self._instruments.span("lsm.compact") as span:
+            state = compact_database(self.path, shards=shards, workers=workers)
+            if span is not None:
+                span.annotate("generation", state.generation)
+                span.annotate("base_shards", len(state.base))
+        if state.generation != self.generation:
+            self._instruments.count("lsm.compactions")
+            self._reload()
+        return state.generation
 
     # -- searching -------------------------------------------------------
 
@@ -744,6 +1064,7 @@ class Database:
         self,
         coarse_cutoff: int = 100,
         scheme: ScoringScheme | None = None,
+        coarse_scorer: str = "count",
         fine_mode: str = "full",
         both_strands: bool = False,
         with_evalues: bool = False,
@@ -756,8 +1077,12 @@ class Database:
         :class:`~repro.search.engine.PartitionedSearchEngine`; sharded
         databases a :class:`~repro.sharding.ShardedSearchEngine` with
         the same ``search`` / ``search_batch`` surface and globally
-        identical results.  ``with_evalues=True`` calibrates Gumbel
-        parameters once per scheme and attaches E-values to every hit.
+        identical results.  A database with tombstones (the live/LSM
+        layer) always uses the sharded engine, which filters dead
+        candidates before the merge-cut and presents logical ordinals —
+        results hit-for-hit identical to a rebuild over the surviving
+        records.  ``with_evalues=True`` calibrates Gumbel parameters
+        once per scheme and attaches E-values to every hit.
         ``on_corruption`` defaults to the policy the database was
         opened with.  ``resilience`` configures per-shard fault
         tolerance on sharded databases (see
@@ -790,8 +1115,8 @@ class Database:
                     self._significance_scheme = scheme
                 significance = self._significance
             key = (
-                coarse_cutoff, scheme, fine_mode, both_strands, with_evalues,
-                policy, resilience,
+                coarse_cutoff, scheme, coarse_scorer, fine_mode,
+                both_strands, with_evalues, policy, resilience,
             )
             instruments = self._instruments
             engine = self._engines.get(key)
@@ -800,12 +1125,13 @@ class Database:
                 instruments.count("database.engine_cache.hits")
                 return engine
             instruments.count("database.engine_cache.misses")
-            if len(self._shards) == 1:
+            if len(self._shards) == 1 and not self._tombstones.size:
                 shard = self._shards[0]
                 engine = PartitionedSearchEngine(
                     shard.index,
                     shard.store,
                     scheme=scheme,
+                    coarse_scorer=coarse_scorer,
                     coarse_cutoff=coarse_cutoff,
                     fine_mode=fine_mode,
                     both_strands=both_strands,
@@ -816,13 +1142,21 @@ class Database:
                 engine = ShardedSearchEngine(
                     [(shard.index, shard.store) for shard in self._shards],
                     scheme=scheme,
+                    coarse_scorer=coarse_scorer,
                     coarse_cutoff=coarse_cutoff,
                     fine_mode=fine_mode,
                     both_strands=both_strands,
                     significance=significance,
                     on_corruption=policy,
                     resilience=resilience,
+                    tombstones=self._tombstones.tolist(),
+                    dead_bases=self._dead_bases,
                 )
+            engine.lsm_info = {
+                "generation": self.generation,
+                "delta_shards": self.delta_shards,
+                "tombstones": self.tombstone_count,
+            }
             if instruments.enabled:
                 engine.set_instruments(instruments)
             self._engines[key] = engine
@@ -842,7 +1176,9 @@ class Database:
 
     #: Engine options the degraded (exhaustive) path honours; anything
     #: else raises rather than silently running with defaults.
-    _DEGRADED_HONOURED = ("scheme", "coarse_cutoff", "on_corruption")
+    _DEGRADED_HONOURED = (
+        "scheme", "coarse_cutoff", "coarse_scorer", "on_corruption"
+    )
 
     def _search_degraded(
         self,
@@ -868,6 +1204,9 @@ class Database:
         kwargs = dict(engine_kwargs)
         scheme = kwargs.pop("scheme", None) or ScoringScheme()
         kwargs.pop("coarse_cutoff", None)
+        # The exhaustive scan has no coarse phase, so any scorer choice
+        # is moot — accepted like the cutoff, not an error.
+        kwargs.pop("coarse_scorer", None)
         kwargs.pop("on_corruption", None)
         unsupported = []
         if kwargs.pop("fine_mode", "full") != "full":
@@ -968,11 +1307,18 @@ class Database:
 
     def describe(self) -> str:
         """One-paragraph human-readable summary."""
+        live = ""
+        if self.live is not None:
+            live = (
+                f" Live: generation {self.generation}, "
+                f"{self.delta_shards} delta shard(s), "
+                f"{self.tombstone_count} tombstone(s)."
+            )
         if self.degraded:
             return (
                 f"Database at {self.path}: {len(self)} sequences "
                 f"(DEGRADED: index unreadable, exhaustive search only; "
-                f"run repair to rebuild the index)."
+                f"run repair to rebuild the index)." + live
             )
         if len(self._shards) > 1:
             vocabulary = sum(
@@ -986,7 +1332,7 @@ class Database:
                 f"{vocabulary:,} indexed intervals (summed), "
                 f"{self.manifest['index_bytes']:,} index bytes, "
                 f"{self.manifest['store_bytes']:,} store bytes "
-                f"({self.manifest['coding']} coding)."
+                f"({self.manifest['coding']} coding)." + live
             )
         index = self._shards[0].index
         return (
@@ -996,5 +1342,5 @@ class Database:
             f"{index.vocabulary_size:,} indexed intervals, "
             f"{self.manifest['index_bytes']:,} index bytes, "
             f"{self.manifest['store_bytes']:,} store bytes "
-            f"({self.manifest['coding']} coding)."
+            f"({self.manifest['coding']} coding)." + live
         )

@@ -378,6 +378,95 @@ class SequenceStore(SequenceSource):
         return int(self._offsets[-1])
 
 
+class LiveSequenceView(SequenceSource):
+    """A source with tombstoned ordinals elided.
+
+    Presents the *logical* collection over a stored one: logical
+    ordinal ``i`` is the ``i``-th non-tombstoned stored record, in
+    stored order.  This is exactly the ordinal space a fresh rebuild
+    over the surviving records would assign, which is what makes
+    base+delta+tombstone search reports comparable hit-for-hit with a
+    rebuilt index.
+
+    Raises:
+        IndexLookupError: from the constructor if ``tombstones`` is not
+            sorted/unique or references ordinals outside the inner
+            source.
+    """
+
+    def __init__(
+        self, inner: SequenceSource, tombstones: TypingSequence[int]
+    ) -> None:
+        self._inner = inner
+        dead = np.asarray(tombstones, dtype=np.int64)
+        if dead.size:
+            if np.any(np.diff(dead) <= 0):
+                raise IndexLookupError(
+                    "tombstones must be sorted and unique"
+                )
+            if dead[0] < 0 or dead[-1] >= len(inner):
+                raise IndexLookupError(
+                    f"tombstone {int(dead[0] if dead[0] < 0 else dead[-1])} "
+                    f"outside stored range 0..{len(inner) - 1}"
+                )
+        self._dead = dead
+
+    @property
+    def inner(self) -> SequenceSource:
+        """The wrapped stored-ordinal source."""
+        return self._inner
+
+    def set_instruments(self, instruments) -> None:
+        super().set_instruments(instruments)
+        self._inner.set_instruments(instruments)
+
+    def __len__(self) -> int:
+        return len(self._inner) - int(self._dead.size)
+
+    def stored_ordinal(self, ordinal: int) -> int:
+        """The stored ordinal behind logical ``ordinal``."""
+        self._check(ordinal)
+        # stored = ordinal + |{t in tombstones : t <= stored}|; iterate
+        # to the fixpoint (each pass can only move forward, and moves
+        # at most len(tombstones) times in total).
+        skipped = 0
+        while True:
+            advanced = int(
+                np.searchsorted(self._dead, ordinal + skipped, side="right")
+            )
+            if advanced == skipped:
+                return ordinal + skipped
+            skipped = advanced
+
+    def logical_ordinal(self, stored: int) -> int:
+        """The logical ordinal of live stored record ``stored``.
+
+        Raises:
+            IndexLookupError: if ``stored`` is tombstoned or out of
+                range.
+        """
+        if not 0 <= stored < len(self._inner):
+            raise IndexLookupError(
+                f"stored ordinal {stored} out of range "
+                f"0..{len(self._inner) - 1}"
+            )
+        position = int(np.searchsorted(self._dead, stored, side="left"))
+        if position < self._dead.size and int(self._dead[position]) == stored:
+            raise IndexLookupError(
+                f"stored ordinal {stored} is tombstoned"
+            )
+        return stored - position
+
+    def identifier(self, ordinal: int) -> str:
+        return self._inner.identifier(self.stored_ordinal(ordinal))
+
+    def codes(self, ordinal: int) -> np.ndarray:
+        return self._inner.codes(self.stored_ordinal(ordinal))
+
+    def record(self, ordinal: int) -> Sequence:
+        return self._inner.record(self.stored_ordinal(ordinal))
+
+
 def read_store(path: str | Path) -> SequenceStore:
     """Open an on-disk sequence store for reading."""
     return SequenceStore(path)

@@ -1,0 +1,293 @@
+"""Generation-stamped live layout: base shards, delta shards, tombstones.
+
+A *live* database is one that has absorbed mutations since it was
+built.  Its top-level manifest carries an ``"lsm"`` section::
+
+    "lsm": {
+        "generation": 3,
+        "tombstones": [4, 17],          # global *stored* ordinals
+        "base":   {"count": 2, "layout": [...]},
+        "deltas": {"count": 1, "layout": [...]}
+    }
+
+``base`` is the layout the collection was last compacted (or first
+built) into; every ``deltas`` entry is a small, complete, checksummed
+v2 shard database appended by one ingest.  Entries use the same
+:class:`~repro.sharding.manifest.ShardLayoutEntry` description as the
+sharded layout, with stored ordinals running contiguously through the
+bases and then the deltas.  A classic single-directory base appears as
+an entry whose ``name`` is ``""`` (its files live at the top level).
+
+The manifest is the *only* commit point: every mutation writes its new
+files first (fresh delta or fresh ``shard-g...`` directories), then
+atomically replaces ``manifest.json`` with a manifest whose
+``generation`` is one higher.  A crash anywhere before that final
+rename leaves the previous generation's manifest — and therefore the
+previous generation's view — fully intact; the half-written directories
+it references nothing are *orphans*, flagged by ``Database.verify`` as
+notes and reclaimed by the next successful compaction.
+
+Tombstones are recorded by stored ordinal and never rewritten in
+place: a delete is one manifest swap.  Readers present the *logical*
+(live) collection — stored order with tombstoned records elided — so
+search results, record routing, and E-values are indistinguishable
+from a fresh rebuild over the surviving records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+from repro.errors import IndexFormatError
+from repro.index.builder import IndexParameters
+from repro.sharding.manifest import (
+    MANIFEST_VERSION,
+    ShardLayoutEntry,
+)
+
+#: Directory-name prefixes the live layout owns; anything matching one
+#: of these that the manifest does not reference is an orphan.
+LSM_DIRECTORY_PREFIXES = ("shard-", "delta-")
+
+
+def delta_name(generation: int) -> str:
+    """Directory name of the delta shard created at ``generation``."""
+    return f"delta-g{generation:06d}"
+
+
+def compacted_shard_name(generation: int, slot: int) -> str:
+    """Directory name of base shard ``slot`` written by a compaction
+    that produced ``generation``."""
+    return f"shard-g{generation:06d}-{slot:04d}"
+
+
+@dataclass(frozen=True)
+class LiveState:
+    """The decoded ``lsm`` section of a live manifest.
+
+    Attributes:
+        generation: monotonically increasing mutation counter; every
+            successful ingest, delete, compaction, or repair bumps it.
+        base: the compacted base layout (stored ordinals from 0).
+        deltas: appended delta shards, stored ordinals continuing
+            after the last base entry.
+        tombstones: sorted, de-duplicated global *stored* ordinals of
+            deleted records.
+    """
+
+    generation: int
+    base: tuple[ShardLayoutEntry, ...]
+    deltas: tuple[ShardLayoutEntry, ...]
+    tombstones: tuple[int, ...]
+
+    @property
+    def entries(self) -> tuple[ShardLayoutEntry, ...]:
+        """Every live entry, in stored-ordinal order (base then deltas)."""
+        return self.base + self.deltas
+
+    @property
+    def stored_sequences(self) -> int:
+        """Records on disk, including tombstoned ones."""
+        return sum(entry.sequences for entry in self.entries)
+
+    @property
+    def live_sequences(self) -> int:
+        """Records the logical collection presents."""
+        return self.stored_sequences - len(self.tombstones)
+
+    def referenced_names(self) -> set[str]:
+        """Directory names the live generation owns (``""`` excluded)."""
+        return {entry.name for entry in self.entries if entry.name}
+
+    def describe(self) -> dict:
+        return {
+            "generation": self.generation,
+            "tombstones": list(self.tombstones),
+            "base": {
+                "count": len(self.base),
+                "layout": [entry.describe() for entry in self.base],
+            },
+            "deltas": {
+                "count": len(self.deltas),
+                "layout": [entry.describe() for entry in self.deltas],
+            },
+        }
+
+
+def _entries_from(section: dict, label: str) -> tuple[ShardLayoutEntry, ...]:
+    try:
+        entries = tuple(
+            ShardLayoutEntry.from_description(description)
+            for description in section["layout"]
+        )
+        count = int(section["count"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise IndexFormatError(f"malformed lsm {label} layout: {exc}") from exc
+    if count != len(entries):
+        raise IndexFormatError(
+            f"lsm {label} layout lists {len(entries)} entries but records "
+            f"count {count}"
+        )
+    return entries
+
+
+def live_state_from_manifest(manifest: dict) -> LiveState | None:
+    """The live layout a manifest records, or ``None`` for a manifest
+    that predates the live format (classic or plain-sharded).
+
+    Raises:
+        IndexFormatError: if the ``lsm`` section is malformed — a
+            non-contiguous layout, an empty base, or tombstones that
+            are unsorted, duplicated, or out of range.
+    """
+    section = manifest.get("lsm")
+    if section is None:
+        return None
+    try:
+        generation = int(section["generation"])
+        raw_tombstones = list(section.get("tombstones", []))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise IndexFormatError(f"malformed lsm section: {exc}") from exc
+    if generation < 1:
+        raise IndexFormatError(
+            f"lsm generation must be >= 1, got {generation} (live "
+            "manifests are only written by mutations)"
+        )
+    base = _entries_from(section.get("base", {}), "base")
+    deltas = _entries_from(
+        section.get("deltas", {"count": 0, "layout": []}), "deltas"
+    )
+    if not base:
+        raise IndexFormatError("lsm manifest records no base shards")
+    expected = 0
+    for entry in base + deltas:
+        if entry.base != expected:
+            raise IndexFormatError(
+                f"lsm entry {entry.name or '<top level>'} starts at stored "
+                f"ordinal {entry.base}, expected {expected} (layout must "
+                "be contiguous)"
+            )
+        expected = entry.stop
+    try:
+        tombstones = tuple(int(ordinal) for ordinal in raw_tombstones)
+    except (TypeError, ValueError) as exc:
+        raise IndexFormatError(f"malformed lsm tombstones: {exc}") from exc
+    for previous, ordinal in zip((-1,) + tombstones, tombstones):
+        if ordinal <= previous:
+            raise IndexFormatError(
+                "lsm tombstones must be sorted and unique, got "
+                f"{list(tombstones)}"
+            )
+        if not 0 <= ordinal < expected:
+            raise IndexFormatError(
+                f"lsm tombstone {ordinal} outside stored ordinal range "
+                f"0..{expected - 1}"
+            )
+    return LiveState(generation, base, deltas, tombstones)
+
+
+def promote_manifest(manifest: dict) -> LiveState:
+    """A generation-0 :class:`LiveState` for a pre-live manifest.
+
+    A plain-sharded manifest's shards become the base layout; a classic
+    single-directory manifest becomes one base entry named ``""``.
+    The promotion is purely in memory — nothing is written until the
+    first mutation commits a live manifest.
+    """
+    from repro.sharding.manifest import layout_from_manifest
+
+    state = live_state_from_manifest(manifest)
+    if state is not None:
+        return state
+    layout = layout_from_manifest(manifest)
+    if layout is not None:
+        return LiveState(0, tuple(layout), (), ())
+    try:
+        entry = ShardLayoutEntry(
+            name="",
+            base=0,
+            sequences=int(manifest["sequences"]),
+            bases=int(manifest["bases"]),
+            index_bytes=int(manifest["index_bytes"]),
+            store_bytes=int(manifest["store_bytes"]),
+            checksums=dict(manifest.get("checksums") or {}),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise IndexFormatError(
+            f"cannot promote manifest to a live layout: {exc}"
+        ) from exc
+    return LiveState(0, (entry,), (), ())
+
+
+def make_live_manifest(
+    coding: str, params: IndexParameters, state: LiveState
+) -> dict:
+    """The top-level manifest of a live (LSM) database directory.
+
+    The flat totals describe the *stored* collection (everything on
+    disk, tombstoned records included) so they keep matching the files
+    the entries digest; the logical view is derived by subtracting the
+    tombstones.
+    """
+    entries = state.entries
+    manifest = {
+        "version": MANIFEST_VERSION,
+        "sequences": sum(entry.sequences for entry in entries),
+        "bases": sum(entry.bases for entry in entries),
+        "coding": coding,
+        "params": params.describe(),
+        "index_bytes": sum(entry.index_bytes for entry in entries),
+        "store_bytes": sum(entry.store_bytes for entry in entries),
+        "lsm": state.describe(),
+    }
+    return manifest
+
+
+def entry_from_shard_manifest(
+    name: str, base: int, shard_manifest: dict
+) -> ShardLayoutEntry:
+    """A layout entry describing one just-built shard directory."""
+    return ShardLayoutEntry(
+        name=name,
+        base=base,
+        sequences=int(shard_manifest["sequences"]),
+        bases=int(shard_manifest["bases"]),
+        index_bytes=int(shard_manifest["index_bytes"]),
+        store_bytes=int(shard_manifest["store_bytes"]),
+        checksums=dict(shard_manifest["checksums"]),
+    )
+
+
+def renumber(entries: list[ShardLayoutEntry]) -> tuple[ShardLayoutEntry, ...]:
+    """The same entries with contiguous stored ordinals from 0."""
+    renumbered = []
+    base = 0
+    for entry in entries:
+        renumbered.append(replace(entry, base=base))
+        base += entry.sequences
+    return tuple(renumbered)
+
+
+def entry_directory(directory: Path, entry: ShardLayoutEntry) -> Path:
+    """Filesystem directory holding an entry's files."""
+    return directory / entry.name if entry.name else directory
+
+
+def orphan_directories(directory: Path, state: LiveState | None) -> list[Path]:
+    """Shard/delta-style directories the live manifest does not reference.
+
+    These are the visible residue of an interrupted ingest or
+    compaction (or of a completed compaction whose cleanup was
+    interrupted): harmless, invisible to readers, and safe to delete.
+    """
+    referenced = state.referenced_names() if state is not None else set()
+    orphans = []
+    for child in sorted(directory.iterdir()):
+        if not child.is_dir():
+            continue
+        if not child.name.startswith(LSM_DIRECTORY_PREFIXES):
+            continue
+        if child.name not in referenced:
+            orphans.append(child)
+    return orphans

@@ -1,0 +1,291 @@
+"""Ingest, delete, and compaction over a live database directory.
+
+Every mutation follows the same discipline: build any new files into
+fresh directories first, then commit by atomically replacing the
+top-level manifest with one stamped ``generation + 1``.  A crash at any
+point before the manifest rename leaves the old generation fully
+intact (the fresh directories become orphans); a crash after it leaves
+the new generation fully intact (the superseded directories become
+garbage that :func:`cleanup_unreferenced` reclaims).  There is no
+intermediate state a reader can observe.
+"""
+
+from __future__ import annotations
+
+import logging
+import shutil
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Iterable, Sequence as TypingSequence
+
+from repro.errors import IndexParameterError
+from repro.index.builder import IndexParameters
+from repro.index.merge import merge_index_files
+from repro.index.store import SequenceStore, write_store
+from repro.lsm.manifest import (
+    LiveState,
+    compacted_shard_name,
+    delta_name,
+    entry_directory,
+    entry_from_shard_manifest,
+    make_live_manifest,
+    orphan_directories,
+    promote_manifest,
+)
+from repro.sequences.record import Sequence
+from repro.sharding.build import _build_shard_task, build_shard_directory
+from repro.sharding.manifest import (
+    INDEX_NAME,
+    STORE_NAME,
+    load_manifest,
+    make_manifest,
+    write_manifest,
+)
+from repro.sharding.planner import plan_shards
+
+_LOG = logging.getLogger(__name__)
+
+
+def _open_manifest(directory: Path) -> tuple[dict, LiveState, IndexParameters]:
+    manifest = load_manifest(directory)
+    state = promote_manifest(manifest)
+    params = IndexParameters.from_description(manifest["params"])
+    return manifest, state, params
+
+
+def _commit(
+    directory: Path, coding: str, params: IndexParameters, state: LiveState
+) -> None:
+    """The single commit point: one atomic manifest replace."""
+    write_manifest(directory, make_live_manifest(coding, params, state))
+
+
+def append_delta(
+    directory: str | Path, records: TypingSequence[Sequence]
+) -> LiveState:
+    """Ingest ``records`` as one new delta shard.
+
+    The delta is a complete checksummed v2 database of its own, built
+    under ``delta-g<generation>``; the manifest swap that references it
+    is the last write.  Re-running after a crash overwrites the orphan
+    directory and converges.
+
+    Returns the committed :class:`LiveState`.
+
+    Raises:
+        IndexParameterError: if ``records`` is empty.
+    """
+    if not records:
+        raise IndexParameterError("no records to ingest")
+    directory = Path(directory)
+    manifest, state, params = _open_manifest(directory)
+    generation = state.generation + 1
+    name = delta_name(generation)
+    shard_manifest = build_shard_directory(
+        directory / name, list(records), params, manifest["coding"]
+    )
+    entry = entry_from_shard_manifest(
+        name, state.stored_sequences, shard_manifest
+    )
+    committed = LiveState(
+        generation, state.base, state.deltas + (entry,), state.tombstones
+    )
+    _commit(directory, manifest["coding"], params, committed)
+    return committed
+
+
+def tombstone(
+    directory: str | Path, stored_ordinals: Iterable[int]
+) -> LiveState:
+    """Mark stored ordinals deleted; purely a manifest swap.
+
+    Returns the committed :class:`LiveState`.
+
+    Raises:
+        IndexParameterError: if no ordinals are given, an ordinal is
+            out of range, or an ordinal is already tombstoned.
+    """
+    directory = Path(directory)
+    manifest, state, params = _open_manifest(directory)
+    doomed = sorted(set(int(ordinal) for ordinal in stored_ordinals))
+    if not doomed:
+        raise IndexParameterError("no records to delete")
+    stored = state.stored_sequences
+    existing = set(state.tombstones)
+    for ordinal in doomed:
+        if not 0 <= ordinal < stored:
+            raise IndexParameterError(
+                f"stored ordinal {ordinal} out of range 0..{stored - 1}"
+            )
+        if ordinal in existing:
+            raise IndexParameterError(
+                f"stored ordinal {ordinal} is already deleted"
+            )
+    merged = tuple(sorted(existing | set(doomed)))
+    committed = LiveState(
+        state.generation + 1, state.base, state.deltas, merged
+    )
+    _commit(directory, manifest["coding"], params, committed)
+    return committed
+
+
+def _live_records(
+    directory: Path, state: LiveState
+) -> list[Sequence]:
+    """Every surviving record, in stored-ordinal (= logical) order."""
+    dead = set(state.tombstones)
+    records: list[Sequence] = []
+    for entry in state.entries:
+        store_path = entry_directory(directory, entry) / STORE_NAME
+        with SequenceStore(store_path) as store:
+            for local in range(len(store)):
+                if entry.base + local in dead:
+                    continue
+                records.append(store.record(local))
+    return records
+
+
+def compact_database(
+    directory: str | Path,
+    shards: int | None = None,
+    workers: int = 1,
+) -> LiveState:
+    """Fold the deltas and tombstones back into base shards.
+
+    With no tombstones and a single-shard target the new base is
+    produced by the streaming external-memory index merge
+    (:func:`~repro.index.merge.merge_index_files`) over the part index
+    files — the same path a chunked build uses, so the result is
+    bit-identical to a fresh single build.  Otherwise (tombstones to
+    drop, or a multi-shard target whose boundaries cut across the
+    parts) the surviving records are re-planned and each new base shard
+    rebuilt, optionally on a process pool.
+
+    Either way the new shards land in fresh ``shard-g...`` directories
+    and the generation bump is one atomic manifest replace; a crash
+    anywhere during compaction is invisible on reopen, and the
+    superseded directories are reclaimed best-effort afterwards.
+
+    Args:
+        directory: the live database directory.
+        shards: base shard count to compact into; ``None`` keeps the
+            current count.
+        workers: rebuild processes for the multi-shard path.
+
+    Returns:
+        The committed :class:`LiveState` (unchanged if there was
+        nothing to compact).
+
+    Raises:
+        IndexParameterError: if compaction would leave an empty
+            collection, or ``workers`` < 1.
+    """
+    if workers < 1:
+        raise IndexParameterError(f"workers must be >= 1, got {workers}")
+    directory = Path(directory)
+    manifest, state, params = _open_manifest(directory)
+    target = len(state.base) if shards is None else int(shards)
+    if target < 1:
+        raise IndexParameterError(f"shards must be >= 1, got {target}")
+    if (
+        not state.deltas
+        and not state.tombstones
+        and target == len(state.base)
+    ):
+        return state
+    if state.live_sequences == 0:
+        raise IndexParameterError(
+            "cannot compact to an empty collection (all records deleted)"
+        )
+    coding = manifest["coding"]
+    generation = state.generation + 1
+
+    if not state.tombstones and target == 1:
+        out = directory / compacted_shard_name(generation, 0)
+        out.mkdir(parents=True, exist_ok=True)
+        index_bytes = merge_index_files(
+            [
+                str(entry_directory(directory, entry) / INDEX_NAME)
+                for entry in state.entries
+            ],
+            str(out / INDEX_NAME),
+        )
+        records = _live_records(directory, state)
+        store_bytes = write_store(records, out / STORE_NAME, coding)
+        shard_manifest = make_manifest(
+            out,
+            len(records),
+            int(sum(len(record) for record in records)),
+            coding,
+            params,
+            index_bytes,
+            store_bytes,
+        )
+        write_manifest(out, shard_manifest)
+        entries = (entry_from_shard_manifest(out.name, 0, shard_manifest),)
+    else:
+        records = _live_records(directory, state)
+        plan = plan_shards(len(records), target)
+        jobs = [
+            (
+                str(directory / compacted_shard_name(generation, spec.shard_id)),
+                records[spec.base : spec.stop],
+                params,
+                coding,
+            )
+            for spec in plan
+        ]
+        pool_size = min(workers, len(jobs))
+        if pool_size == 1:
+            shard_manifests = [_build_shard_task(job) for job in jobs]
+        else:
+            _LOG.info(
+                "compacting into %d shards with %d worker processes",
+                len(jobs),
+                pool_size,
+            )
+            with ProcessPoolExecutor(max_workers=pool_size) as pool:
+                shard_manifests = list(pool.map(_build_shard_task, jobs))
+        entries = tuple(
+            entry_from_shard_manifest(
+                compacted_shard_name(generation, spec.shard_id),
+                spec.base,
+                shard_manifest,
+            )
+            for spec, shard_manifest in zip(plan, shard_manifests)
+        )
+
+    committed = LiveState(generation, entries, (), ())
+    _commit(directory, coding, params, committed)
+    cleanup_unreferenced(directory, committed)
+    return committed
+
+
+def cleanup_unreferenced(directory: str | Path, state: LiveState) -> list[Path]:
+    """Best-effort removal of directories the live generation dropped.
+
+    Runs strictly after the manifest swap, so nothing it touches is
+    reachable; failures are logged and left for the next compaction
+    (or ``repro verify``, which reports them as notes).
+
+    Returns the paths actually removed.
+    """
+    directory = Path(directory)
+    removed: list[Path] = []
+    for orphan in orphan_directories(directory, state):
+        try:
+            shutil.rmtree(orphan)
+        except OSError:
+            _LOG.warning("could not remove superseded %s", orphan)
+        else:
+            removed.append(orphan)
+    if "" not in {entry.name for entry in state.entries}:
+        for name in (INDEX_NAME, STORE_NAME):
+            stale = directory / name
+            try:
+                if stale.exists():
+                    stale.unlink()
+                    removed.append(stale)
+            except OSError:
+                _LOG.warning("could not remove superseded %s", stale)
+    return removed

@@ -333,6 +333,7 @@ class SearchServer:
             "admission": self.admission.snapshot(),
             "breakers": self._breaker_states(),
             "kernel_tier": fastunpack.active_tier(),
+            "lsm": getattr(self.engine, "lsm_info", None),
             "metrics": self.instruments.metrics.snapshot(),
         }
 

@@ -25,6 +25,24 @@ The ``idf`` and ``normalised`` coarse scorers are *not* supported:
 they weight evidence by collection-wide statistics (document frequency,
 mean length) that a shard-local index gets wrong, which would break the
 score-identity guarantee silently.
+
+**Tombstones** (the live/LSM layer): the engine accepts a sorted list
+of deleted *stored* ordinals.  Deleted sequences still sit in their
+shard's index, so parity with a rebuild over the survivors takes three
+adjustments, all applied here:
+
+- each shard's coarse cutoff is inflated by its tombstone count before
+  the fan-out, then dead candidates are filtered *before* the global
+  merge-cut — otherwise a shard whose top-``C`` is crowded with dead
+  sequences could starve live candidates that a rebuilt index would
+  rank;
+- surviving hit ordinals are remapped from stored to *logical* (stored
+  order with tombstones elided — exactly the ordinals a rebuild would
+  assign) after the final merge, which preserves order because the
+  remap is monotonic;
+- the E-value search space counts live residues only (``dead_bases``
+  subtracted), and the degraded exhaustive path scans a
+  tombstone-eliding view of the stores.
 """
 
 from __future__ import annotations
@@ -45,7 +63,7 @@ from repro.align.scoring import ScoringScheme
 from repro.align.statistics import GumbelParameters
 from repro.errors import CorruptionError, SearchError, StorageError
 from repro.index.builder import IndexReader
-from repro.index.store import SequenceSource
+from repro.index.store import LiveSequenceView, SequenceSource
 from repro.instrumentation.eventlog import options_digest
 from repro.instrumentation.instruments import (
     NULL_INSTRUMENTS,
@@ -148,6 +166,12 @@ class ShardedSearchEngine:
         query_workers: default thread count for :meth:`search_batch`
             (``None`` keeps batches sequential unless the call says
             otherwise).
+        tombstones: sorted, unique *stored* ordinals of deleted
+            sequences (the live/LSM layer); results present logical
+            ordinals with these elided, hit-for-hit identical to a
+            rebuild over the survivors.
+        dead_bases: residues belonging to the tombstoned sequences,
+            subtracted from the E-value search space.
         resilience: per-shard fault tolerance (see
             :class:`~repro.search.resilience.ShardResilience`).  When
             given, a shard failure (storage damage, I/O error, attempt
@@ -178,6 +202,8 @@ class ShardedSearchEngine:
         instruments: Instruments | None = None,
         query_workers: int | None = None,
         resilience: ShardResilience | None = None,
+        tombstones: TypingSequence[int] | None = None,
+        dead_bases: int = 0,
     ) -> None:
         if not shards:
             raise SearchError("a sharded engine needs at least one shard")
@@ -239,8 +265,37 @@ class ShardedSearchEngine:
                 )
             )
         self.total_sequences = total
-        self._source = ShardedSequenceSource(
+        dead = np.asarray(
+            tombstones if tombstones is not None else (), dtype=np.int64
+        )
+        if dead.size:
+            if np.any(np.diff(dead) <= 0):
+                raise SearchError("tombstones must be sorted and unique")
+            if dead[0] < 0 or dead[-1] >= total:
+                raise SearchError(
+                    f"tombstone outside stored ordinal range 0..{total - 1}"
+                )
+        self.tombstones = dead
+        self.dead_bases = int(dead_bases)
+        self._dead_set = frozenset(dead.tolist())
+        # Tombstones falling in each shard's ordinal range: the amount
+        # that shard's coarse cutoff must be inflated by so dead
+        # candidates cannot crowd live ones out of its top-C.
+        boundaries = self.bases + [total]
+        self._dead_per_shard = [
+            int(
+                np.searchsorted(dead, boundaries[slot + 1], side="left")
+                - np.searchsorted(dead, boundaries[slot], side="left")
+            )
+            for slot in range(len(self._engines))
+        ]
+        self._stored_source = ShardedSequenceSource(
             [source for _, source in shards]
+        )
+        self._source: SequenceSource = (
+            LiveSequenceView(self._stored_source, dead.tolist())
+            if dead.size
+            else self._stored_source
         )
         self._exhaustive = None
         self.resilience = resilience
@@ -267,6 +322,7 @@ class ShardedSearchEngine:
                 "fine_mode": fine_mode,
                 "both_strands": both_strands,
                 "on_corruption": on_corruption,
+                "tombstones": int(dead.size),
             }
         )
         self.instruments = NULL_INSTRUMENTS
@@ -279,10 +335,20 @@ class ShardedSearchEngine:
 
     @property
     def total_bases(self) -> int:
-        """Residues across every shard (the E-value search space)."""
-        return sum(
-            engine.index.collection.total_length for engine in self._engines
+        """Live residues across every shard (the E-value search space);
+        tombstoned sequences no longer count as searched space."""
+        return (
+            sum(
+                engine.index.collection.total_length
+                for engine in self._engines
+            )
+            - self.dead_bases
         )
+
+    @property
+    def live_sequences(self) -> int:
+        """Sequences the logical collection presents."""
+        return self.total_sequences - int(self.tombstones.size)
 
     @property
     def quarantined_intervals(self) -> int:
@@ -487,13 +553,19 @@ class ShardedSearchEngine:
                 if slot in degraded:
                     continue
                 base = self.bases[slot]
+                # A shard holding D tombstones must rank C+D candidates:
+                # after the dead ones are filtered out, at least its
+                # true live top-C survives to the global merge.
+                cutoff = self.coarse_cutoff + self._dead_per_shard[slot]
                 shard_started = time.perf_counter()
                 with instruments.span(f"shard[{slot}].coarse") as span:
                     try:
                         candidates = self._run_shard(
                             slot,
-                            lambda engine=engine: engine.coarse_rank(
-                                codes, deadline=deadline
+                            lambda engine=engine, cutoff=cutoff: (
+                                engine.coarse_rank(
+                                    codes, cutoff=cutoff, deadline=deadline
+                                )
                             ),
                             deadline,
                         )
@@ -511,6 +583,18 @@ class ShardedSearchEngine:
                     f"sharded.shard.{slot}.coarse_candidates",
                     len(candidates),
                 )
+                if self._dead_per_shard[slot]:
+                    live = [
+                        candidate
+                        for candidate in candidates
+                        if base + candidate.ordinal not in self._dead_set
+                    ]
+                    filtered = len(candidates) - len(live)
+                    if filtered:
+                        instruments.count(
+                            "lsm.tombstones_filtered", filtered
+                        )
+                    candidates = live[: self.coarse_cutoff]
                 rows.extend(
                     (-candidate.coarse_score, base + candidate.ordinal,
                      slot, candidate)
@@ -681,6 +765,22 @@ class ShardedSearchEngine:
         instruments.observe(
             "sharded.total_seconds", coarse_seconds + fine_seconds
         )
+        if self.tombstones.size:
+            # Stored -> logical ordinals (what a rebuild over the
+            # survivors would assign).  The shift is monotonic in the
+            # stored ordinal, so the merged hit ordering is preserved.
+            hits = [
+                replace(
+                    hit,
+                    ordinal=hit.ordinal
+                    - int(
+                        np.searchsorted(
+                            self.tombstones, hit.ordinal, side="left"
+                        )
+                    ),
+                )
+                for hit in hits
+            ]
         if self.significance is not None:
             searched = self.total_bases
             hits = [

@@ -72,3 +72,110 @@ def small_index(small_workload):
 def small_source(small_workload) -> MemorySequenceSource:
     collection, _ = small_workload
     return MemorySequenceSource(list(collection.sequences))
+
+
+# -- differential parity: one logical collection, three layouts ---------
+
+PARITY_PARAMS = IndexParameters(interval_length=6)
+
+
+def parity_report_key(report):
+    """Everything about a report that must be layout-independent."""
+    return (
+        [
+            (hit.ordinal, hit.identifier, hit.score, hit.coarse_score,
+             hit.strand, hit.evalue)
+            for hit in report.hits
+        ],
+        report.candidates_examined,
+    )
+
+
+class ParityWorlds:
+    """The same logical collection served from three on-disk layouts.
+
+    ``single`` is a classic one-directory index of the survivors;
+    ``sharded`` is a 3-shard build of the same survivors; ``live`` grew
+    into the identical logical collection incrementally — a 2-shard
+    base, two delta-shard ingests, then tombstones for every doomed
+    record (interleaved through base *and* deltas, so logical ordinals
+    shift across shard boundaries).  ``queries`` includes one cut from
+    a doomed record: the deleted document must not appear in any hit
+    list, only its surviving relatives.
+    """
+
+    def __init__(self, survivors, doomed, queries, single, sharded, live):
+        self.survivors = survivors
+        self.doomed = doomed
+        self.queries = queries
+        self.single = single
+        self.sharded = sharded
+        self.live = live
+
+    def check(self, top_k=10, **engine_kwargs):
+        """Assert hit-for-hit identical reports across the layouts.
+
+        Returns the single-index reports, one per fixture query.
+        """
+        doomed_names = {record.identifier for record in self.doomed}
+        reports = []
+        for query in self.queries:
+            expected = self.single.search(query, top_k=top_k, **engine_kwargs)
+            key = parity_report_key(expected)
+            for name, database in (
+                ("sharded", self.sharded), ("live", self.live)
+            ):
+                got = database.search(query, top_k=top_k, **engine_kwargs)
+                assert parity_report_key(got) == key, (
+                    f"{name} layout diverged from the single index on "
+                    f"query {query.identifier!r} with {engine_kwargs!r}"
+                )
+            assert not doomed_names & {h.identifier for h in expected.hits}
+            reports.append(expected)
+        return reports
+
+
+@pytest.fixture(scope="session")
+def parity_worlds(tmp_path_factory):
+    from repro.database import Database
+
+    root = tmp_path_factory.mktemp("parity")
+    generator = np.random.default_rng(41)
+    full: list[Sequence] = []
+    for slot in range(45):
+        codes = generator.integers(0, 4, 220, dtype=np.uint8)
+        # Plant a shared fragment so queries have multi-shard answers.
+        if slot % 3 == 0 and slot:
+            codes[30:90] = full[0].codes[30:90]
+        full.append(Sequence(f"par{slot:03d}", codes))
+    doomed = [record for index, record in enumerate(full) if index % 5 == 0]
+    survivors = [record for index, record in enumerate(full) if index % 5]
+
+    queries = []
+    for number, stored in enumerate((7, 12, 23, 31, 44)):
+        queries.append(
+            Sequence(f"q{number}", full[stored].codes[40:140].copy())
+        )
+    queries.append(Sequence("qdead", full[10].codes[40:140].copy()))
+
+    single = Database.create(
+        survivors, root / "single", params=PARITY_PARAMS, shards=1
+    )
+    sharded = Database.create(
+        survivors, root / "sharded", params=PARITY_PARAMS, shards=3
+    )
+    live = Database.create(
+        full[:27], root / "live", params=PARITY_PARAMS, shards=2
+    )
+    live.add_records(full[27:36])
+    live.add_records(full[36:45])
+    # Mixed targets: two by identifier, the rest by logical ordinal
+    # (equal to stored ordinals here — no tombstones exist yet).
+    live.delete(
+        [doomed[0].identifier, doomed[1].identifier]
+        + [index for index in range(10, 45, 5)]
+    )
+    worlds = ParityWorlds(survivors, doomed, queries, single, sharded, live)
+    yield worlds
+    for database in (single, sharded, live):
+        database.close()

@@ -304,3 +304,17 @@ class TestConcurrentEngineCache:
             thread.join()
         assert not errors
         assert database.cached_engines <= database.ENGINE_CACHE_LIMIT
+
+
+class TestDifferentialParity:
+    """The facade serves the same answers from any of the three layouts."""
+
+    def test_layouts_agree_with_evalues(self, parity_worlds):
+        parity_worlds.check(with_evalues=True)
+
+    def test_describe_reports_live_state(self, parity_worlds):
+        description = parity_worlds.live.describe()
+        assert "generation 3" in description
+        assert "2 delta shard" in description
+        single = parity_worlds.single.describe()
+        assert "generation" not in single

@@ -118,3 +118,20 @@ class TestSearch:
         )
         report = engine.search(queries[0].query, top_k=5)
         assert report.best().ordinal == queries[0].source_ordinal
+
+
+class TestDifferentialParity:
+    """One logical collection, three layouts, identical engine answers.
+
+    The heavy lifting lives in the session-scoped ``parity_worlds``
+    fixture (single index vs sharded vs incrementally-grown
+    base+delta+tombstone database); here the single-engine fine modes
+    must agree across all three.
+    """
+
+    @pytest.mark.parametrize("fine_mode", ["full", "frames"])
+    def test_fine_modes_agree_across_layouts(self, parity_worlds, fine_mode):
+        parity_worlds.check(fine_mode=fine_mode)
+
+    def test_tight_cutoff_agrees_across_layouts(self, parity_worlds):
+        parity_worlds.check(coarse_cutoff=8, top_k=5)

@@ -468,3 +468,32 @@ class TestShardedInstrumentation:
         span_names = {row["name"] for row in instruments.tracer.flat()}
         assert "shard[0].coarse" in span_names
         assert "merge" in span_names
+
+
+class TestDifferentialParity:
+    """Sharded and incrementally-grown layouts vs the single index."""
+
+    @pytest.mark.parametrize("scorer", ["count", "diagonal"])
+    def test_shard_safe_scorers_agree_across_layouts(
+        self, parity_worlds, scorer
+    ):
+        parity_worlds.check(coarse_scorer=scorer)
+
+    def test_both_strands_agree_across_layouts(self, parity_worlds):
+        parity_worlds.check(both_strands=True)
+
+    def test_tombstones_filter_before_merge(self, parity_worlds):
+        from repro.instrumentation.instruments import Instruments
+
+        live = parity_worlds.live
+        instruments = Instruments()
+        live.set_instruments(instruments)
+        try:
+            live.search(parity_worlds.queries[-1], top_k=10)
+            counters = instruments.metrics.snapshot()["counters"]
+            assert counters.get("lsm.tombstones_filtered", 0) >= 0
+            gauges = instruments.metrics.snapshot()["gauges"]
+            assert gauges["lsm.generation"] == 3
+            assert gauges["lsm.delta_shards"] == 2
+        finally:
+            live.set_instruments(None)
