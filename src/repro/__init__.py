@@ -29,7 +29,8 @@ from repro.align import (
     best_local_score,
     local_align,
 )
-from repro.database import Database, VerificationReport
+from repro.coarse_backends import get_backend
+from repro.database import AutoCompactPolicy, Database, VerificationReport
 from repro.errors import CorruptionError, ReproError, StorageError
 from repro.index import (
     DiskIndex,
@@ -73,6 +74,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Alignment",
+    "AutoCompactPolicy",
     "CorruptionError",
     "Database",
     "StorageError",
@@ -104,6 +106,7 @@ __all__ = [
     "build_index",
     "collect_statistics",
     "generate_collection",
+    "get_backend",
     "local_align",
     "make_family_queries",
     "plan_shards",

@@ -23,6 +23,7 @@ from repro.bench.schema import (
     metric,
 )
 from repro.bench.runner import (
+    run_backends_bench,
     run_experiments,
     run_kernel_bench,
     run_lsm_bench,
@@ -39,6 +40,7 @@ __all__ = [
     "git_revision",
     "machine_metadata",
     "metric",
+    "run_backends_bench",
     "run_experiments",
     "run_kernel_bench",
     "run_lsm_bench",

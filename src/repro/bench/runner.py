@@ -601,3 +601,153 @@ def run_lsm_bench(
     document.add("lsm.live_sequences", live_sequences, "", "info")
     document.add("lsm.tombstones", len(doomed), "", "info")
     return document
+
+
+def run_backends_bench(
+    num_queries: int = 6,
+    seed: int = 9,
+    coarse_cutoff: int = 200,
+    top_k: int = 4,
+    signature_params: dict | None = None,
+) -> BenchDocument:
+    """The coarse-backend suite: inverted vs signature, two corpora.
+
+    Builds each corpus twice — once per backend — and measures what the
+    trade-off actually is: coarse artifact size and build time, query
+    latency, and recall of the first ``top_k`` answers against an
+    exhaustive-alignment oracle.  Two corpora are used because the
+    backends diverge on them: ``e3`` is the standard family workload
+    (the paper's E3 shape) and ``repetitive`` is a near-duplicate-heavy
+    collection where bit-sliced signatures amortise best.
+
+    What the regression gate holds: per-backend ``recall`` (inverted
+    must stay at 1.0, signature above its floor) and each corpus's
+    ``signature_smaller`` flag (1.0 only while the signature artifact
+    is smaller than the inverted index it replaces).  Sizes are also
+    recorded as a raw ``size_ratio`` and timings as ``info``.
+    """
+    import tempfile
+
+    from repro.database import Database
+    from repro.eval.metrics import oracle_recall_at
+    from repro.index.store import MemorySequenceSource
+    from repro.search.exhaustive import ExhaustiveSearcher
+    from repro.sequences.mutate import MutationModel
+    from repro.workloads.queries import make_family_queries
+    from repro.workloads.synthetic import WorkloadSpec, generate_collection
+
+    corpora = {
+        "e3": WorkloadSpec(
+            num_families=8,
+            family_size=4,
+            num_background=80,
+            mean_length=300,
+            mutation=MutationModel(0.1, 0.02, 0.02),
+            seed=seed,
+        ),
+        "repetitive": WorkloadSpec(
+            num_families=10,
+            family_size=10,
+            num_background=12,
+            mean_length=300,
+            mutation=MutationModel(0.02, 0.005, 0.005),
+            seed=seed + 1,
+        ),
+    }
+
+    document = BenchDocument(
+        "backends",
+        meta=standard_meta(
+            {
+                "num_queries": num_queries,
+                "coarse_cutoff": coarse_cutoff,
+                "top_k": top_k,
+                "seed": seed,
+                "signature_params": dict(signature_params or {}),
+            },
+            coarse_backend="inverted+signature",
+        ),
+    )
+
+    with tempfile.TemporaryDirectory() as scratch:
+        root = Path(scratch)
+        for corpus, spec in corpora.items():
+            collection = generate_collection(spec)
+            records = list(collection.sequences)
+            cases = make_family_queries(
+                collection, num_queries, 120, seed=seed + 2
+            )
+            queries = [case.query for case in cases]
+            longest = max(len(query) for query in queries)
+            oracle = ExhaustiveSearcher(
+                MemorySequenceSource(records), max_query_length=longest
+            )
+            oracle_scores = [
+                [hit.score for hit in oracle.search(query, top_k=top_k).hits]
+                for query in queries
+            ]
+
+            sizes = {}
+            for backend in ("inverted", "signature"):
+                started = time.perf_counter()
+                database = Database.create(
+                    records,
+                    root / f"{corpus}-{backend}",
+                    coarse_backend=backend,
+                    coarse_params=(
+                        signature_params if backend == "signature" else None
+                    ),
+                )
+                build_seconds = time.perf_counter() - started
+                coarse_bytes = int(database.manifest["index_bytes"])
+                sizes[backend] = coarse_bytes
+
+                recalls = []
+                search_started = time.perf_counter()
+                for query, relevant in zip(queries, oracle_scores):
+                    report = database.search(
+                        query, top_k=top_k, coarse_cutoff=coarse_cutoff
+                    )
+                    recalls.append(
+                        oracle_recall_at(
+                            [hit.score for hit in report.hits],
+                            relevant,
+                            top_k,
+                        )
+                    )
+                search_ms = (
+                    (time.perf_counter() - search_started)
+                    * 1000.0
+                    / max(1, len(queries))
+                )
+                database.close()
+
+                prefix = f"backends.{corpus}.{backend}"
+                document.add(
+                    f"{prefix}.recall",
+                    statistics.mean(recalls),
+                    "",
+                    "higher",
+                )
+                document.add(
+                    f"{prefix}.coarse_bytes", coarse_bytes, "bytes", "info"
+                )
+                document.add(
+                    f"{prefix}.build_seconds", build_seconds, "s", "info"
+                )
+                document.add(f"{prefix}.search_ms", search_ms, "ms", "info")
+
+            ratio = sizes["signature"] / max(1, sizes["inverted"])
+            document.add(
+                f"backends.{corpus}.size_ratio", ratio, "", "info"
+            )
+            document.add(
+                f"backends.{corpus}.signature_smaller",
+                1.0 if sizes["signature"] < sizes["inverted"] else 0.0,
+                "",
+                "higher",
+            )
+            document.add(
+                f"backends.{corpus}.sequences", len(records), "", "info"
+            )
+    return document

@@ -184,12 +184,15 @@ class BenchDocument:
         return "\n".join(lines)
 
 
-def standard_meta(extra: dict | None = None) -> dict:
+def standard_meta(
+    extra: dict | None = None, coarse_backend: str = "inverted"
+) -> dict:
     """machine + git metadata every producer stamps on its document.
 
-    Includes the active decode kernel tier: two BENCH documents are
-    only comparable when they ran the same tier, so the compare layer
-    (and a human reading the file) must be able to see it.
+    Includes the active decode kernel tier and the coarse backend the
+    suite ran against: two BENCH documents are only comparable when
+    they ran the same tier and backend, so the compare layer (and a
+    human reading the file) must be able to see both.
     """
     from repro.compression import fastunpack
 
@@ -197,6 +200,7 @@ def standard_meta(extra: dict | None = None) -> dict:
         "machine": machine_metadata(),
         "git_rev": git_revision(),
         "kernel_tier": fastunpack.active_tier(),
+        "coarse_backend": coarse_backend,
     }
     meta.update(extra or {})
     return meta

@@ -99,7 +99,9 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
-def _print_instrumentation(instruments, queries: int, wall: float) -> None:
+def _print_instrumentation(
+    instruments, queries: int, wall: float, coarse_backend: str | None = None
+) -> None:
     """The ``--stats`` tail: phases, cache, quarantine, counters, spans."""
     from repro.instrumentation.export import format_span_tree
     from repro.instrumentation.profiling import snapshot_from_instruments
@@ -108,6 +110,8 @@ def _print_instrumentation(instruments, queries: int, wall: float) -> None:
         instruments, queries=queries, wall_seconds=wall
     )
     print("--- instrumentation ---")
+    if coarse_backend is not None:
+        print(f"coarse backend: {coarse_backend}")
     print(snapshot.describe())
     for name, value in sorted(snapshot.counters.items()):
         print(f"counter {name:<38} {value}")
@@ -180,7 +184,10 @@ def _cmd_search(args: argparse.Namespace) -> int:
                     print(line)
             if args.stats and instruments is not None:
                 _print_instrumentation(
-                    instruments, evaluated, time.perf_counter() - started
+                    instruments,
+                    evaluated,
+                    time.perf_counter() - started,
+                    coarse_backend=engine.coarse_backend,
                 )
             if args.metrics_out is not None:
                 from repro.instrumentation.export import write_metrics
@@ -284,6 +291,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             seed=args.seed,
         )
         default_output = Path("BENCH_lsm.json")
+    elif args.suite == "backends":
+        from repro.bench import run_backends_bench
+
+        document = run_backends_bench(
+            num_queries=args.num_queries,
+            seed=args.seed,
+        )
+        default_output = Path("BENCH_backends.json")
     else:
         names = args.experiments or ["E3"]
         document = run_experiments(names)
@@ -485,10 +500,26 @@ def _cmd_db_create(args: argparse.Namespace) -> int:
     params = IndexParameters(
         interval_length=args.interval_length, stride=args.stride
     )
+    coarse_params = {}
+    if args.signature_fpr is not None:
+        coarse_params["false_positive_rate"] = args.signature_fpr
+    if args.signature_hashes is not None:
+        coarse_params["hashes"] = args.signature_hashes
+    if args.docs_per_block is not None:
+        coarse_params["docs_per_block"] = args.docs_per_block
+    if coarse_params and args.coarse_backend != "signature":
+        print(
+            "error: --signature-fpr/--signature-hashes/--docs-per-block "
+            "need --coarse-backend signature",
+            file=sys.stderr,
+        )
+        return 2
     started = time.perf_counter()
     with Database.create(
         read_fasta(args.collection), args.output, params=params,
         coding=args.coding, shards=args.shards, workers=args.workers,
+        coarse_backend=args.coarse_backend,
+        coarse_params=coarse_params or None,
     ) as database:
         elapsed = time.perf_counter() - started
         print(database.describe())
@@ -755,7 +786,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--suite",
-        choices=("quick", "kernel", "shards", "lsm", "experiments"),
+        choices=("quick", "kernel", "shards", "lsm", "backends",
+                 "experiments"),
         default="quick",
         help="which producer to run (ignored with --compare)",
     )
@@ -932,6 +964,27 @@ def build_parser() -> argparse.ArgumentParser:
         db_create.add_argument(
             "--workers", type=int, default=1, metavar="M",
             help="build up to M shards in parallel worker processes",
+        )
+        db_create.add_argument(
+            "--coarse-backend", choices=("inverted", "signature"),
+            default="inverted",
+            help="coarse artifact each shard builds: the posting-list "
+            "inverted index (default) or the bit-sliced signature index",
+        )
+        db_create.add_argument(
+            "--signature-fpr", type=float, default=None, metavar="RATE",
+            help="signature backend: per-k-mer Bloom false-positive "
+            "rate in (0, 1) (default 0.3; lower = bigger, more exact)",
+        )
+        db_create.add_argument(
+            "--signature-hashes", type=int, default=None, metavar="H",
+            help="signature backend: Bloom hash functions per k-mer "
+            "(default 1)",
+        )
+        db_create.add_argument(
+            "--docs-per-block", type=int, default=None, metavar="D",
+            help="signature backend: documents packed per bit-sliced "
+            "block (default 64)",
         )
         db_create.set_defaults(handler=_cmd_db_create)
 

@@ -1,0 +1,572 @@
+"""COBS-style bit-sliced signature coarse backend.
+
+Every document gets a Bloom filter over its distinct k-mers; documents
+are grouped into blocks of ``docs_per_block`` and each block's filters
+stand side by side as a bit matrix of shape ``(rows, docs)`` — one row
+per Bloom bit position, one column per document — packed with
+:func:`numpy.packbits` along the document axis.  A query looks up each
+of its distinct k-mers by AND-ing the k-mer's ``hashes`` rows into a
+membership bitmask and accumulating per-document containment counts,
+so coarse scoring is a handful of cache-friendly row fetches per
+k-mer instead of a posting-list decode.
+
+Each block sizes its own matrix from the largest document it holds::
+
+    rows = ceil(-n_max * hashes / ln(1 - fpr ** (1 / hashes)))
+
+(the classic Bloom sizing, inverted for the bit count that yields the
+target false-positive rate ``fpr`` at ``n_max`` insertions), so sparse
+blocks stay small and a repetitive collection — many near-duplicate
+documents sharing their k-mer sets — costs little more than one
+document's filter per block.
+
+On-disk format (``signatures.rpsg``, v1)::
+
+    magic "RPSG" | version u16 | header-length u32 | header CRC32
+    header JSON
+    packed block matrices, concatenated
+
+The header JSON carries the index parameters, the backend parameters,
+the collection's identifiers/lengths, and a per-block table (document
+base, count, rows, payload offset/length, CRC32).  The header checksum
+is verified eagerly at open; each block's payload checksum is verified
+lazily the first time the block is scanned.  All writes go through
+:func:`repro.index.atomic.atomic_write`.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import math
+import mmap
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence as TypingSequence
+
+import numpy as np
+
+from repro.coarse_backends.base import ARTIFACT_NAMES, CoarseBackend
+from repro.errors import (
+    CorruptionError,
+    IndexFormatError,
+    IndexParameterError,
+    SearchError,
+)
+from repro.index.atomic import atomic_write
+from repro.index.builder import CollectionInfo, IndexParameters
+from repro.index.intervals import IntervalExtractor
+from repro.instrumentation.instruments import NULL_INSTRUMENTS, coalesce
+from repro.search.deadline import Deadline, ensure_deadline
+from repro.search.results import CoarseCandidate
+from repro.sequences.record import Sequence
+
+_LOG = logging.getLogger(__name__)
+
+_MAGIC = b"RPSG"
+_VERSION = 1
+_PREFIX = struct.Struct("<4sHI")
+_CRC = struct.Struct("<I")
+
+#: Default backend parameters (see :meth:`SignatureBackend.normalise_params`).
+DEFAULT_SIGNATURE_PARAMS = {
+    "false_positive_rate": 0.3,
+    "hashes": 1,
+    "docs_per_block": 64,
+}
+
+
+def _splitmix64(values: np.ndarray) -> np.ndarray:
+    """The splitmix64 finaliser, vectorised over uint64 (wrapping)."""
+    values = values + np.uint64(0x9E3779B97F4A7C15)
+    values = (values ^ (values >> np.uint64(30))) * np.uint64(
+        0xBF58476D1CE4E5B9
+    )
+    values = (values ^ (values >> np.uint64(27))) * np.uint64(
+        0x94D049BB133111EB
+    )
+    return values ^ (values >> np.uint64(31))
+
+
+def signature_rows(
+    interval_ids: np.ndarray, hashes: int, rows: int
+) -> np.ndarray:
+    """Bloom row indices for each interval id: shape ``(ids, hashes)``.
+
+    Double hashing (Kirsch & Mitzenmacher): two splitmix64 mixes give
+    ``h1`` and an odd ``h2``, and hash ``i`` probes row
+    ``(h1 + i * h2) mod rows`` — ``hashes`` row indices per k-mer from
+    two mixes, identical at build and query time by construction.
+    """
+    ids = np.ascontiguousarray(interval_ids, dtype=np.uint64)
+    h1 = _splitmix64(ids)
+    h2 = _splitmix64(ids ^ np.uint64(0xA5A5_A5A5_A5A5_A5A5)) | np.uint64(1)
+    steps = np.arange(hashes, dtype=np.uint64)
+    probes = h1[:, None] + steps[None, :] * h2[:, None]
+    return (probes % np.uint64(rows)).astype(np.int64)
+
+
+def slice_rows_for(n_max: int, hashes: int, false_positive_rate: float) -> int:
+    """Bloom bit-count sizing a block's matrix for its largest document."""
+    if n_max <= 0:
+        return 8
+    rate = false_positive_rate ** (1.0 / hashes)
+    rows = math.ceil(-(n_max * hashes) / math.log(1.0 - rate))
+    return max(8, int(rows))
+
+
+def write_signature(
+    records: TypingSequence[Sequence],
+    path: str | Path,
+    params: IndexParameters | None = None,
+    backend_params: dict | None = None,
+) -> int:
+    """Build and atomically write a signature file; returns bytes written.
+
+    Documents are signed over their *distinct* k-mers (extracted with
+    the index parameters' interval length and stride), so the filter
+    answers containment, not frequency — the coarse score is the count
+    of query k-mers a document (probably) contains.
+    """
+    params = params or IndexParameters()
+    sig = dict(DEFAULT_SIGNATURE_PARAMS)
+    sig.update(backend_params or {})
+    hashes = int(sig["hashes"])
+    docs_per_block = int(sig["docs_per_block"])
+    fpr = float(sig["false_positive_rate"])
+    extractor = IntervalExtractor(params.interval_length, params.stride)
+    collection = CollectionInfo.from_sequences(records)
+
+    distinct = [extractor.extract_distinct(record.codes) for record in records]
+    blocks: list[dict] = []
+    payloads: list[bytes] = []
+    offset = 0
+    for start in range(0, len(records), docs_per_block):
+        chunk = distinct[start : start + docs_per_block]
+        n_max = max((ids.shape[0] for ids in chunk), default=0)
+        rows = slice_rows_for(n_max, hashes, fpr)
+        matrix = np.zeros((rows, len(chunk)), dtype=bool)
+        for column, ids in enumerate(chunk):
+            if ids.shape[0]:
+                matrix[signature_rows(ids, hashes, rows).ravel(), column] = True
+        payload = np.packbits(matrix, axis=1).tobytes()
+        blocks.append(
+            {
+                "base": start,
+                "docs": len(chunk),
+                "rows": rows,
+                "offset": offset,
+                "length": len(payload),
+                "crc": zlib.crc32(payload),
+            }
+        )
+        payloads.append(payload)
+        offset += len(payload)
+
+    header = json.dumps(
+        {
+            "params": params.describe(),
+            "signature": {
+                "false_positive_rate": fpr,
+                "hashes": hashes,
+                "docs_per_block": docs_per_block,
+            },
+            "identifiers": list(collection.identifiers),
+            "lengths": collection.lengths.tolist(),
+            "blocks": blocks,
+        }
+    ).encode("utf-8")
+    with atomic_write(path) as handle:
+        written = handle.write(_PREFIX.pack(_MAGIC, _VERSION, len(header)))
+        written += handle.write(_CRC.pack(zlib.crc32(header)))
+        written += handle.write(header)
+        for payload in payloads:
+            written += handle.write(payload)
+    return written
+
+
+@dataclass(frozen=True)
+class _Block:
+    base: int
+    docs: int
+    rows: int
+    offset: int
+    length: int
+    crc: int
+
+
+class SignatureIndex:
+    """A read-only signature file, memory-mapped.
+
+    Duck-types the reader surface the engines touch (``params`` /
+    ``collection`` / ``vocabulary_size`` / ``verify`` / instruments /
+    ``close``); it is *not* an :class:`~repro.index.builder.IndexReader`
+    — there are no posting lists to look up.
+
+    Raises:
+        IndexFormatError: if the file is not a valid signature file.
+        CorruptionError: if the header checksum fails.
+    """
+
+    coarse_backend = "signature"
+
+    def __init__(self, path: str | Path) -> None:
+        self._path = Path(path)
+        self._handle = open(self._path, "rb")
+        try:
+            self._map = mmap.mmap(
+                self._handle.fileno(), 0, access=mmap.ACCESS_READ
+            )
+        except ValueError as exc:
+            self._handle.close()
+            raise IndexFormatError(
+                f"{self._path}: empty signature file"
+            ) from exc
+        try:
+            self._parse()
+        except Exception:
+            self.close()
+            raise
+
+    def _parse(self) -> None:
+        view = self._map
+        if len(view) < _PREFIX.size + _CRC.size:
+            raise IndexFormatError(f"{self._path}: truncated signature file")
+        magic, version, header_length = _PREFIX.unpack_from(view, 0)
+        if magic != _MAGIC:
+            raise IndexFormatError(
+                f"{self._path}: not a signature file (magic {magic!r})"
+            )
+        if version != _VERSION:
+            raise IndexFormatError(
+                f"{self._path}: unsupported signature version {version}"
+            )
+        cursor = _PREFIX.size
+        (expected_crc,) = _CRC.unpack_from(view, cursor)
+        cursor += _CRC.size
+        header_bytes = bytes(view[cursor : cursor + header_length])
+        if len(header_bytes) != header_length:
+            raise IndexFormatError(f"{self._path}: truncated header")
+        if zlib.crc32(header_bytes) != expected_crc:
+            raise CorruptionError(
+                f"{self._path}: header checksum mismatch", section="header"
+            )
+        try:
+            header = json.loads(header_bytes)
+            self.params = IndexParameters.from_description(header["params"])
+            self.signature_params = dict(header["signature"])
+            self.collection = CollectionInfo(
+                tuple(header["identifiers"]),
+                np.array(header["lengths"], dtype=np.int64),
+            )
+            self._blocks = tuple(
+                _Block(
+                    base=int(block["base"]),
+                    docs=int(block["docs"]),
+                    rows=int(block["rows"]),
+                    offset=int(block["offset"]),
+                    length=int(block["length"]),
+                    crc=int(block["crc"]),
+                )
+                for block in header["blocks"]
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise IndexFormatError(
+                f"{self._path}: malformed signature header: {exc}"
+            ) from exc
+        self._payload_start = cursor + header_length
+        self._hashes = int(self.signature_params["hashes"])
+        self._checked = bytearray(len(self._blocks))
+        expected_base = 0
+        for slot, block in enumerate(self._blocks):
+            if block.base != expected_base or block.docs < 1:
+                raise IndexFormatError(
+                    f"{self._path}: block {slot} covers documents "
+                    f"{block.base}..{block.base + block.docs - 1}, expected "
+                    f"a contiguous layout from {expected_base}"
+                )
+            width = (block.docs + 7) // 8
+            if block.length != block.rows * width:
+                raise IndexFormatError(
+                    f"{self._path}: block {slot} payload is {block.length} "
+                    f"bytes, expected {block.rows * width}"
+                )
+            expected_base += block.docs
+        if expected_base != self.collection.num_sequences:
+            raise IndexFormatError(
+                f"{self._path}: blocks cover {expected_base} documents but "
+                f"the header lists {self.collection.num_sequences}"
+            )
+        if self._blocks:
+            last = self._blocks[-1]
+            end = self._payload_start + last.offset + last.length
+            if end > len(view):
+                raise IndexFormatError(
+                    f"{self._path}: payload truncated ({len(view)} bytes, "
+                    f"blocks need {end})"
+                )
+
+    # -- reader surface ---------------------------------------------------
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def vocabulary_size(self) -> int:
+        """Total Bloom rows across blocks (the signature's "vocabulary")."""
+        return int(sum(block.rows for block in self._blocks))
+
+    @property
+    def signature_bytes(self) -> int:
+        """Packed payload bytes (the coarse evidence, header excluded)."""
+        return int(sum(block.length for block in self._blocks))
+
+    @property
+    def instruments(self):
+        return getattr(self, "_instruments", NULL_INSTRUMENTS)
+
+    def set_instruments(self, instruments) -> None:
+        self._instruments = coalesce(instruments)
+
+    def enable_decode_cache(self, max_entries: int = 4096) -> None:
+        """No-op: signature blocks are read straight off the mapping."""
+
+    def block(self, slot: int) -> _Block:
+        return self._blocks[slot]
+
+    def _packed(self, slot: int) -> np.ndarray:
+        """Block ``slot``'s packed bit matrix, checksum-verified once.
+
+        Raises:
+            CorruptionError: if the payload fails its checksum.
+        """
+        block = self._blocks[slot]
+        start = self._payload_start + block.offset
+        payload = self._map[start : start + block.length]
+        if not self._checked[slot]:
+            if zlib.crc32(payload) != block.crc:
+                raise CorruptionError(
+                    f"{self._path}: signature block {slot} (documents "
+                    f"{block.base}..{block.base + block.docs - 1}) failed "
+                    "its checksum",
+                    section=f"block:{slot}",
+                )
+            self._checked[slot] = 1
+        width = (block.docs + 7) // 8
+        return np.frombuffer(payload, dtype=np.uint8).reshape(
+            block.rows, width
+        )
+
+    def block_membership_counts(
+        self, slot: int, interval_ids: np.ndarray
+    ) -> np.ndarray:
+        """Per-document count of query k-mers the block's filters contain.
+
+        For each k-mer its ``hashes`` rows are AND-ed into one packed
+        membership mask; unpacking and summing the masks yields each
+        document's containment count (shape ``(docs,)``).
+
+        Raises:
+            CorruptionError: if the block fails its checksum.
+        """
+        block = self._blocks[slot]
+        packed = self._packed(slot)
+        rows = signature_rows(interval_ids, self._hashes, block.rows)
+        masks = np.bitwise_and.reduce(packed[rows], axis=1)
+        bits = np.unpackbits(masks, axis=1, count=block.docs)
+        return bits.sum(axis=0, dtype=np.int64)
+
+    def verify(self) -> list[str]:
+        """Check every block's checksum; returns the problems found."""
+        issues: list[str] = []
+        for slot in range(len(self._blocks)):
+            try:
+                self._packed(slot)
+            except CorruptionError as exc:
+                issues.append(str(exc))
+        return issues
+
+    def close(self) -> None:
+        if getattr(self, "_map", None) is not None:
+            self._map.close()
+            self._map = None
+        if getattr(self, "_handle", None) is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "SignatureIndex":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SignatureRanker:
+    """Coarse phase over a :class:`SignatureIndex`.
+
+    Scores are distinct-query-k-mer containment counts; the ranking
+    contract (score desc, ordinal asc, ``cutoff`` best, zero-score
+    documents never returned) matches
+    :class:`~repro.search.coarse.CoarseRanker` exactly, so the fine
+    phase and the sharded merge are backend-agnostic.
+
+    A bounded deadline is checked between blocks: once expired the
+    remaining blocks contribute no evidence and the scores so far
+    become the (partial) ranking.  Under ``on_corruption="skip"`` a
+    block that fails its checksum is quarantined (logged, counted,
+    scored zero) and scanning continues; any other policy propagates
+    the :class:`~repro.errors.CorruptionError` (the engine's
+    ``"fallback"`` then answers the query exhaustively).
+
+    Raises:
+        SearchError: the signature backend ranks by containment counts
+            only, so any scorer other than ``"count"`` is rejected.
+    """
+
+    def __init__(
+        self,
+        index: SignatureIndex,
+        scorer="count",
+        on_corruption: str = "raise",
+    ) -> None:
+        name = scorer if isinstance(scorer, str) else getattr(
+            scorer, "name", type(scorer).__name__
+        )
+        if name != "count":
+            raise SearchError(
+                "the signature backend supports the 'count' coarse scorer "
+                f"only, got {name!r}"
+            )
+        self.index = index
+        self.on_corruption = on_corruption
+        self.instruments = NULL_INSTRUMENTS
+        self._quarantined: set[int] = set()
+        # Query k-mers are always extracted at stride 1, mirroring the
+        # inverted ranker: a sparsely signed collection is still hit as
+        # long as some query window aligns with a signed window.
+        self._extractor = IntervalExtractor(
+            index.params.interval_length, stride=1
+        )
+
+    def set_instruments(self, instruments) -> None:
+        self.instruments = coalesce(instruments)
+
+    def rank(
+        self,
+        query_codes: np.ndarray,
+        cutoff: int,
+        deadline: Deadline | None = None,
+    ) -> list[CoarseCandidate]:
+        """The ``cutoff`` best-scoring documents, best first.
+
+        Raises:
+            SearchError: if ``cutoff`` is not positive.
+            CorruptionError: on a damaged block, unless the policy is
+                ``"skip"``.
+        """
+        if cutoff < 1:
+            raise SearchError(f"cutoff must be >= 1, got {cutoff}")
+        deadline = ensure_deadline(deadline)
+        ids = self._extractor.extract_distinct(query_codes)
+        if not ids.shape[0]:
+            return []
+        self.instruments.count("coarse.query_intervals", int(ids.shape[0]))
+        scores = np.zeros(self.index.collection.num_sequences, dtype=np.float64)
+        scanned = 0
+        for slot in range(self.index.num_blocks):
+            if deadline.bounded and deadline.expired():
+                break
+            if slot in self._quarantined:
+                continue
+            block = self.index.block(slot)
+            try:
+                counts = self.index.block_membership_counts(slot, ids)
+            except CorruptionError as exc:
+                if self.on_corruption != "skip":
+                    raise
+                _LOG.warning(
+                    "quarantining corrupt signature block %d: %s", slot, exc
+                )
+                self._quarantined.add(slot)
+                self.instruments.count("signature.quarantined_blocks")
+                continue
+            scanned += 1
+            scores[block.base : block.base + block.docs] = counts
+        self.instruments.count("signature.blocks_scanned", scanned)
+        positive = np.flatnonzero(scores > 0)
+        if not positive.shape[0]:
+            return []
+        take = min(cutoff, positive.shape[0])
+        # Same deterministic order as the inverted ranker (score desc,
+        # ordinal asc) so tied candidates at the cutoff never depend on
+        # the backend.
+        order = np.lexsort((positive, -scores[positive]))
+        return [
+            CoarseCandidate(int(ordinal), float(scores[ordinal]))
+            for ordinal in positive[order][:take]
+        ]
+
+
+class SignatureBackend(CoarseBackend):
+    name = "signature"
+    artifact = ARTIFACT_NAMES["signature"]
+
+    def normalise_params(self, params: dict | None) -> dict:
+        """Defaults applied, ranges checked.
+
+        Raises:
+            IndexParameterError: on an unknown key,
+                ``false_positive_rate`` outside (0, 1), ``hashes`` < 1,
+                or ``docs_per_block`` < 1.
+        """
+        merged = dict(DEFAULT_SIGNATURE_PARAMS)
+        unknown = set(params or {}) - set(merged)
+        if unknown:
+            raise IndexParameterError(
+                f"unknown signature parameter(s) {sorted(unknown)}; known: "
+                f"{sorted(merged)}"
+            )
+        merged.update(params or {})
+        fpr = float(merged["false_positive_rate"])
+        hashes = int(merged["hashes"])
+        docs_per_block = int(merged["docs_per_block"])
+        if not 0.0 < fpr < 1.0:
+            raise IndexParameterError(
+                f"false_positive_rate must lie in (0, 1), got {fpr}"
+            )
+        if hashes < 1:
+            raise IndexParameterError(f"hashes must be >= 1, got {hashes}")
+        if docs_per_block < 1:
+            raise IndexParameterError(
+                f"docs_per_block must be >= 1, got {docs_per_block}"
+            )
+        return {
+            "false_positive_rate": fpr,
+            "hashes": hashes,
+            "docs_per_block": docs_per_block,
+        }
+
+    def build_artifact(
+        self,
+        directory: Path,
+        records: TypingSequence[Sequence],
+        params: IndexParameters,
+        backend_params: dict | None = None,
+    ) -> int:
+        return write_signature(
+            records,
+            Path(directory) / self.artifact,
+            params,
+            self.normalise_params(backend_params),
+        )
+
+    def open_artifact(self, directory: Path) -> SignatureIndex:
+        return SignatureIndex(Path(directory) / self.artifact)
+
+    def make_ranker(
+        self, index, scorer="count", on_corruption: str = "raise"
+    ) -> SignatureRanker:
+        return SignatureRanker(index, scorer, on_corruption=on_corruption)

@@ -35,13 +35,24 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+if TYPE_CHECKING:
+    from repro.coarse_backends.signature import SignatureIndex
 
 import numpy as np
 
 from repro.align.pairwise import Alignment, local_align
 from repro.align.scoring import ScoringScheme
 from repro.align.statistics import GumbelParameters, calibrate_gapped
+from repro.coarse_backends import get_backend
+from repro.coarse_backends.base import (
+    ARTIFACT_NAMES,
+    DEFAULT_BACKEND,
+    artifact_name,
+    coarse_from_manifest,
+    coarse_section,
+)
 from repro.errors import (
     CorruptionError,
     IndexFormatError,
@@ -49,8 +60,8 @@ from repro.errors import (
     SearchError,
 )
 from repro.index.atomic import file_crc32
-from repro.index.builder import IndexParameters, build_index
-from repro.index.storage import DiskIndex, write_index
+from repro.index.builder import IndexParameters
+from repro.index.storage import DiskIndex
 from repro.index.store import (
     LiveSequenceView,
     SequenceSource,
@@ -123,18 +134,67 @@ class VerificationReport:
         return f"{self.path}: {state}"
 
 
+@dataclass(frozen=True)
+class AutoCompactPolicy:
+    """When a mutation should fold the LSM structure back down.
+
+    Passed to :meth:`Database.add_records` / :meth:`Database.delete`;
+    evaluated strictly *after* the mutation's manifest swap commits, so
+    the trigger runs on the mutation path, never the query path, and a
+    crash between commit and compaction loses nothing.
+
+    Attributes:
+        max_delta_shards: compact once more than this many delta shards
+            have accumulated.
+        max_tombstone_ratio: compact once tombstoned records exceed
+            this fraction of the stored collection.
+
+    Raises:
+        IndexParameterError: if ``max_delta_shards`` < 1 or
+            ``max_tombstone_ratio`` is outside (0, 1].
+    """
+
+    max_delta_shards: int = 4
+    max_tombstone_ratio: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_delta_shards < 1:
+            raise IndexParameterError(
+                f"max_delta_shards must be >= 1, got {self.max_delta_shards}"
+            )
+        if not 0.0 < self.max_tombstone_ratio <= 1.0:
+            raise IndexParameterError(
+                "max_tombstone_ratio must lie in (0, 1], got "
+                f"{self.max_tombstone_ratio}"
+            )
+
+    def should_compact(
+        self, delta_shards: int, tombstones: int, stored: int
+    ) -> bool:
+        """Whether the thresholds are exceeded for the given state."""
+        if delta_shards > self.max_delta_shards:
+            return True
+        return bool(
+            stored and tombstones / stored > self.max_tombstone_ratio
+        )
+
+
 @dataclass
 class ShardHandle:
     """One opened shard: its directory, ordinal base, and readers.
 
-    ``index`` is ``None`` when the shard's index was unreadable and the
-    ``"fallback"`` policy degraded it to exhaustive scanning.
+    ``index`` is whichever coarse reader the database's backend opens —
+    a :class:`~repro.index.storage.DiskIndex` for the default
+    ``inverted`` backend, a
+    :class:`~repro.coarse_backends.signature.SignatureIndex` for
+    ``signature`` — and ``None`` when it was unreadable and the
+    ``"fallback"`` policy degraded the shard to exhaustive scanning.
     """
 
     name: str
     path: Path
     base: int
-    index: DiskIndex | None
+    index: DiskIndex | SignatureIndex | None
     store: SequenceStore
 
     @property
@@ -177,6 +237,7 @@ class Database:
         self.manifest = manifest
         self.on_corruption = on_corruption
         self.live = live
+        self.coarse = coarse_from_manifest(manifest)
         self._shards = shards
         self._bases = [shard.base for shard in shards]
         self._tombstones = np.asarray(
@@ -219,6 +280,8 @@ class Database:
         coding: str = "direct",
         shards: int = 1,
         workers: int = 1,
+        coarse_backend: str = DEFAULT_BACKEND,
+        coarse_params: dict | None = None,
     ) -> "Database":
         """Build and persist a database directory, then open it.
 
@@ -240,15 +303,26 @@ class Database:
             workers: shard-build processes; with ``shards=N`` and
                 ``workers=M`` up to ``min(N, M)`` shards build
                 concurrently.  Ignored for single-shard builds.
+            coarse_backend: which coarse artifact each shard builds —
+                ``"inverted"`` (the default posting-list index) or
+                ``"signature"`` (the bit-sliced signature index; see
+                :mod:`repro.coarse_backends`).  Recorded in the
+                manifest and honoured by every later mutation.
+            coarse_params: backend-specific knobs (for ``signature``:
+                ``false_positive_rate``, ``hashes``,
+                ``docs_per_block``).
 
         Raises:
-            IndexFormatError: if the directory already holds a database.
-            IndexParameterError: if ``shards`` or ``workers`` < 1.
+            IndexFormatError: if the directory already holds a database
+                or ``coarse_backend`` is unknown.
+            IndexParameterError: if ``shards`` or ``workers`` < 1, or
+                ``coarse_params`` are invalid for the backend.
         """
         if shards < 1:
             raise IndexParameterError(f"shards must be >= 1, got {shards}")
         if workers < 1:
             raise IndexParameterError(f"workers must be >= 1, got {workers}")
+        coarse = coarse_section(coarse_backend, coarse_params)
         directory = Path(path)
         directory.mkdir(parents=True, exist_ok=True)
         manifest_path = directory / _MANIFEST_NAME
@@ -266,11 +340,14 @@ class Database:
         if shards > 1 and min(shards, len(records)) > 1:
             plan = plan_shards(len(records), shards)
             build_sharded_database(
-                directory, records, plan, params, coding, workers
+                directory, records, plan, params, coding, workers,
+                coarse=coarse,
             )
             return cls.open(directory)
-        index = build_index(records, params)
-        index_bytes = write_index(index, directory / _INDEX_NAME)
+        backend = get_backend(coarse["backend"])
+        index_bytes = backend.build_artifact(
+            directory, records, params, coarse["params"]
+        )
         store_bytes = write_store(records, directory / _STORE_NAME, coding)
         manifest = _make_manifest(
             directory,
@@ -280,6 +357,7 @@ class Database:
             params,
             index_bytes,
             store_bytes,
+            coarse=coarse,
         )
         _write_manifest(directory, manifest)
         return cls.open(directory)
@@ -324,6 +402,10 @@ class Database:
         directory = Path(path)
         manifest = cls._load_manifest(directory)
         live = live_state_from_manifest(manifest)
+        # The top-level manifest is authoritative for the coarse
+        # backend: every shard (base or delta) of one database carries
+        # the same artifact kind.
+        coarse = coarse_from_manifest(manifest)
         layout = (
             list(live.entries)
             if live is not None
@@ -334,7 +416,7 @@ class Database:
             if layout is None:
                 shards.append(
                     cls._open_shard(
-                        "", directory, 0, on_corruption
+                        "", directory, 0, on_corruption, coarse
                     )
                 )
             else:
@@ -348,6 +430,7 @@ class Database:
                             shard_dir,
                             entry.base,
                             on_corruption,
+                            coarse,
                         )
                     )
                     if len(shards[-1].store) != entry.sequences:
@@ -386,13 +469,17 @@ class Database:
         directory: Path,
         base: int,
         on_corruption: str,
+        coarse: dict | None = None,
     ) -> ShardHandle:
         """Open one shard's readers, honouring the fallback policy."""
-        index: DiskIndex | None = None
+        backend = get_backend(
+            (coarse or {}).get("backend", DEFAULT_BACKEND)
+        )
+        index: DiskIndex | SignatureIndex | None = None
         store: SequenceStore | None = None
         try:
             try:
-                index = DiskIndex(directory / _INDEX_NAME)
+                index = backend.open_artifact(directory)
             except IndexFormatError as exc:
                 if on_corruption != "fallback":
                     raise
@@ -446,7 +533,7 @@ class Database:
     def _verify_open_files(
         directory: Path,
         manifest: dict,
-        index: DiskIndex | None,
+        index: DiskIndex | SignatureIndex | None,
         store: SequenceStore | None,
     ) -> VerificationReport:
         """Digest + checksum audit of already-opened files."""
@@ -458,14 +545,37 @@ class Database:
                 "(database version 1)"
             )
         else:
-            for name in (_INDEX_NAME, _STORE_NAME):
+            # The coarse artifact's name depends on the backend: trust
+            # the opened reader's self-declaration, falling back (for a
+            # degraded shard) to whichever artifact the manifest
+            # actually digested.
+            if index is not None:
+                coarse_file = artifact_name(
+                    getattr(index, "coarse_backend", DEFAULT_BACKEND)
+                )
+            else:
+                coarse_file = next(
+                    (
+                        name
+                        for name in ARTIFACT_NAMES.values()
+                        if name in checksums
+                    ),
+                    _INDEX_NAME,
+                )
+            for name in (coarse_file, _STORE_NAME):
                 recorded = checksums.get(name)
                 if recorded is None:
                     report.issues.append(
                         f"{directory}: manifest has no digest for {name}"
                     )
                     continue
-                actual = f"{file_crc32(directory / name):08x}"
+                try:
+                    actual = f"{file_crc32(directory / name):08x}"
+                except OSError as exc:
+                    report.issues.append(
+                        f"{directory / name}: unreadable ({exc})"
+                    )
+                    continue
                 if actual != recorded:
                     report.issues.append(
                         f"{directory / name}: file digest {actual} does not "
@@ -508,20 +618,26 @@ class Database:
                 if live is not None
                 else layout_from_manifest(manifest)
             )
+            coarse = coarse_from_manifest(manifest)
         except IndexFormatError as exc:
             report.issues.append(str(exc))
             return report
         if layout is None:
-            cls._verify_single(directory, manifest, report)
+            cls._verify_single(directory, manifest, report, coarse=coarse)
             cls._note_orphans(directory, set(), report)
             return report
         for entry in layout:
             if not entry.name:
                 # A live database whose base is the classic top-level
                 # file pair: audit it in place against the digests the
-                # live manifest carries for it.
+                # live manifest carries for it (the fragment has no
+                # coarse section, so the top-level backend is passed
+                # down explicitly).
                 cls._verify_single(
-                    directory, {"checksums": entry.checksums}, report
+                    directory,
+                    {"checksums": entry.checksums},
+                    report,
+                    coarse=coarse,
                 )
                 continue
             shard_dir = directory / entry.name
@@ -580,14 +696,25 @@ class Database:
 
     @classmethod
     def _verify_single(
-        cls, directory: Path, manifest: dict, report: VerificationReport
+        cls,
+        directory: Path,
+        manifest: dict,
+        report: VerificationReport,
+        coarse: dict | None = None,
     ) -> None:
         """Audit one classic (single-shard) database directory."""
-        index: DiskIndex | None = None
+        if coarse is None:
+            try:
+                coarse = coarse_from_manifest(manifest)
+            except IndexFormatError as exc:
+                report.issues.append(str(exc))
+                return
+        backend = get_backend(coarse["backend"])
+        index: DiskIndex | SignatureIndex | None = None
         store: SequenceStore | None = None
         try:
             try:
-                index = DiskIndex(directory / _INDEX_NAME)
+                index = backend.open_artifact(directory)
             except (IndexFormatError, OSError) as exc:
                 report.issues.append(f"index: {exc}")
             try:
@@ -653,18 +780,29 @@ class Database:
             if manifest is not None
             else None
         )
+        coarse: dict | None = None
+        if manifest is not None:
+            try:
+                coarse = coarse_from_manifest(manifest)
+            except IndexFormatError:
+                # An unreadable coarse section: rebuild as the default
+                # backend (the store is the source of truth, the coarse
+                # artifact is derived either way).
+                coarse = None
         if live is not None:
-            return cls._repair_live(directory, live, params)
+            return cls._repair_live(directory, live, params, coarse)
         layout = (
             layout_from_manifest(manifest) if manifest is not None else None
         )
         if layout is None:
-            cls._repair_single(directory, params)
+            cls._repair_single(directory, params, coarse=coarse)
             return cls.open(directory)
         shard_manifests: list[dict] = []
         for entry in layout:
             shard_manifests.append(
-                cls._repair_single(directory / entry.name, params)
+                cls._repair_single(
+                    directory / entry.name, params, coarse=coarse
+                )
             )
         coding = str(shard_manifests[0]["coding"])
         repaired_params = IndexParameters.from_description(
@@ -686,7 +824,10 @@ class Database:
             )
             base += int(shard_manifest["sequences"])
         _write_manifest(
-            directory, make_sharded_manifest(coding, repaired_params, entries)
+            directory,
+            make_sharded_manifest(
+                coding, repaired_params, entries, coarse=coarse
+            ),
         )
         return cls.open(directory)
 
@@ -696,6 +837,7 @@ class Database:
         directory: Path,
         live: LiveState,
         params: IndexParameters | None,
+        coarse: dict | None = None,
     ) -> "Database":
         """Rebuild every entry of a live (LSM) database.
 
@@ -710,11 +852,15 @@ class Database:
         for entry in live.entries:
             if entry.name:
                 shard_manifests.append(
-                    cls._repair_single(directory / entry.name, params)
+                    cls._repair_single(
+                        directory / entry.name, params, coarse=coarse
+                    )
                 )
             else:
                 shard_manifests.append(
-                    cls._repair_single(directory, params, write=False)
+                    cls._repair_single(
+                        directory, params, write=False, coarse=coarse
+                    )
                 )
         coding = str(shard_manifests[0]["coding"])
         repaired_params = IndexParameters.from_description(
@@ -743,26 +889,44 @@ class Database:
             live.tombstones,
         )
         _write_manifest(
-            directory, make_live_manifest(coding, repaired_params, state)
+            directory,
+            make_live_manifest(coding, repaired_params, state, coarse=coarse),
         )
         return cls.open(directory)
 
     @classmethod
     def _repair_single(
-        cls, directory: Path, params: IndexParameters | None, write: bool = True
+        cls,
+        directory: Path,
+        params: IndexParameters | None,
+        write: bool = True,
+        coarse: dict | None = None,
     ) -> dict:
-        """Rebuild one shard directory's index; returns its manifest."""
+        """Rebuild one shard directory's coarse artifact; returns its
+        manifest."""
         store_path = directory / _STORE_NAME
         if not store_path.exists():
             raise IndexFormatError(
                 f"{directory}: no sequence store to rebuild from"
             )
-        if params is None:
+        manifest: dict | None = None
+        if params is None or coarse is None:
             try:
                 manifest = cls._load_manifest(directory)
+            except IndexFormatError:
+                manifest = None
+        if params is None:
+            try:
                 params = IndexParameters.from_description(manifest["params"])
-            except (IndexFormatError, KeyError, TypeError, ValueError):
+            except (KeyError, TypeError, ValueError):
                 params = IndexParameters()
+        if coarse is None and manifest is not None:
+            try:
+                coarse = coarse_from_manifest(manifest)
+            except IndexFormatError:
+                coarse = None
+        if coarse is None:
+            coarse = {"backend": DEFAULT_BACKEND, "params": {}}
         with SequenceStore(store_path) as store:
             problems = [
                 problem
@@ -776,8 +940,10 @@ class Database:
                 )
             records = [store.record(ordinal) for ordinal in range(len(store))]
             coding = store.coding
-        index = build_index(records, params)
-        index_bytes = write_index(index, directory / _INDEX_NAME)
+        backend = get_backend(coarse["backend"])
+        index_bytes = backend.build_artifact(
+            directory, records, params, coarse["params"]
+        )
         store_bytes = store_path.stat().st_size
         manifest = _make_manifest(
             directory,
@@ -787,6 +953,7 @@ class Database:
             params,
             index_bytes,
             store_bytes,
+            coarse=coarse,
         )
         if write:
             _write_manifest(directory, manifest)
@@ -823,10 +990,10 @@ class Database:
         return list(self._shards)
 
     @property
-    def index(self) -> DiskIndex | None:
-        """The index of a single-shard database; ``None`` when the
-        database is sharded (shard indexes live on :attr:`shards`) or
-        degraded."""
+    def index(self) -> DiskIndex | SignatureIndex | None:
+        """The coarse reader of a single-shard database; ``None`` when
+        the database is sharded (shard indexes live on :attr:`shards`)
+        or degraded."""
         if len(self._shards) == 1:
             return self._shards[0].index
         return None
@@ -838,6 +1005,12 @@ class Database:
         if len(self._shards) == 1:
             return self._shards[0].store
         return None
+
+    @property
+    def coarse_backend(self) -> str:
+        """The coarse backend every shard of this database uses
+        (``"inverted"`` unless the manifest declares otherwise)."""
+        return str(self.coarse["backend"])
 
     @property
     def degraded(self) -> bool:
@@ -963,7 +1136,11 @@ class Database:
             shard.close()
         self._publish_lsm_gauges()
 
-    def add_records(self, records: Iterable[Sequence]) -> int:
+    def add_records(
+        self,
+        records: Iterable[Sequence],
+        auto_compact: AutoCompactPolicy | None = None,
+    ) -> int:
         """Ingest new records as one delta shard; returns the new
         generation.
 
@@ -972,6 +1149,13 @@ class Database:
         it is the last write, so a crash mid-ingest leaves the previous
         generation serving and an orphan directory ``verify`` merely
         notes.  The database reflects the new generation on return.
+        The delta's coarse artifact matches the database's backend
+        (``signature`` databases grow signature deltas).
+
+        ``auto_compact`` — an :class:`AutoCompactPolicy` — triggers a
+        full :meth:`compact` after the ingest commits when its
+        thresholds are exceeded; the returned generation then reflects
+        the compaction.
 
         Raises:
             IndexParameterError: if ``records`` is empty.
@@ -984,9 +1168,14 @@ class Database:
                 span.annotate("generation", state.generation)
         self._instruments.count("lsm.records_added", len(records))
         self._reload()
-        return state.generation
+        self._maybe_auto_compact(auto_compact)
+        return self.generation
 
-    def delete(self, targets: Iterable[str | int]) -> int:
+    def delete(
+        self,
+        targets: Iterable[str | int],
+        auto_compact: AutoCompactPolicy | None = None,
+    ) -> int:
         """Tombstone records by identifier or logical ordinal; returns
         the new generation.
 
@@ -995,6 +1184,10 @@ class Database:
         logical ordinal.  Deletion is one atomic manifest swap — no
         shard file is rewritten — and later ordinals shift down,
         exactly as a rebuild without the records would number them.
+        ``auto_compact`` triggers a full :meth:`compact` after the
+        swap commits when the policy's thresholds are exceeded (a
+        fully-tombstoned collection is never auto-compacted — an index
+        cannot be empty).
 
         Raises:
             SearchError: if a target matches nothing (unknown
@@ -1029,7 +1222,26 @@ class Database:
                 span.annotate("generation", state.generation)
         self._instruments.count("lsm.records_deleted", len(stored))
         self._reload()
-        return state.generation
+        self._maybe_auto_compact(auto_compact)
+        return self.generation
+
+    def _maybe_auto_compact(self, policy: AutoCompactPolicy | None) -> None:
+        """Compact if a mutation pushed the LSM past the policy's
+        thresholds.
+
+        Runs after the mutation's commit, on the caller's (mutation)
+        thread — queries concurrently served by other engines never
+        wait on it.  A collection with no live records is left alone
+        (compaction would have nothing to build).
+        """
+        if policy is None or len(self) == 0:
+            return
+        if not policy.should_compact(
+            self.delta_shards, self.tombstone_count, self.stored_sequences
+        ):
+            return
+        self._instruments.count("lsm.auto_compactions")
+        self.compact()
 
     def compact(self, shards: int | None = None, workers: int = 1) -> int:
         """Fold deltas and tombstones back into base shards; returns
@@ -1327,7 +1539,8 @@ class Database:
             return (
                 f"Database at {self.path}: {len(self)} sequences, "
                 f"{self.total_bases:,} bases across "
-                f"{len(self._shards)} shards; interval length "
+                f"{len(self._shards)} shards; "
+                f"{self.coarse_backend} coarse backend, interval length "
                 f"{self._shards[0].index.params.interval_length}, "
                 f"{vocabulary:,} indexed intervals (summed), "
                 f"{self.manifest['index_bytes']:,} index bytes, "
@@ -1337,7 +1550,8 @@ class Database:
         index = self._shards[0].index
         return (
             f"Database at {self.path}: {len(self)} sequences, "
-            f"{self.total_bases:,} bases; interval length "
+            f"{self.total_bases:,} bases; "
+            f"{self.coarse_backend} coarse backend, interval length "
             f"{index.params.interval_length}, "
             f"{index.vocabulary_size:,} indexed intervals, "
             f"{self.manifest['index_bytes']:,} index bytes, "

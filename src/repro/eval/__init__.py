@@ -11,6 +11,7 @@ from repro.eval.metrics import (
     mean_eleven_point,
     precision_at,
     ranking_overlap,
+    oracle_recall_at,
     recall_at,
     recall_precision_points,
 )
@@ -27,6 +28,7 @@ __all__ = [
     "mean_eleven_point",
     "precision_at",
     "ranking_overlap",
+    "oracle_recall_at",
     "recall_at",
     "recall_precision_points",
 ]

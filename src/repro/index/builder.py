@@ -143,6 +143,10 @@ class IndexReader(ABC):
     params: IndexParameters
     collection: CollectionInfo
 
+    #: Which coarse backend this reader serves — engines dispatch their
+    #: ranker on this attribute (see :mod:`repro.coarse_backends`).
+    coarse_backend = "inverted"
+
     @abstractmethod
     def lookup_entry(self, interval_id: int) -> VocabEntry | None:
         """The vocabulary row for an interval, or None if absent."""

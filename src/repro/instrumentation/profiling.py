@@ -194,6 +194,7 @@ def profile_search(
         "repeat": max(1, repeat),
         "distinct_queries": len(queries),
         "kernel_tier": fastunpack.active_tier(),
+        "coarse_backend": getattr(engine, "coarse_backend", "inverted"),
     }
     merged_meta.update(meta or {})
     return snapshot_from_instruments(

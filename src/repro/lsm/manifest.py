@@ -221,15 +221,22 @@ def promote_manifest(manifest: dict) -> LiveState:
 
 
 def make_live_manifest(
-    coding: str, params: IndexParameters, state: LiveState
+    coding: str,
+    params: IndexParameters,
+    state: LiveState,
+    coarse: dict | None = None,
 ) -> dict:
     """The top-level manifest of a live (LSM) database directory.
 
     The flat totals describe the *stored* collection (everything on
     disk, tombstoned records included) so they keep matching the files
     the entries digest; the logical view is derived by subtracting the
-    tombstones.
+    tombstones.  ``coarse`` carries the database's coarse-backend
+    section forward across mutations (``None`` means the inverted
+    default).
     """
+    from repro.sharding.manifest import _coarse_or_default
+
     entries = state.entries
     manifest = {
         "version": MANIFEST_VERSION,
@@ -237,6 +244,7 @@ def make_live_manifest(
         "bases": sum(entry.bases for entry in entries),
         "coding": coding,
         "params": params.describe(),
+        "coarse": _coarse_or_default(coarse),
         "index_bytes": sum(entry.index_bytes for entry in entries),
         "store_bytes": sum(entry.store_bytes for entry in entries),
         "lsm": state.describe(),

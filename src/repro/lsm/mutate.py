@@ -32,6 +32,10 @@ from repro.lsm.manifest import (
     orphan_directories,
     promote_manifest,
 )
+from repro.coarse_backends.base import (
+    ARTIFACT_NAMES,
+    coarse_from_manifest,
+)
 from repro.sequences.record import Sequence
 from repro.sharding.build import _build_shard_task, build_shard_directory
 from repro.sharding.manifest import (
@@ -46,18 +50,26 @@ from repro.sharding.planner import plan_shards
 _LOG = logging.getLogger(__name__)
 
 
-def _open_manifest(directory: Path) -> tuple[dict, LiveState, IndexParameters]:
+def _open_manifest(
+    directory: Path,
+) -> tuple[dict, LiveState, IndexParameters, dict]:
     manifest = load_manifest(directory)
     state = promote_manifest(manifest)
     params = IndexParameters.from_description(manifest["params"])
-    return manifest, state, params
+    return manifest, state, params, coarse_from_manifest(manifest)
 
 
 def _commit(
-    directory: Path, coding: str, params: IndexParameters, state: LiveState
+    directory: Path,
+    coding: str,
+    params: IndexParameters,
+    state: LiveState,
+    coarse: dict | None = None,
 ) -> None:
     """The single commit point: one atomic manifest replace."""
-    write_manifest(directory, make_live_manifest(coding, params, state))
+    write_manifest(
+        directory, make_live_manifest(coding, params, state, coarse=coarse)
+    )
 
 
 def append_delta(
@@ -78,11 +90,11 @@ def append_delta(
     if not records:
         raise IndexParameterError("no records to ingest")
     directory = Path(directory)
-    manifest, state, params = _open_manifest(directory)
+    manifest, state, params, coarse = _open_manifest(directory)
     generation = state.generation + 1
     name = delta_name(generation)
     shard_manifest = build_shard_directory(
-        directory / name, list(records), params, manifest["coding"]
+        directory / name, list(records), params, manifest["coding"], coarse
     )
     entry = entry_from_shard_manifest(
         name, state.stored_sequences, shard_manifest
@@ -90,7 +102,7 @@ def append_delta(
     committed = LiveState(
         generation, state.base, state.deltas + (entry,), state.tombstones
     )
-    _commit(directory, manifest["coding"], params, committed)
+    _commit(directory, manifest["coding"], params, committed, coarse)
     return committed
 
 
@@ -106,7 +118,7 @@ def tombstone(
             out of range, or an ordinal is already tombstoned.
     """
     directory = Path(directory)
-    manifest, state, params = _open_manifest(directory)
+    manifest, state, params, coarse = _open_manifest(directory)
     doomed = sorted(set(int(ordinal) for ordinal in stored_ordinals))
     if not doomed:
         raise IndexParameterError("no records to delete")
@@ -125,7 +137,7 @@ def tombstone(
     committed = LiveState(
         state.generation + 1, state.base, state.deltas, merged
     )
-    _commit(directory, manifest["coding"], params, committed)
+    _commit(directory, manifest["coding"], params, committed, coarse)
     return committed
 
 
@@ -183,7 +195,7 @@ def compact_database(
     if workers < 1:
         raise IndexParameterError(f"workers must be >= 1, got {workers}")
     directory = Path(directory)
-    manifest, state, params = _open_manifest(directory)
+    manifest, state, params, coarse = _open_manifest(directory)
     target = len(state.base) if shards is None else int(shards)
     if target < 1:
         raise IndexParameterError(f"shards must be >= 1, got {target}")
@@ -200,7 +212,14 @@ def compact_database(
     coding = manifest["coding"]
     generation = state.generation + 1
 
-    if not state.tombstones and target == 1:
+    # The streaming index merge only understands the inverted RPIX
+    # format; signature shards (whose block sizing depends on the
+    # merged collection) are always rebuilt from their records.
+    if (
+        not state.tombstones
+        and target == 1
+        and coarse["backend"] == "inverted"
+    ):
         out = directory / compacted_shard_name(generation, 0)
         out.mkdir(parents=True, exist_ok=True)
         index_bytes = merge_index_files(
@@ -220,6 +239,7 @@ def compact_database(
             params,
             index_bytes,
             store_bytes,
+            coarse=coarse,
         )
         write_manifest(out, shard_manifest)
         entries = (entry_from_shard_manifest(out.name, 0, shard_manifest),)
@@ -232,6 +252,7 @@ def compact_database(
                 records[spec.base : spec.stop],
                 params,
                 coding,
+                coarse,
             )
             for spec in plan
         ]
@@ -256,7 +277,7 @@ def compact_database(
         )
 
     committed = LiveState(generation, entries, (), ())
-    _commit(directory, coding, params, committed)
+    _commit(directory, coding, params, committed, coarse)
     cleanup_unreferenced(directory, committed)
     return committed
 
@@ -280,7 +301,7 @@ def cleanup_unreferenced(directory: str | Path, state: LiveState) -> list[Path]:
         else:
             removed.append(orphan)
     if "" not in {entry.name for entry in state.entries}:
-        for name in (INDEX_NAME, STORE_NAME):
+        for name in (*ARTIFACT_NAMES.values(), STORE_NAME):
             stale = directory / name
             try:
                 if stale.exists():

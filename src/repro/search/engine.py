@@ -292,11 +292,14 @@ class PartitionedSearchEngine:
                 f"but the source holds {len(source)}"
             )
         self.on_corruption = on_corruption
+        self.coarse_backend = getattr(index, "coarse_backend", "inverted")
         self._quarantine: QuarantiningIndexReader | None = None
-        if on_corruption == "skip":
+        if on_corruption == "skip" and self.coarse_backend == "inverted":
             # "fallback" deliberately leaves the index unwrapped: any
             # corruption aborts the partitioned pipeline and the query
             # is re-answered exhaustively, preserving full recall.
+            # Non-inverted backends apply the skip policy inside their
+            # own rankers (e.g. per-block signature quarantine).
             self._quarantine = QuarantiningIndexReader(index)
             index = self._quarantine
         self._quarantined_sequences: set[int] = set()
@@ -310,12 +313,25 @@ class PartitionedSearchEngine:
         self.both_strands = both_strands
         self.significance = significance
         if fine_mode == "frames":
+            if self.coarse_backend != "inverted":
+                raise SearchError(
+                    "fine_mode='frames' needs positional evidence from the "
+                    "inverted coarse backend; this index uses "
+                    f"{self.coarse_backend!r}"
+                )
             self._frame_ranker = FrameRanker(index)
             self._frame_fine = FrameFineSearcher(source, self.scheme)
             self._ranker = None
             self._fine = None
         else:
-            self._ranker = CoarseRanker(index, coarse_scorer)
+            if self.coarse_backend == "inverted":
+                self._ranker = CoarseRanker(index, coarse_scorer)
+            else:
+                from repro.coarse_backends import get_backend
+
+                self._ranker = get_backend(self.coarse_backend).make_ranker(
+                    index, coarse_scorer, on_corruption=on_corruption
+                )
             self._fine = FineSearcher(source, self.scheme)
             self._frame_ranker = None
             self._frame_fine = None
@@ -323,6 +339,7 @@ class PartitionedSearchEngine:
             {
                 "engine": "partitioned",
                 "scheme": self.scheme,
+                "coarse_backend": self.coarse_backend,
                 "coarse_scorer": coarse_scorer,
                 "coarse_cutoff": coarse_cutoff,
                 "min_fine_score": min_fine_score,

@@ -333,6 +333,9 @@ class SearchServer:
             "admission": self.admission.snapshot(),
             "breakers": self._breaker_states(),
             "kernel_tier": fastunpack.active_tier(),
+            "coarse_backend": getattr(
+                self.engine, "coarse_backend", "inverted"
+            ),
             "lsm": getattr(self.engine, "lsm_info", None),
             "metrics": self.instruments.metrics.snapshot(),
         }

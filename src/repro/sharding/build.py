@@ -20,13 +20,13 @@ from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 from typing import Sequence as TypingSequence
 
+from repro.coarse_backends import get_backend
+from repro.coarse_backends.base import DEFAULT_BACKEND
 from repro.errors import IndexParameterError
-from repro.index.builder import IndexParameters, build_index
-from repro.index.storage import write_index
+from repro.index.builder import IndexParameters
 from repro.index.store import write_store
 from repro.sequences.record import Sequence
 from repro.sharding.manifest import (
-    INDEX_NAME,
     STORE_NAME,
     ShardLayoutEntry,
     make_manifest,
@@ -43,18 +43,24 @@ def build_shard_directory(
     records: TypingSequence[Sequence],
     params: IndexParameters | None = None,
     coding: str = "direct",
+    coarse: dict | None = None,
 ) -> dict:
-    """Build one shard: index + store + manifest in ``directory``.
+    """Build one shard: coarse artefact + store + manifest in ``directory``.
 
     The directory is created if needed and existing artefacts are
     overwritten (a re-run after an interrupted build converges).
-    Returns the shard's manifest.
+    ``coarse`` selects and parameterises the coarse backend (``None``
+    builds the inverted default).  Returns the shard's manifest.
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     params = params or IndexParameters()
-    index = build_index(records, params)
-    index_bytes = write_index(index, directory / INDEX_NAME)
+    backend = get_backend(
+        coarse["backend"] if coarse else DEFAULT_BACKEND
+    )
+    index_bytes = backend.build_artifact(
+        directory, records, params, coarse.get("params") if coarse else None
+    )
     store_bytes = write_store(records, directory / STORE_NAME, coding)
     manifest = make_manifest(
         directory,
@@ -64,17 +70,18 @@ def build_shard_directory(
         params,
         index_bytes,
         store_bytes,
+        coarse=coarse,
     )
     write_manifest(directory, manifest)
     return manifest
 
 
 def _build_shard_task(
-    job: tuple[str, list[Sequence], IndexParameters, str]
+    job: tuple[str, list[Sequence], IndexParameters, str, dict | None]
 ) -> dict:
     """Process-pool entry point (module level, so it pickles)."""
-    directory, records, params, coding = job
-    return build_shard_directory(directory, records, params, coding)
+    directory, records, params, coding, coarse = job
+    return build_shard_directory(directory, records, params, coding, coarse)
 
 
 def build_sharded_database(
@@ -84,6 +91,7 @@ def build_sharded_database(
     params: IndexParameters | None = None,
     coding: str = "direct",
     workers: int = 1,
+    coarse: dict | None = None,
 ) -> dict:
     """Build every planned shard (in parallel) and the top manifest.
 
@@ -114,6 +122,7 @@ def build_sharded_database(
             list(records[spec.base : spec.stop]),
             params,
             coding,
+            coarse,
         )
         for spec in plan
     ]
@@ -138,6 +147,6 @@ def build_sharded_database(
         )
         for spec, manifest in zip(plan, shard_manifests)
     ]
-    manifest = make_sharded_manifest(coding, params, entries)
+    manifest = make_sharded_manifest(coding, params, entries, coarse=coarse)
     write_manifest(directory, manifest)
     return manifest

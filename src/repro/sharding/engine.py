@@ -265,6 +265,13 @@ class ShardedSearchEngine:
                 )
             )
         self.total_sequences = total
+        # Each shard ranks with whatever backend its index declares; the
+        # merge is backend-agnostic.  The engine-level label is the
+        # single shared name, or "mixed" when shards disagree.
+        backends = {engine.coarse_backend for engine in self._engines}
+        self.coarse_backend = (
+            backends.pop() if len(backends) == 1 else "mixed"
+        )
         dead = np.asarray(
             tombstones if tombstones is not None else (), dtype=np.int64
         )
@@ -316,6 +323,7 @@ class ShardedSearchEngine:
                 "engine": "sharded",
                 "shards": len(self._engines),
                 "scheme": self.scheme,
+                "coarse_backend": self.coarse_backend,
                 "coarse_scorer": coarse_scorer,
                 "coarse_cutoff": coarse_cutoff,
                 "min_fine_score": min_fine_score,

@@ -27,6 +27,7 @@ import json
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.coarse_backends.base import DEFAULT_BACKEND, artifact_name
 from repro.errors import IndexFormatError
 from repro.index.atomic import file_crc32, write_text_atomic
 from repro.index.builder import IndexParameters
@@ -38,6 +39,15 @@ MANIFEST_VERSION = 2
 SUPPORTED_MANIFEST_VERSIONS = (1, 2)
 
 
+def _coarse_or_default(coarse: dict | None) -> dict:
+    if coarse is None:
+        return {"backend": DEFAULT_BACKEND, "params": {}}
+    return {
+        "backend": str(coarse["backend"]),
+        "params": dict(coarse.get("params") or {}),
+    }
+
+
 def make_manifest(
     directory: Path,
     records_count: int,
@@ -46,18 +56,28 @@ def make_manifest(
     params: IndexParameters,
     index_bytes: int,
     store_bytes: int,
+    coarse: dict | None = None,
 ) -> dict:
-    """The manifest of a single-shard database directory."""
+    """The manifest of a single-shard database directory.
+
+    ``coarse`` is the coarse-backend section (see
+    :func:`repro.coarse_backends.base.coarse_section`); ``None`` means
+    the inverted default.  The checksum set digests whichever coarse
+    artefact the backend owns, plus the sequence store.
+    """
+    coarse = _coarse_or_default(coarse)
+    artifact = artifact_name(coarse["backend"])
     return {
         "version": MANIFEST_VERSION,
         "sequences": records_count,
         "bases": bases,
         "coding": coding,
         "params": params.describe(),
+        "coarse": coarse,
         "index_bytes": index_bytes,
         "store_bytes": store_bytes,
         "checksums": {
-            INDEX_NAME: f"{file_crc32(directory / INDEX_NAME):08x}",
+            artifact: f"{file_crc32(directory / artifact):08x}",
             STORE_NAME: f"{file_crc32(directory / STORE_NAME):08x}",
         },
     }
@@ -146,6 +166,7 @@ def make_sharded_manifest(
     coding: str,
     params: IndexParameters,
     entries: list[ShardLayoutEntry],
+    coarse: dict | None = None,
 ) -> dict:
     """The top-level manifest of a sharded database directory."""
     return {
@@ -154,6 +175,7 @@ def make_sharded_manifest(
         "bases": sum(entry.bases for entry in entries),
         "coding": coding,
         "params": params.describe(),
+        "coarse": _coarse_or_default(coarse),
         "index_bytes": sum(entry.index_bytes for entry in entries),
         "store_bytes": sum(entry.store_bytes for entry in entries),
         "shards": {

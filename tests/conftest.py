@@ -74,6 +74,35 @@ def small_source(small_workload) -> MemorySequenceSource:
     return MemorySequenceSource(list(collection.sequences))
 
 
+# -- recall against an exhaustive oracle ---------------------------------
+
+
+def mean_oracle_recall(searcher, oracle, queries, top_k=4, **search_kwargs):
+    """Mean tie-aware recall of ``searcher`` against an exhaustive oracle.
+
+    For each query the oracle's top-``top_k`` scores set the bar and
+    :func:`repro.eval.metrics.oracle_recall_at` measures how many of the
+    searcher's top-``top_k`` answers reach it — tolerant of equal-score
+    groups straddling the cutoff, which any coarse backend may order
+    differently from the oracle without being wrong.  Extra keyword
+    arguments (``coarse_cutoff`` etc.) go to ``searcher.search``.
+    """
+    from repro.eval.metrics import oracle_recall_at
+
+    recalls = []
+    for query in queries:
+        oracle_scores = [
+            hit.score for hit in oracle.search(query, top_k=top_k).hits
+        ]
+        report = searcher.search(query, top_k=top_k, **search_kwargs)
+        recalls.append(
+            oracle_recall_at(
+                [hit.score for hit in report.hits], oracle_scores, top_k
+            )
+        )
+    return sum(recalls) / len(recalls)
+
+
 # -- differential parity: one logical collection, three layouts ---------
 
 PARITY_PARAMS = IndexParameters(interval_length=6)

@@ -171,10 +171,11 @@ class TestSingleShardByteCompatibility:
         Database.create(_records(8), tmp_path / "db", params=PARAMS).close()
         manifest = json.loads((tmp_path / "db" / "manifest.json").read_text())
         assert sorted(manifest) == [
-            "bases", "checksums", "coding", "index_bytes", "params",
-            "sequences", "store_bytes", "version",
+            "bases", "checksums", "coarse", "coding", "index_bytes",
+            "params", "sequences", "store_bytes", "version",
         ]
         assert manifest["version"] == 2
+        assert manifest["coarse"] == {"backend": "inverted", "params": {}}
 
 
 class TestScoreIdentity:
